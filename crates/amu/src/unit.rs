@@ -1,0 +1,822 @@
+//! AMU state machine.
+
+use amo_types::{Addr, AmoKind, BlockAddr, Cycle, Payload, ProcId, ReqId, Stats, Word};
+use std::collections::VecDeque;
+
+/// A command submitted to the AMU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AmuOp {
+    /// Coherent active memory operation.
+    Amo {
+        /// Request tag for the reply.
+        req: ReqId,
+        /// Requesting processor.
+        requester: ProcId,
+        /// Operation.
+        kind: AmoKind,
+        /// Target word.
+        addr: Addr,
+        /// Operand (`FetchAdd`).
+        operand: Word,
+        /// Delayed-put trigger: put when the result equals this.
+        test: Option<Word>,
+    },
+    /// Uncached memory-side atomic (the MAO baseline).
+    Mao {
+        /// Request tag for the reply.
+        req: ReqId,
+        /// Requesting processor.
+        requester: ProcId,
+        /// Operation.
+        kind: AmoKind,
+        /// Target word (uncached space by software convention).
+        addr: Addr,
+        /// Operand.
+        operand: Word,
+    },
+    /// Uncached word read (MAO-style remote spinning).
+    UncachedRead {
+        /// Request tag for the reply.
+        req: ReqId,
+        /// Requesting processor.
+        requester: ProcId,
+        /// Target word.
+        addr: Addr,
+    },
+    /// Uncached word write.
+    UncachedWrite {
+        /// Request tag for the ack.
+        req: ReqId,
+        /// Requesting processor.
+        requester: ProcId,
+        /// Target word.
+        addr: Addr,
+        /// Value to store.
+        value: Word,
+    },
+}
+
+/// Side effects the hub must execute. Timestamped effects are scheduled;
+/// immediate ones are executed on the spot.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AmuEffect {
+    /// Send a reply to a processor at `when` (compute latency included).
+    ReplyAt {
+        /// Completion time.
+        when: Cycle,
+        /// Destination processor.
+        proc: ProcId,
+        /// Reply payload.
+        payload: Payload,
+    },
+    /// Issue a fine-grained get to the local directory for `addr`,
+    /// tagged with `token`. Feed the result to [`Amu::fine_value`].
+    FineGet {
+        /// Token to echo.
+        token: u64,
+        /// Word to fetch coherently.
+        addr: Addr,
+    },
+    /// Issue a fine-grained put (cache-hit path or dirty eviction).
+    FinePut {
+        /// Word to write back.
+        addr: Addr,
+        /// Value.
+        value: Word,
+    },
+    /// Close the directory's open fine-get transaction for `block`,
+    /// performing `put` as part of it.
+    FineComplete {
+        /// Block whose fine transaction closes.
+        block: BlockAddr,
+        /// Optional immediate put.
+        put: Option<(Addr, Word)>,
+    },
+    /// Read a word from (uncached) home memory; feed the result to
+    /// [`Amu::mem_value`].
+    ReadMemWord {
+        /// Token to echo.
+        token: u64,
+        /// Word to read.
+        addr: Addr,
+    },
+    /// Write a word straight to home memory (MAO write-through path).
+    WriteMemWord {
+        /// Word to write.
+        addr: Addr,
+        /// Value.
+        value: Word,
+    },
+    /// The AMU wants [`Amu::advance`] called at `when` to start its next
+    /// queued command.
+    WakeAt {
+        /// Wake-up time.
+        when: Cycle,
+    },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CacheEntry {
+    addr: Addr,
+    value: Word,
+    /// Not yet put back (a delayed `amo.inc` mid-count).
+    dirty: bool,
+    lru: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum State {
+    Idle,
+    /// Function unit busy until the given cycle.
+    Busy(Cycle),
+    /// Waiting for a fine-get or memory read tagged with the token.
+    Waiting {
+        token: u64,
+        op: AmuOp,
+    },
+}
+
+/// One node's Active Memory Unit.
+pub struct Amu {
+    cache: Vec<CacheEntry>,
+    cache_words: usize,
+    op_latency: Cycle,
+    line_bytes: u64,
+    queue: VecDeque<AmuOp>,
+    queue_cap: usize,
+    state: State,
+    tick: u64,
+    next_token: u64,
+}
+
+impl Amu {
+    /// Build an AMU. `op_latency` is in CPU cycles (the paper's 2 hub
+    /// cycles × the hub clock divisor); `line_bytes` is the coherence
+    /// block size (used to map words to directory blocks).
+    pub fn new(cache_words: usize, op_latency: Cycle, queue_cap: usize, line_bytes: u64) -> Self {
+        assert!(cache_words >= 1);
+        Amu {
+            cache: Vec::with_capacity(cache_words),
+            cache_words,
+            op_latency,
+            line_bytes,
+            queue: VecDeque::new(),
+            queue_cap,
+            state: State::Idle,
+            tick: 0,
+            next_token: 0,
+        }
+    }
+
+    fn lookup(&mut self, addr: Addr) -> Option<usize> {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.cache.iter().position(|e| e.addr == addr)?;
+        self.cache[idx].lru = tick;
+        Some(idx)
+    }
+
+    /// Install a word (clean); evicting the LRU entry if full. A dirty
+    /// victim produces a put.
+    fn install(
+        &mut self,
+        addr: Addr,
+        value: Word,
+        stats: &mut Stats,
+        effects: &mut Vec<AmuEffect>,
+    ) -> usize {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(idx) = self.cache.iter().position(|e| e.addr == addr) {
+            self.cache[idx] = CacheEntry {
+                addr,
+                value,
+                dirty: false,
+                lru: tick,
+            };
+            return idx;
+        }
+        if self.cache.len() == self.cache_words {
+            let victim = self
+                .cache
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("full cache has victim");
+            let v = self.cache.swap_remove(victim);
+            stats.amu_evictions += 1;
+            if v.dirty {
+                effects.push(AmuEffect::FinePut {
+                    addr: v.addr,
+                    value: v.value,
+                });
+            }
+        }
+        self.cache.push(CacheEntry {
+            addr,
+            value,
+            dirty: false,
+            lru: tick,
+        });
+        self.cache.len() - 1
+    }
+
+    /// Submit a command at time `now`. Returns false (and drops the
+    /// command) if the dispatch queue is full.
+    pub fn submit(&mut self, op: AmuOp, now: Cycle, stats: &mut Stats) -> (bool, Vec<AmuEffect>) {
+        if self.queue.len() >= self.queue_cap {
+            return (false, Vec::new());
+        }
+        self.queue.push_back(op);
+        let mut effects = Vec::new();
+        if matches!(self.state, State::Idle) {
+            self.try_start(now, stats, &mut effects);
+        }
+        (true, effects)
+    }
+
+    /// The function unit finished a computation (scheduled via
+    /// [`AmuEffect::WakeAt`]); start the next queued command if any.
+    pub fn advance(&mut self, now: Cycle, stats: &mut Stats) -> Vec<AmuEffect> {
+        let mut effects = Vec::new();
+        if let State::Busy(until) = self.state {
+            if now >= until {
+                self.state = State::Idle;
+            }
+        }
+        if matches!(self.state, State::Idle) {
+            self.try_start(now, stats, &mut effects);
+        }
+        effects
+    }
+
+    fn try_start(&mut self, now: Cycle, stats: &mut Stats, effects: &mut Vec<AmuEffect>) {
+        let Some(op) = self.queue.pop_front() else {
+            return;
+        };
+        match op {
+            AmuOp::Amo {
+                req,
+                requester,
+                kind,
+                addr,
+                operand,
+                test,
+            } => {
+                stats.amo_ops += 1;
+                match self.lookup(addr) {
+                    Some(idx) => {
+                        stats.amu_hits += 1;
+                        let old = self.cache[idx].value;
+                        let new = kind.apply(old, operand);
+                        let put = Self::should_put(kind, test, old, new);
+                        self.cache[idx].value = new;
+                        self.cache[idx].dirty = !put;
+                        let done = now + self.op_latency;
+                        if put {
+                            effects.push(AmuEffect::FinePut { addr, value: new });
+                        }
+                        effects.push(AmuEffect::ReplyAt {
+                            when: done,
+                            proc: requester,
+                            payload: Payload::AmoReply { req, old },
+                        });
+                        self.state = State::Busy(done);
+                        effects.push(AmuEffect::WakeAt { when: done });
+                    }
+                    None => {
+                        stats.amu_misses += 1;
+                        let token = self.next_token;
+                        self.next_token += 1;
+                        self.state = State::Waiting { token, op };
+                        effects.push(AmuEffect::FineGet { token, addr });
+                    }
+                }
+            }
+            AmuOp::Mao {
+                req,
+                requester,
+                kind,
+                addr,
+                operand,
+            } => {
+                stats.mao_ops += 1;
+                match self.lookup(addr) {
+                    Some(idx) => {
+                        stats.amu_hits += 1;
+                        let old = self.cache[idx].value;
+                        let new = kind.apply(old, operand);
+                        self.cache[idx].value = new;
+                        // MAO is non-coherent: write through to memory,
+                        // nobody is updated or invalidated.
+                        let done = now + self.op_latency;
+                        effects.push(AmuEffect::WriteMemWord { addr, value: new });
+                        effects.push(AmuEffect::ReplyAt {
+                            when: done,
+                            proc: requester,
+                            payload: Payload::MaoReply { req, old },
+                        });
+                        self.state = State::Busy(done);
+                        effects.push(AmuEffect::WakeAt { when: done });
+                    }
+                    None => {
+                        stats.amu_misses += 1;
+                        let token = self.next_token;
+                        self.next_token += 1;
+                        self.state = State::Waiting { token, op };
+                        effects.push(AmuEffect::ReadMemWord { token, addr });
+                    }
+                }
+            }
+            AmuOp::UncachedRead {
+                req,
+                requester,
+                addr,
+            } => match self.lookup(addr) {
+                Some(idx) => {
+                    let value = self.cache[idx].value;
+                    let done = now + self.op_latency;
+                    effects.push(AmuEffect::ReplyAt {
+                        when: done,
+                        proc: requester,
+                        payload: Payload::UncachedReadReply { req, value },
+                    });
+                    self.state = State::Busy(done);
+                    effects.push(AmuEffect::WakeAt { when: done });
+                }
+                None => {
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.state = State::Waiting { token, op };
+                    effects.push(AmuEffect::ReadMemWord { token, addr });
+                }
+            },
+            AmuOp::UncachedWrite {
+                req,
+                requester,
+                addr,
+                value,
+            } => {
+                if let Some(idx) = self.lookup(addr) {
+                    self.cache[idx].value = value;
+                    self.cache[idx].dirty = false;
+                }
+                let done = now + self.op_latency;
+                effects.push(AmuEffect::WriteMemWord { addr, value });
+                effects.push(AmuEffect::ReplyAt {
+                    when: done,
+                    proc: requester,
+                    payload: Payload::UncachedWriteAck { req },
+                });
+                self.state = State::Busy(done);
+                effects.push(AmuEffect::WakeAt { when: done });
+            }
+        }
+    }
+
+    fn should_put(kind: AmoKind, test: Option<Word>, old: Word, new: Word) -> bool {
+        match test {
+            // The delayed update: put only when the result reaches the
+            // test value.
+            Some(t) => new == t,
+            // Without a test, the kind's default applies: amo.inc
+            // accumulates silently, everything else publishes any change
+            // immediately (the paper's amo.fetchadd behaviour).
+            None => kind.eager_put(old, new),
+        }
+    }
+
+    /// A fine-grained get completed: the directory delivered the coherent
+    /// word. Computes the waiting operation and closes the transaction.
+    pub fn fine_value(
+        &mut self,
+        token: u64,
+        addr: Addr,
+        value: Word,
+        now: Cycle,
+        stats: &mut Stats,
+    ) -> Vec<AmuEffect> {
+        let mut effects = Vec::new();
+        let State::Waiting { token: t, op } = self.state else {
+            panic!("fine_value while not waiting");
+        };
+        assert_eq!(t, token, "fine token mismatch");
+        let AmuOp::Amo {
+            req,
+            requester,
+            kind,
+            addr: op_addr,
+            operand,
+            test,
+        } = op
+        else {
+            panic!("fine_value for a non-AMO op");
+        };
+        assert_eq!(addr, op_addr);
+        let idx = self.install(addr, value, stats, &mut effects);
+        let old = value;
+        let new = kind.apply(old, operand);
+        let put = Self::should_put(kind, test, old, new);
+        self.cache[idx].value = new;
+        self.cache[idx].dirty = !put;
+        let done = now + self.op_latency;
+        effects.push(AmuEffect::FineComplete {
+            block: addr.block(self.line_bytes),
+            put: put.then_some((addr, new)),
+        });
+        effects.push(AmuEffect::ReplyAt {
+            when: done,
+            proc: requester,
+            payload: Payload::AmoReply { req, old },
+        });
+        self.state = State::Busy(done);
+        effects.push(AmuEffect::WakeAt { when: done });
+        effects
+    }
+
+    /// An uncached memory read completed (MAO / uncached-read miss path).
+    pub fn mem_value(
+        &mut self,
+        token: u64,
+        value: Word,
+        now: Cycle,
+        stats: &mut Stats,
+    ) -> Vec<AmuEffect> {
+        let mut effects = Vec::new();
+        let State::Waiting { token: t, op } = self.state else {
+            panic!("mem_value while not waiting");
+        };
+        assert_eq!(t, token, "mem token mismatch");
+        let done = now + self.op_latency;
+        match op {
+            AmuOp::Mao {
+                req,
+                requester,
+                kind,
+                addr,
+                operand,
+            } => {
+                let idx = self.install(addr, value, stats, &mut effects);
+                let old = value;
+                let new = kind.apply(old, operand);
+                self.cache[idx].value = new;
+                effects.push(AmuEffect::WriteMemWord { addr, value: new });
+                effects.push(AmuEffect::ReplyAt {
+                    when: done,
+                    proc: requester,
+                    payload: Payload::MaoReply { req, old },
+                });
+            }
+            AmuOp::UncachedRead { req, requester, .. } => {
+                effects.push(AmuEffect::ReplyAt {
+                    when: done,
+                    proc: requester,
+                    payload: Payload::UncachedReadReply { req, value },
+                });
+            }
+            other => panic!("mem_value for unexpected op {other:?}"),
+        }
+        self.state = State::Busy(done);
+        effects.push(AmuEffect::WakeAt { when: done });
+        effects
+    }
+
+    /// The directory granted someone exclusive ownership of `block`: drop
+    /// every cached word of it, returning the dirty ones so the hub can
+    /// write them into home memory before the grant proceeds.
+    pub fn flush_block(&mut self, block: BlockAddr) -> Vec<(Addr, Word)> {
+        let line = self.line_bytes;
+        let mut dirty = Vec::new();
+        self.cache.retain(|e| {
+            if e.addr.block(line) == block {
+                if e.dirty {
+                    dirty.push((e.addr, e.value));
+                }
+                false
+            } else {
+                true
+            }
+        });
+        dirty
+    }
+
+    /// Number of cached words (diagnostics).
+    pub fn cached_words(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Current cached value of `addr`, if present (diagnostics/tests).
+    pub fn peek(&self, addr: Addr) -> Option<Word> {
+        self.cache.iter().find(|e| e.addr == addr).map(|e| e.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amo_types::NodeId;
+
+    const LAT: Cycle = 8; // 2 hub cycles x 4
+
+    fn amu() -> (Amu, Stats) {
+        (Amu::new(8, LAT, 64, 128), Stats::new())
+    }
+
+    fn w(off: u64) -> Addr {
+        Addr::on_node(NodeId(0), 0x1000 + off * 8)
+    }
+
+    fn amo_inc(req: u64, p: u16, addr: Addr, test: Option<Word>) -> AmuOp {
+        AmuOp::Amo {
+            req: ReqId(req),
+            requester: ProcId(p),
+            kind: AmoKind::Inc,
+            addr,
+            operand: 0,
+            test,
+        }
+    }
+
+    #[test]
+    fn miss_then_hits() {
+        let (mut a, mut s) = amu();
+        let (ok, eff) = a.submit(amo_inc(1, 0, w(0), Some(3)), 100, &mut s);
+        assert!(ok);
+        assert_eq!(
+            eff,
+            vec![AmuEffect::FineGet {
+                token: 0,
+                addr: w(0)
+            }]
+        );
+        // Directory returns 0; inc → 1, test=3 not reached: no put.
+        let eff = a.fine_value(0, w(0), 0, 200, &mut s);
+        assert!(eff
+            .iter()
+            .any(|e| matches!(e, AmuEffect::FineComplete { put: None, .. })));
+        assert!(eff.iter().any(|e| matches!(
+            e,
+            AmuEffect::ReplyAt {
+                when: 208,
+                payload: Payload::AmoReply { old: 0, .. },
+                ..
+            }
+        )));
+        assert_eq!(a.peek(w(0)), Some(1));
+        assert_eq!(s.amu_misses, 1);
+
+        // Second op hits (after the WakeAt(208) the hub would deliver).
+        a.advance(208, &mut s);
+        let (_, eff) = a.submit(amo_inc(2, 1, w(0), Some(3)), 300, &mut s);
+        assert!(eff.iter().any(|e| matches!(
+            e,
+            AmuEffect::ReplyAt {
+                when: 308,
+                payload: Payload::AmoReply { old: 1, .. },
+                ..
+            }
+        )));
+        assert_eq!(s.amu_hits, 1);
+        assert_eq!(a.peek(w(0)), Some(2));
+    }
+
+    #[test]
+    fn test_value_triggers_put_exactly_at_target() {
+        let (mut a, mut s) = amu();
+        a.submit(amo_inc(1, 0, w(0), Some(3)), 0, &mut s);
+        a.fine_value(0, w(0), 0, 10, &mut s); // -> 1
+        a.advance(18, &mut s);
+        let (_, eff) = a.submit(amo_inc(2, 1, w(0), Some(3)), 20, &mut s); // -> 2
+        assert!(!eff.iter().any(|e| matches!(e, AmuEffect::FinePut { .. })));
+        a.advance(28, &mut s);
+        let (_, eff) = a.submit(amo_inc(3, 2, w(0), Some(3)), 30, &mut s); // -> 3: put!
+        assert!(eff.contains(&AmuEffect::FinePut {
+            addr: w(0),
+            value: 3
+        }));
+        assert_eq!(a.peek(w(0)), Some(3));
+    }
+
+    #[test]
+    fn fetchadd_without_test_puts_every_time() {
+        let (mut a, mut s) = amu();
+        let op = AmuOp::Amo {
+            req: ReqId(1),
+            requester: ProcId(0),
+            kind: AmoKind::FetchAdd,
+            addr: w(1),
+            operand: 5,
+            test: None,
+        };
+        a.submit(op, 0, &mut s);
+        let eff = a.fine_value(0, w(1), 10, 50, &mut s);
+        assert!(eff.iter().any(|e| matches!(
+            e,
+            AmuEffect::FineComplete {
+                put: Some((_, 15)),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn queue_serializes_ops() {
+        let (mut a, mut s) = amu();
+        // Prime the cache.
+        a.submit(amo_inc(1, 0, w(0), None), 0, &mut s);
+        a.fine_value(0, w(0), 0, 10, &mut s); // busy until 18
+                                              // Two more arrive while busy: queued.
+        let (_, eff) = a.submit(amo_inc(2, 1, w(0), None), 12, &mut s);
+        assert!(eff.is_empty());
+        let (_, eff) = a.submit(amo_inc(3, 2, w(0), None), 13, &mut s);
+        assert!(eff.is_empty());
+        // Wake at 18: op 2 computes 18..26.
+        let eff = a.advance(18, &mut s);
+        assert!(eff.iter().any(|e| matches!(
+            e,
+            AmuEffect::ReplyAt {
+                when: 26,
+                payload: Payload::AmoReply { old: 1, .. },
+                ..
+            }
+        )));
+        let eff = a.advance(26, &mut s);
+        assert!(eff.iter().any(|e| matches!(
+            e,
+            AmuEffect::ReplyAt {
+                when: 34,
+                payload: Payload::AmoReply { old: 2, .. },
+                ..
+            }
+        )));
+        assert_eq!(a.peek(w(0)), Some(3));
+    }
+
+    #[test]
+    fn mao_writes_through_without_puts() {
+        let (mut a, mut s) = amu();
+        let op = AmuOp::Mao {
+            req: ReqId(1),
+            requester: ProcId(0),
+            kind: AmoKind::FetchAdd,
+            addr: w(2),
+            operand: 1,
+        };
+        let (_, eff) = a.submit(op, 0, &mut s);
+        assert_eq!(
+            eff,
+            vec![AmuEffect::ReadMemWord {
+                token: 0,
+                addr: w(2)
+            }]
+        );
+        let eff = a.mem_value(0, 7, 20, &mut s);
+        assert!(eff.contains(&AmuEffect::WriteMemWord {
+            addr: w(2),
+            value: 8
+        }));
+        assert!(eff.iter().any(|e| matches!(
+            e,
+            AmuEffect::ReplyAt {
+                payload: Payload::MaoReply { old: 7, .. },
+                ..
+            }
+        )));
+        assert!(!eff.iter().any(|e| matches!(
+            e,
+            AmuEffect::FinePut { .. } | AmuEffect::FineComplete { .. }
+        )));
+        assert_eq!(s.mao_ops, 1);
+    }
+
+    #[test]
+    fn uncached_read_does_not_allocate() {
+        let (mut a, mut s) = amu();
+        let op = AmuOp::UncachedRead {
+            req: ReqId(1),
+            requester: ProcId(0),
+            addr: w(3),
+        };
+        let (_, eff) = a.submit(op, 0, &mut s);
+        assert_eq!(
+            eff,
+            vec![AmuEffect::ReadMemWord {
+                token: 0,
+                addr: w(3)
+            }]
+        );
+        let eff = a.mem_value(0, 42, 10, &mut s);
+        assert!(eff.iter().any(|e| matches!(
+            e,
+            AmuEffect::ReplyAt {
+                payload: Payload::UncachedReadReply { value: 42, .. },
+                ..
+            }
+        )));
+        assert_eq!(a.cached_words(), 0);
+    }
+
+    #[test]
+    fn uncached_read_hits_amu_cache() {
+        let (mut a, mut s) = amu();
+        // MAO allocates the word.
+        a.submit(
+            AmuOp::Mao {
+                req: ReqId(1),
+                requester: ProcId(0),
+                kind: AmoKind::Inc,
+                addr: w(4),
+                operand: 0,
+            },
+            0,
+            &mut s,
+        );
+        a.mem_value(0, 0, 10, &mut s); // value now 1
+        a.advance(18, &mut s);
+        let (_, eff) = a.submit(
+            AmuOp::UncachedRead {
+                req: ReqId(2),
+                requester: ProcId(1),
+                addr: w(4),
+            },
+            20,
+            &mut s,
+        );
+        assert!(eff.iter().any(|e| matches!(
+            e,
+            AmuEffect::ReplyAt {
+                payload: Payload::UncachedReadReply { value: 1, .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn flush_returns_dirty_words_and_drops_block() {
+        let (mut a, mut s) = amu();
+        a.submit(amo_inc(1, 0, w(0), None), 0, &mut s);
+        a.fine_value(0, w(0), 5, 10, &mut s); // 6, dirty (no test)
+        let flushed = a.flush_block(w(0).block(128));
+        assert_eq!(flushed, vec![(w(0), 6)]);
+        assert_eq!(a.cached_words(), 0);
+        // Clean words flush silently.
+        a.advance(18, &mut s);
+        a.submit(
+            AmuOp::Amo {
+                req: ReqId(2),
+                requester: ProcId(0),
+                kind: AmoKind::FetchAdd,
+                addr: w(1),
+                operand: 1,
+                test: None,
+            },
+            20,
+            &mut s,
+        );
+        a.fine_value(1, w(1), 0, 30, &mut s); // put issued → clean
+        let flushed = a.flush_block(w(1).block(128));
+        assert!(flushed.is_empty());
+    }
+
+    #[test]
+    fn eviction_of_dirty_word_forces_put() {
+        let (mut a, mut s) = amu();
+        let mut t = 0u64;
+        // Fill all 8 slots with dirty words (inc without test).
+        for i in 0..8u64 {
+            // Each word in a different block so flushes don't interfere.
+            let addr = Addr::on_node(NodeId(0), 0x10000 + i * 256);
+            a.submit(amo_inc(i, 0, addr, None), t, &mut s);
+            let eff = a.fine_value(i, addr, 0, t + 10, &mut s);
+            assert!(!eff.iter().any(|e| matches!(e, AmuEffect::FinePut { .. })));
+            t += 100;
+            a.advance(t, &mut s);
+        }
+        assert_eq!(a.cached_words(), 8);
+        // A ninth word evicts the LRU (the first).
+        let ninth = Addr::on_node(NodeId(0), 0x20000);
+        a.submit(amo_inc(99, 0, ninth, None), t, &mut s);
+        let eff = a.fine_value(8, ninth, 0, t + 10, &mut s);
+        let first = Addr::on_node(NodeId(0), 0x10000);
+        assert!(eff.contains(&AmuEffect::FinePut {
+            addr: first,
+            value: 1
+        }));
+        assert_eq!(s.amu_evictions, 1);
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let mut s = Stats::new();
+        let mut a = Amu::new(8, LAT, 2, 128);
+        // First submit starts immediately (queue drains), then fill.
+        a.submit(amo_inc(1, 0, w(0), None), 0, &mut s); // waiting on fine get
+        assert!(a.submit(amo_inc(2, 0, w(0), None), 0, &mut s).0);
+        assert!(a.submit(amo_inc(3, 0, w(0), None), 0, &mut s).0);
+        assert!(
+            !a.submit(amo_inc(4, 0, w(0), None), 0, &mut s).0,
+            "queue full"
+        );
+    }
+}

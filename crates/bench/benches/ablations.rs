@@ -1,0 +1,278 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! * AMU cache size (1 / 8 / 64 words; the paper assumes 8);
+//! * delayed (test-value) put vs an update pushed after every increment;
+//! * naive vs spin-variable barrier coding for the conventional baseline;
+//! * network hop latency 50/100/200 cycles;
+//! * active-message invocation overhead;
+//! * tree branching factor.
+//!
+//! Each group prints its measured cycle counts once (the interesting
+//! output) and lets Criterion time one representative member.
+
+use amo_sync::{BarrierStyle, Mechanism};
+use amo_types::SystemConfig;
+use amo_workloads::{run_barrier, BarrierBench};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const PROCS: u16 = 32;
+
+fn base(mech: Mechanism) -> BarrierBench {
+    BarrierBench {
+        episodes: 6,
+        warmup: 2,
+        ..BarrierBench::paper(mech, PROCS)
+    }
+}
+
+fn amu_cache_size(c: &mut Criterion) {
+    eprintln!("== ablation: AMU cache size (AMO barrier, {PROCS} CPUs) ==");
+    for words in [1usize, 8, 64] {
+        let mut cfg = SystemConfig::with_procs(PROCS);
+        cfg.amu.cache_words = words;
+        let r = run_barrier(BarrierBench {
+            config: Some(cfg),
+            ..base(Mechanism::Amo)
+        });
+        eprintln!(
+            "  {words:>2} words: {:8.0} cycles/episode ({} amu hits, {} misses, {} evictions)",
+            r.timing.avg_cycles, r.stats.amu_hits, r.stats.amu_misses, r.stats.amu_evictions
+        );
+    }
+    c.bench_function("ablation_amu_cache_8w", |b| {
+        b.iter(|| {
+            black_box(run_barrier(base(Mechanism::Amo)))
+                .timing
+                .avg_cycles
+        })
+    });
+}
+
+fn delayed_vs_eager_updates(c: &mut Criterion) {
+    eprintln!("== ablation: delayed put (test value) vs eager per-increment updates ==");
+    for (name, style) in [
+        ("delayed (paper)", BarrierStyle::Naive),
+        ("eager per-increment", BarrierStyle::EagerUpdates),
+    ] {
+        let r = run_barrier(BarrierBench {
+            style: Some(style),
+            ..base(Mechanism::Amo)
+        });
+        eprintln!(
+            "  {name:>20}: {:8.0} cycles/episode, {} puts, {} word updates",
+            r.timing.avg_cycles, r.stats.puts, r.stats.word_updates_sent
+        );
+    }
+    c.bench_function("ablation_delayed_put", |b| {
+        b.iter(|| {
+            black_box(run_barrier(BarrierBench {
+                style: Some(BarrierStyle::Naive),
+                ..base(Mechanism::Amo)
+            }))
+            .timing
+            .avg_cycles
+        })
+    });
+}
+
+fn naive_vs_spin_variable(c: &mut Criterion) {
+    eprintln!("== ablation: naive vs spin-variable coding (LL/SC barrier) ==");
+    for (name, style) in [
+        ("naive (Fig 3a)", BarrierStyle::Naive),
+        ("spin variable (Fig 3b)", BarrierStyle::SpinVariable),
+    ] {
+        let r = run_barrier(BarrierBench {
+            style: Some(style),
+            ..base(Mechanism::LlSc)
+        });
+        eprintln!(
+            "  {name:>22}: {:8.0} cycles/episode, {} spin reloads, {} SC failures",
+            r.timing.avg_cycles, r.stats.spin_reloads, r.stats.sc_failures
+        );
+    }
+    c.bench_function("ablation_spin_variable", |b| {
+        b.iter(|| {
+            black_box(run_barrier(BarrierBench {
+                style: Some(BarrierStyle::SpinVariable),
+                ..base(Mechanism::LlSc)
+            }))
+            .timing
+            .avg_cycles
+        })
+    });
+}
+
+fn hop_latency(c: &mut Criterion) {
+    eprintln!("== ablation: network hop latency (LL/SC vs AMO barrier) ==");
+    for hop in [50u64, 100, 200] {
+        let mut cfg = SystemConfig::with_procs(PROCS);
+        cfg.network.hop_latency = hop;
+        let llsc = run_barrier(BarrierBench {
+            config: Some(cfg),
+            ..base(Mechanism::LlSc)
+        });
+        let amo = run_barrier(BarrierBench {
+            config: Some(cfg),
+            ..base(Mechanism::Amo)
+        });
+        eprintln!(
+            "  hop={hop:>3}: LL/SC {:8.0}, AMO {:7.0}, speedup {:5.1}x",
+            llsc.timing.avg_cycles,
+            amo.timing.avg_cycles,
+            llsc.timing.avg_cycles / amo.timing.avg_cycles
+        );
+    }
+    c.bench_function("ablation_hop_latency_100", |b| {
+        b.iter(|| {
+            black_box(run_barrier(base(Mechanism::LlSc)))
+                .timing
+                .avg_cycles
+        })
+    });
+}
+
+fn actmsg_invoke_overhead(c: &mut Criterion) {
+    eprintln!("== ablation: active-message invocation overhead ==");
+    for invoke in [100u64, 350, 1000] {
+        let mut cfg = SystemConfig::with_procs(PROCS);
+        cfg.actmsg.invoke_cycles = invoke;
+        let r = run_barrier(BarrierBench {
+            config: Some(cfg),
+            ..base(Mechanism::ActMsg)
+        });
+        eprintln!(
+            "  invoke={invoke:>4}: {:8.0} cycles/episode",
+            r.timing.avg_cycles
+        );
+    }
+    c.bench_function("ablation_actmsg_invoke_350", |b| {
+        b.iter(|| {
+            black_box(run_barrier(base(Mechanism::ActMsg)))
+                .timing
+                .avg_cycles
+        })
+    });
+}
+
+fn tree_branching(c: &mut Criterion) {
+    eprintln!("== ablation: tree branching factor (LL/SC tree barrier, {PROCS} CPUs) ==");
+    for branching in [2u16, 4, 8, 16] {
+        let r = run_barrier(base(Mechanism::LlSc).with_tree(branching));
+        eprintln!(
+            "  b={branching:>2}: {:8.0} cycles/episode",
+            r.timing.avg_cycles
+        );
+    }
+    c.bench_function("ablation_tree_b8", |b| {
+        b.iter(|| {
+            black_box(run_barrier(base(Mechanism::LlSc).with_tree(8)))
+                .timing
+                .avg_cycles
+        })
+    });
+}
+
+/// The single-variable cache-size ablation is flat (one hot word); the
+/// paper's claim is that "an N-word AMU cache allows N outstanding
+/// synchronization operations". Pressure-test it: 16 independent
+/// 2-processor barriers, all homed on node 0, against AMU caches of
+/// 2/8/16/64 words.
+fn amu_cache_pressure(c: &mut Criterion) {
+    use amo_sim::Machine;
+    use amo_sync::{BarrierKernel, BarrierSpec, VarAlloc};
+    use amo_types::{NodeId, ProcId};
+
+    eprintln!("== ablation: AMU cache pressure (16 concurrent 2-CPU AMO barriers) ==");
+    let run = |cache_words: usize| {
+        let mut cfg = SystemConfig::with_procs(32);
+        cfg.amu.cache_words = cache_words;
+        let mut machine = Machine::new(cfg);
+        let mut alloc = VarAlloc::new();
+        let episodes = 8;
+        for g in 0..16u16 {
+            // All counters share node 0's AMU — the hot-spot scenario.
+            let spec = BarrierSpec::build(&mut alloc, Mechanism::Amo, NodeId(0), 2, episodes);
+            for i in 0..2u16 {
+                let p = g * 2 + i;
+                let work: Vec<u64> = (0..episodes)
+                    .map(|e| 100 + (p as u64 * 29 + e as u64 * 11) % 500)
+                    .collect();
+                // Each group's kernel believes only 2 participants exist —
+                // install with a per-group spec so counters are disjoint.
+                machine.install_kernel(ProcId(p), Box::new(BarrierKernel::new(spec, work)), 0);
+            }
+        }
+        let res = machine.run(10_000_000_000);
+        assert!(res.all_finished);
+        let s = machine.stats();
+        (res.last_finish(), s.amu_hits, s.amu_misses, s.amu_evictions)
+    };
+    for words in [2usize, 8, 16, 64] {
+        let (t, h, m, e) = run(words);
+        eprintln!("  {words:>2} words: finish {t:>8} cycles ({h} hits, {m} misses, {e} evictions)");
+    }
+    c.bench_function("ablation_amu_pressure_8w", |b| b.iter(|| black_box(run(8))));
+}
+
+/// Router-contention sensitivity: does modelling per-link queueing in
+/// the fabric core change the barrier story, or is the home node the
+/// only hot spot (as the paper's analysis assumes)?
+fn router_contention(c: &mut Criterion) {
+    eprintln!("== ablation: fabric router contention (64 CPUs) ==");
+    for (name, on) in [("endpoint-only", false), ("per-link", true)] {
+        let mut cfg = SystemConfig::with_procs(64);
+        cfg.network.model_router_contention = on;
+        let llsc = run_barrier(BarrierBench {
+            config: Some(cfg),
+            ..BarrierBench {
+                episodes: 6,
+                warmup: 2,
+                ..BarrierBench::paper(Mechanism::LlSc, 64)
+            }
+        });
+        let amo = run_barrier(BarrierBench {
+            config: Some(cfg),
+            ..BarrierBench {
+                episodes: 6,
+                warmup: 2,
+                ..BarrierBench::paper(Mechanism::Amo, 64)
+            }
+        });
+        eprintln!(
+            "  {name:>13}: LL/SC {:8.0}, AMO {:7.0}, speedup {:5.1}x",
+            llsc.timing.avg_cycles,
+            amo.timing.avg_cycles,
+            llsc.timing.avg_cycles / amo.timing.avg_cycles
+        );
+    }
+    c.bench_function("ablation_router_contention", |b| {
+        let mut cfg = SystemConfig::with_procs(64);
+        cfg.network.model_router_contention = true;
+        b.iter(|| {
+            black_box(run_barrier(BarrierBench {
+                config: Some(cfg),
+                ..BarrierBench {
+                    episodes: 4,
+                    warmup: 1,
+                    ..BarrierBench::paper(Mechanism::LlSc, 64)
+                }
+            }))
+            .timing
+            .avg_cycles
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    amu_cache_size,
+    amu_cache_pressure,
+    router_contention,
+    delayed_vs_eager_updates,
+    naive_vs_spin_variable,
+    hop_latency,
+    actmsg_invoke_overhead,
+    tree_branching
+);
+criterion_main!(benches);

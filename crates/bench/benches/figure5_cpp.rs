@@ -1,0 +1,37 @@
+//! Figure 5 — cycles-per-processor of centralized barriers across
+//! machine sizes (the scaling series behind Table 2).
+//!
+//! Criterion benchmarks the LL/SC and AMO barriers at three sizes.
+//! Full series: `cargo run --release -p amo-bench --bin tables -- figure5`.
+
+use amo_sync::Mechanism;
+use amo_workloads::{run_barrier, BarrierBench};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure5_cycles_per_proc");
+    g.sample_size(10);
+    for procs in [8u16, 32, 64] {
+        for mech in [Mechanism::LlSc, Mechanism::Amo] {
+            g.bench_with_input(
+                BenchmarkId::new(mech.label(), procs),
+                &procs,
+                |b, &procs| {
+                    b.iter(|| {
+                        let r = run_barrier(black_box(BarrierBench {
+                            episodes: 4,
+                            warmup: 1,
+                            ..BarrierBench::paper(mech, procs)
+                        }));
+                        black_box(r.timing.cycles_per_proc)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

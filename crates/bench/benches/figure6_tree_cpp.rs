@@ -1,0 +1,41 @@
+//! Figure 6 — cycles-per-processor of tree barriers across machine
+//! sizes.
+//!
+//! Criterion benchmarks the LL/SC+tree and AMO+tree barriers at two
+//! sizes. Full series:
+//! `cargo run --release -p amo-bench --bin tables -- figure6`.
+
+use amo_sync::Mechanism;
+use amo_workloads::{run_barrier, BarrierBench};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure6_tree_cycles_per_proc");
+    g.sample_size(10);
+    for procs in [16u16, 64] {
+        for mech in [Mechanism::LlSc, Mechanism::Amo] {
+            g.bench_with_input(
+                BenchmarkId::new(mech.label(), procs),
+                &procs,
+                |b, &procs| {
+                    b.iter(|| {
+                        let r = run_barrier(black_box(
+                            BarrierBench {
+                                episodes: 4,
+                                warmup: 1,
+                                ..BarrierBench::paper(mech, procs)
+                            }
+                            .with_tree(4),
+                        ));
+                        black_box(r.timing.cycles_per_proc)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

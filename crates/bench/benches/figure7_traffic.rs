@@ -1,0 +1,38 @@
+//! Figure 7 — network traffic of ticket locks.
+//!
+//! Criterion benchmarks the traffic-accounted ticket-lock run at 32
+//! processors per mechanism; the byte counts of interest are printed
+//! once per mechanism before timing. Full series:
+//! `cargo run --release -p amo-bench --bin tables -- figure7`.
+
+use amo_sync::Mechanism;
+use amo_workloads::{run_lock, LockBench, LockKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure7_ticket_traffic_32cpu");
+    g.sample_size(10);
+    for mech in Mechanism::ALL {
+        let bytes = run_lock(LockBench {
+            rounds: 4,
+            ..LockBench::paper(mech, LockKind::Ticket, 32)
+        })
+        .stats
+        .total_bytes();
+        eprintln!("figure7[32cpu] {}: {} bytes", mech.label(), bytes);
+        g.bench_function(mech.label(), |b| {
+            b.iter(|| {
+                let r = run_lock(black_box(LockBench {
+                    rounds: 4,
+                    ..LockBench::paper(mech, LockKind::Ticket, 32)
+                }));
+                black_box(r.stats.total_bytes())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Simulator performance: how many machine events per wall-clock second
+//! the discrete-event core dispatches. Not a paper artefact — a
+//! regression guard for the simulator itself (the whole paper-size
+//! table sweep should stay in the tens of seconds).
+
+use amo_sync::Mechanism;
+use amo_workloads::{run_barrier, BarrierBench};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Measure event counts once so Criterion can report elements/sec.
+    let events_of = |mech, procs| {
+        use amo_sim::Machine;
+        use amo_sync::{BarrierKernel, BarrierSpec, VarAlloc};
+        use amo_types::{NodeId, ProcId, SystemConfig};
+        let mut m = Machine::new(SystemConfig::with_procs(procs));
+        let mut alloc = VarAlloc::new();
+        let spec = BarrierSpec::build(&mut alloc, mech, NodeId(0), procs, 5);
+        for p in 0..procs {
+            let work = vec![200; 5];
+            m.install_kernel(ProcId(p), Box::new(BarrierKernel::new(spec, work)), 0);
+        }
+        let res = m.run(10_000_000_000);
+        assert!(res.all_finished);
+        res.events
+    };
+
+    let mut g = c.benchmark_group("sim_throughput");
+    for (mech, procs) in [(Mechanism::LlSc, 64u16), (Mechanism::Amo, 256)] {
+        let events = events_of(mech, procs);
+        g.throughput(Throughput::Elements(events));
+        g.bench_function(format!("{}_{}cpu_events", mech.label(), procs), |b| {
+            b.iter(|| {
+                black_box(run_barrier(BarrierBench {
+                    episodes: 5,
+                    warmup: 1,
+                    max_skew: 1,
+                    ..BarrierBench::paper(mech, procs)
+                }))
+                .timing
+                .avg_cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

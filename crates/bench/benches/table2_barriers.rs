@@ -1,0 +1,31 @@
+//! Table 2 — centralized barriers: speedups over LL/SC.
+//!
+//! Criterion benchmarks one representative configuration per mechanism
+//! (16 processors). To regenerate the full paper table, run
+//! `cargo run --release -p amo-bench --bin tables -- table2`.
+
+use amo_sync::Mechanism;
+use amo_workloads::{run_barrier, BarrierBench};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_barriers_16cpu");
+    g.sample_size(10);
+    for mech in Mechanism::ALL {
+        g.bench_function(mech.label(), |b| {
+            b.iter(|| {
+                let r = run_barrier(black_box(BarrierBench {
+                    episodes: 5,
+                    warmup: 1,
+                    ..BarrierBench::paper(mech, 16)
+                }));
+                black_box(r.timing.avg_cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table 3 — two-level combining-tree barriers.
+//!
+//! Criterion benchmarks the tree barrier at 32 processors per mechanism.
+//! Full table: `cargo run --release -p amo-bench --bin tables -- table3`.
+
+use amo_sync::Mechanism;
+use amo_workloads::{run_barrier, BarrierBench};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_tree_barriers_32cpu");
+    g.sample_size(10);
+    for mech in Mechanism::ALL {
+        g.bench_function(mech.label(), |b| {
+            b.iter(|| {
+                let r = run_barrier(black_box(
+                    BarrierBench {
+                        episodes: 5,
+                        warmup: 1,
+                        ..BarrierBench::paper(mech, 32)
+                    }
+                    .with_tree(8),
+                ));
+                black_box(r.timing.avg_cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

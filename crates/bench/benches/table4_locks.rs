@@ -1,0 +1,32 @@
+//! Table 4 — ticket and array locks.
+//!
+//! Criterion benchmarks both lock kinds at 16 processors per mechanism.
+//! Full table: `cargo run --release -p amo-bench --bin tables -- table4`.
+
+use amo_sync::Mechanism;
+use amo_workloads::{run_lock, LockBench, LockKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_locks_16cpu");
+    g.sample_size(10);
+    for kind in [LockKind::Ticket, LockKind::Array] {
+        for mech in Mechanism::ALL {
+            let name = format!("{}_{:?}", mech.label(), kind);
+            g.bench_function(&name, |b| {
+                b.iter(|| {
+                    let r = run_lock(black_box(LockBench {
+                        rounds: 4,
+                        ..LockBench::paper(mech, kind, 16)
+                    }));
+                    black_box(r.timing.total_cycles)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

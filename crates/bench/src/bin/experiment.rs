@@ -1,0 +1,210 @@
+//! Run a single custom experiment from the command line.
+//!
+//! ```sh
+//! # a 64-CPU AMO barrier through an 8-ary tree:
+//! cargo run --release -p amo-bench --bin experiment -- \
+//!     barrier --mech amo --procs 64 --episodes 10 --algo tree:8
+//!
+//! # a 32-CPU LL/SC ticket-lock benchmark, CSV output:
+//! cargo run --release -p amo-bench --bin experiment -- \
+//!     lock --mech llsc --kind ticket --procs 32 --rounds 8 --csv
+//! ```
+//!
+//! Exits nonzero with a usage message on malformed arguments.
+
+use amo_sync::Mechanism;
+use amo_types::stats::{OpClass, OP_CLASSES};
+use amo_workloads::{run_barrier, run_lock, BarrierAlgo, BarrierBench, LockBench, LockKind};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiment barrier --mech <llsc|atomic|actmsg|mao|amo> --procs N \\\n\
+         \x20          [--episodes N] [--warmup N] [--algo central|tree:B|ktree:B|dissem] \\\n\
+         \x20          [--skew CYC] [--seed N] [--csv]\n\
+         \x20      experiment lock --mech <...> --kind <ticket|array|mcs> --procs N \\\n\
+         \x20          [--rounds N] [--cs CYC] [--think CYC] [--seed N] [--csv]"
+    );
+    exit(2);
+}
+
+use amo_bench::cli::Args;
+
+/// Numeric flag with usage-exit on parse failure.
+fn num<T: std::str::FromStr>(args: &Args, name: &str, default: T) -> T {
+    args.num(name, default).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage();
+    })
+}
+
+/// Required numeric flag with usage-exit when absent or malformed.
+fn required_num<T: std::str::FromStr>(args: &Args, name: &str) -> T {
+    match args.get(name) {
+        None => {
+            eprintln!("--{name} is required");
+            usage();
+        }
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--{name}: cannot parse '{v}'");
+            usage();
+        }),
+    }
+}
+
+fn parse_mech(s: &str) -> Mechanism {
+    match s.to_ascii_lowercase().as_str() {
+        "llsc" | "ll/sc" => Mechanism::LlSc,
+        "atomic" => Mechanism::Atomic,
+        "actmsg" => Mechanism::ActMsg,
+        "mao" => Mechanism::Mao,
+        "amo" => Mechanism::Amo,
+        other => {
+            eprintln!("unknown mechanism '{other}'");
+            usage();
+        }
+    }
+}
+
+fn parse_algo(s: &str) -> BarrierAlgo {
+    if s == "central" {
+        return BarrierAlgo::Central;
+    }
+    if s == "dissem" || s == "dissemination" {
+        return BarrierAlgo::Dissemination;
+    }
+    if let Some(b) = s.strip_prefix("tree:") {
+        return BarrierAlgo::Tree(b.parse().unwrap_or_else(|_| usage()));
+    }
+    if let Some(b) = s.strip_prefix("ktree:") {
+        return BarrierAlgo::KTree(b.parse().unwrap_or_else(|_| usage()));
+    }
+    eprintln!("unknown algorithm '{s}'");
+    usage();
+}
+
+fn print_latencies(stats: &amo_types::Stats) {
+    const ALL: [OpClass; OP_CLASSES] = [
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Atomic,
+        OpClass::Amo,
+        OpClass::Mao,
+        OpClass::ActMsg,
+        OpClass::Spin,
+    ];
+    let mut line = String::from("mean op latency:");
+    for c in ALL {
+        if let Some(l) = stats.mean_op_latency(c) {
+            line.push_str(&format!(" {}={:.0}cy", c.label(), l));
+        }
+    }
+    println!("{line}");
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        usage()
+    };
+    let args = Args::parse(rest);
+    if let Some(e) = args.errors.first() {
+        eprintln!("unexpected argument: {e}");
+        usage();
+    }
+    let mech = parse_mech(args.get("mech").unwrap_or_else(|| usage()));
+    let procs: u16 = required_num(&args, "procs");
+    let csv = args.has("csv");
+
+    match cmd.as_str() {
+        "barrier" => {
+            let bench = BarrierBench {
+                mech,
+                procs,
+                episodes: num(&args, "episodes", 10),
+                warmup: num(&args, "warmup", 2),
+                algo: args.get("algo").map_or(BarrierAlgo::Central, parse_algo),
+                style: None,
+                max_skew: num(&args, "skew", 800),
+                seed: num(&args, "seed", 0xA40_5EEDu64),
+                config: None,
+            };
+            let r = run_barrier(bench);
+            if csv {
+                println!("kind,mech,procs,algo,avg_cycles,cycles_per_proc,msgs,bytes",);
+                println!(
+                    "barrier,{},{},{:?},{:.1},{:.2},{},{}",
+                    mech.label(),
+                    procs,
+                    bench.algo,
+                    r.timing.avg_cycles,
+                    r.timing.cycles_per_proc,
+                    r.stats.total_msgs(),
+                    r.stats.total_bytes(),
+                );
+            } else {
+                println!(
+                    "{} barrier, {procs} CPUs, {:?}: {:.0} cycles/episode \
+                     ({:.1} cycles/processor)",
+                    mech.label(),
+                    bench.algo,
+                    r.timing.avg_cycles,
+                    r.timing.cycles_per_proc
+                );
+                println!("{}", r.stats);
+                print_latencies(&r.stats);
+            }
+        }
+        "lock" => {
+            let kind = match args.get("kind").unwrap_or_else(|| usage()) {
+                "ticket" => LockKind::Ticket,
+                "array" => LockKind::Array,
+                "mcs" => LockKind::Mcs,
+                other => {
+                    eprintln!("unknown lock kind '{other}'");
+                    usage();
+                }
+            };
+            let bench = LockBench {
+                mech,
+                kind,
+                procs,
+                rounds: num(&args, "rounds", 8),
+                cs_cycles: num(&args, "cs", 250),
+                max_think: num(&args, "think", 1000),
+                seed: num(&args, "seed", 0x10C_5EEDu64),
+                check_exclusion: true,
+                config: None,
+            };
+            let r = run_lock(bench);
+            if csv {
+                println!("kind,mech,lock,procs,total_cycles,cycles_per_acq,msgs,bytes");
+                println!(
+                    "lock,{},{:?},{},{},{:.1},{},{}",
+                    mech.label(),
+                    kind,
+                    procs,
+                    r.timing.total_cycles,
+                    r.timing.cycles_per_acquisition,
+                    r.stats.total_msgs(),
+                    r.stats.total_bytes(),
+                );
+            } else {
+                println!(
+                    "{} {:?} lock, {procs} CPUs: {} cycles total \
+                     ({:.0} cycles/acquisition, 0 exclusion violations)",
+                    mech.label(),
+                    kind,
+                    r.timing.total_cycles,
+                    r.timing.cycles_per_acquisition
+                );
+                println!("{}", r.stats);
+                print_latencies(&r.stats);
+            }
+        }
+        other => {
+            eprintln!("unknown command '{other}'");
+            usage();
+        }
+    }
+}

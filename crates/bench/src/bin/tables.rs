@@ -1,0 +1,136 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```sh
+//! cargo run --release -p amo-bench --bin tables            # everything, paper sizes
+//! cargo run --release -p amo-bench --bin tables -- table2  # one artefact
+//! cargo run --release -p amo-bench --bin tables -- --quick # smoke sizes
+//! ```
+
+use amo_bench::Profile;
+use amo_workloads::render;
+use amo_workloads::tables;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let profile = if quick {
+        Profile::quick()
+    } else {
+        Profile::paper()
+    };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let want = |name: &str| wanted.is_empty() || wanted.iter().any(|w| *w == name || *w == "all");
+
+    let t0 = Instant::now();
+
+    if want("table2") || want("figure5") {
+        let rows = tables::table2(&profile.sizes, profile.episodes, profile.warmup);
+        if csv {
+            print!("{}", render::csv_table2(&rows));
+        } else {
+            if want("table2") {
+                println!("{}", render::render_table2(&rows));
+            }
+            if want("figure5") {
+                println!("{}", render::render_figure5(&rows));
+            }
+        }
+    }
+
+    if want("table3") || want("figure6") {
+        let rows = tables::table3(&profile.tree_sizes, profile.episodes, profile.warmup);
+        if csv {
+            print!("{}", render::csv_table3(&rows));
+        } else {
+            if want("table3") {
+                println!("{}", render::render_table3(&rows));
+            }
+            if want("figure6") {
+                println!("{}", render::render_figure6(&rows));
+            }
+        }
+    }
+
+    if want("table4") {
+        let rows = tables::table4(&profile.sizes, profile.rounds);
+        if csv {
+            print!("{}", render::csv_table4(&rows));
+        } else {
+            println!("{}", render::render_table4(&rows));
+        }
+    }
+
+    if want("figure7") {
+        let rows = tables::figure7(&profile.traffic_sizes, profile.rounds);
+        if csv {
+            print!("{}", render::csv_figure7(&rows));
+        } else {
+            println!("{}", render::render_figure7(&rows));
+        }
+    }
+
+    if want("ext-locks") {
+        let rows = tables::ext_locks(&profile.sizes, profile.rounds);
+        println!("{}", render::render_ext_locks(&rows));
+    }
+
+    if want("ext-barriers") {
+        let rows = tables::ext_barriers(&profile.tree_sizes, profile.episodes, profile.warmup);
+        println!("{}", render::render_ext_barriers(&rows));
+    }
+
+    if want("ext-ktree") {
+        let sizes: Vec<u16> = profile
+            .tree_sizes
+            .iter()
+            .copied()
+            .filter(|&s| s >= 16)
+            .collect();
+        let rows = tables::ext_ktree(&sizes, profile.episodes, profile.warmup);
+        println!("{}", render::render_ext_ktree(&rows));
+    }
+
+    if want("ext-app") {
+        let procs = *profile.sizes.last().unwrap_or(&16).min(&64);
+        let rows = amo_workloads::app::sync_tax(procs, &[1_000, 10_000, 100_000], 8, 2);
+        println!("{}", render::render_sync_tax(procs, &rows));
+    }
+
+    if want("ext-cs") {
+        let procs = *profile.sizes.last().unwrap_or(&16).min(&32);
+        let rows =
+            amo_workloads::app::cs_sensitivity(procs, &[0, 250, 1_000, 5_000], profile.rounds);
+        println!("{}", render::render_cs_sensitivity(procs, &rows));
+    }
+
+    if want("ext-signal") {
+        let pairs = 8u16;
+        let results: Vec<_> = amo_sync::Mechanism::ALL
+            .iter()
+            .map(|&mech| amo_workloads::app::signal_latency(mech, pairs, profile.rounds))
+            .collect();
+        println!("{}", render::render_signal(pairs, &results));
+    }
+
+    if want("ext-selfsched") {
+        let procs = *profile.sizes.last().unwrap_or(&16).min(&64);
+        let tasks = 256;
+        let rows = amo_workloads::app::self_scheduling(procs, tasks, &[50, 500, 5_000]);
+        println!("{}", render::render_self_sched(procs, tasks, &rows));
+    }
+
+    if want("figure1") {
+        let (llsc, amo) = tables::figure1();
+        println!("Figure 1 census (4 CPUs, one warm episode):");
+        println!("  LL/SC barrier: ~{llsc} one-way messages");
+        println!("  AMO barrier:   ~{amo} one-way messages\n");
+    }
+
+    eprintln!("(regenerated in {:.1?})", t0.elapsed());
+}

@@ -1,0 +1,158 @@
+//! Shared configuration for the benchmark harness: the paper-scale and
+//! quick-scale experiment profiles used by both the `tables` binary and
+//! the Criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Parameters of one regeneration pass.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    /// Processor counts for Tables 2/4 and Figure 5.
+    pub sizes: Vec<u16>,
+    /// Processor counts for Table 3 / Figure 6 (tree barriers).
+    pub tree_sizes: Vec<u16>,
+    /// Processor counts for Figure 7 (lock traffic).
+    pub traffic_sizes: Vec<u16>,
+    /// Barrier episodes (including warm-up).
+    pub episodes: u32,
+    /// Warm-up episodes.
+    pub warmup: u32,
+    /// Lock acquisitions per processor.
+    pub rounds: u32,
+}
+
+impl Profile {
+    /// The paper's full sweep (4–256 processors).
+    pub fn paper() -> Self {
+        Profile {
+            sizes: amo_workloads::tables::PAPER_SIZES.to_vec(),
+            tree_sizes: amo_workloads::tables::TREE_SIZES.to_vec(),
+            traffic_sizes: vec![128, 256],
+            episodes: 10,
+            warmup: 2,
+            rounds: 8,
+        }
+    }
+
+    /// A fast profile for smoke tests and Criterion runs.
+    pub fn quick() -> Self {
+        Profile {
+            sizes: vec![4, 8, 16],
+            tree_sizes: vec![16],
+            traffic_sizes: vec![16],
+            episodes: 5,
+            warmup: 1,
+            rounds: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_sane() {
+        let p = Profile::paper();
+        assert_eq!(p.sizes, vec![4, 8, 16, 32, 64, 128, 256]);
+        assert!(p.warmup < p.episodes);
+        let q = Profile::quick();
+        assert!(q.sizes.iter().all(|s| p.sizes.contains(s)));
+    }
+}
+
+/// Minimal command-line parsing for the `experiment` binary: `--name
+/// value` flags and `--bare` switches, no external dependencies.
+pub mod cli {
+    /// Parsed flags, in order of appearance.
+    pub struct Args {
+        flags: Vec<(String, Option<String>)>,
+        /// Positional arguments that looked malformed.
+        pub errors: Vec<String>,
+    }
+
+    impl Args {
+        /// Parse raw arguments (everything after the subcommand).
+        pub fn parse(raw: &[String]) -> Self {
+            let mut flags = Vec::new();
+            let mut errors = Vec::new();
+            let mut it = raw.iter().peekable();
+            while let Some(a) = it.next() {
+                if let Some(name) = a.strip_prefix("--") {
+                    let value = match it.peek() {
+                        Some(v) if !v.starts_with("--") => Some(it.next().unwrap().clone()),
+                        _ => None,
+                    };
+                    flags.push((name.to_string(), value));
+                } else {
+                    errors.push(a.clone());
+                }
+            }
+            Args { flags, errors }
+        }
+
+        /// Value of `--name value`, if present.
+        pub fn get(&self, name: &str) -> Option<&str> {
+            self.flags
+                .iter()
+                .find(|(n, _)| n == name)
+                .and_then(|(_, v)| v.as_deref())
+        }
+
+        /// Whether `--name` appeared (with or without a value).
+        pub fn has(&self, name: &str) -> bool {
+            self.flags.iter().any(|(n, _)| n == name)
+        }
+
+        /// Parse `--name` as a number, with a default and an error sink.
+        pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+            match self.get(name) {
+                None => Ok(default),
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| format!("--{name}: cannot parse '{v}'")),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn s(v: &[&str]) -> Vec<String> {
+            v.iter().map(|x| x.to_string()).collect()
+        }
+
+        #[test]
+        fn flags_with_and_without_values() {
+            let a = Args::parse(&s(&["--mech", "amo", "--csv", "--procs", "64"]));
+            assert_eq!(a.get("mech"), Some("amo"));
+            assert!(a.has("csv"));
+            assert_eq!(a.get("csv"), None);
+            assert_eq!(a.num("procs", 0u16), Ok(64));
+            assert!(a.errors.is_empty());
+        }
+
+        #[test]
+        fn defaults_and_parse_errors() {
+            let a = Args::parse(&s(&["--rounds", "eight"]));
+            assert!(a.num::<u32>("rounds", 8).is_err());
+            assert_eq!(a.num("episodes", 10u32), Ok(10));
+        }
+
+        #[test]
+        fn positional_arguments_are_reported() {
+            let a = Args::parse(&s(&["oops", "--x", "1"]));
+            assert_eq!(a.errors, vec!["oops".to_string()]);
+            assert_eq!(a.get("x"), Some("1"));
+        }
+
+        #[test]
+        fn consecutive_switches_do_not_eat_each_other() {
+            let a = Args::parse(&s(&["--csv", "--quick", "--procs", "4"]));
+            assert!(a.has("csv") && a.has("quick"));
+            assert_eq!(a.num("procs", 0u16), Ok(4));
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! A generic set-associative cache with LRU replacement, block data, and
+//! coherence-state bookkeeping.
+
+use crate::line::LineState;
+use amo_types::{BlockData, CacheConfig, Word};
+
+/// One resident line.
+#[derive(Clone, Debug)]
+struct Line {
+    /// Block-aligned base address (full address bits, acts as the tag).
+    block: u64,
+    state: LineState,
+    data: BlockData,
+    lru: u64,
+}
+
+/// A line pushed out by [`SetAssocCache::insert`]. The caller must write
+/// back `data` if `state` was `Modified`.
+#[derive(Clone, Debug)]
+pub struct Evicted {
+    /// Block-aligned base address of the victim.
+    pub block: u64,
+    /// Victim's state at eviction.
+    pub state: LineState,
+    /// Victim's data.
+    pub data: BlockData,
+}
+
+/// Set-associative cache, addressed by block-aligned base addresses.
+///
+/// The cache stores whole simulated blocks (with data) and their coherence
+/// states. It is deliberately agnostic about *which* level it is — the
+/// hierarchy wires two of these together.
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Build an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
+        SetAssocCache {
+            cfg,
+            sets: (0..sets).map(|_| Vec::with_capacity(cfg.ways)).collect(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Geometry of this cache.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// (hits, misses) observed by [`Self::probe`].
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    #[inline]
+    fn set_index(&self, block: u64) -> usize {
+        ((block / self.cfg.line_bytes) as usize) & (self.sets.len() - 1)
+    }
+
+    fn find(&mut self, block: u64) -> Option<&mut Line> {
+        let idx = self.set_index(block);
+        self.sets[idx].iter_mut().find(|l| l.block == block)
+    }
+
+    /// Look up a block, updating LRU and hit statistics. Returns its state.
+    pub fn probe(&mut self, block: u64) -> Option<LineState> {
+        self.tick += 1;
+        let tick = self.tick;
+        let state = self.find(block).map(|line| {
+            line.lru = tick;
+            line.state
+        });
+        match state {
+            Some(_) => self.hits += 1,
+            None => self.misses += 1,
+        }
+        state
+    }
+
+    /// State of a block without touching LRU or statistics.
+    pub fn peek_state(&self, block: u64) -> Option<LineState> {
+        let idx = self.set_index(block);
+        self.sets[idx]
+            .iter()
+            .find(|l| l.block == block)
+            .map(|l| l.state)
+    }
+
+    /// Read a word from a resident block. `word` indexes into the block.
+    pub fn read_word(&mut self, block: u64, word: usize) -> Option<Word> {
+        self.find(block).map(|l| l.data.word(word))
+    }
+
+    /// Write a word into a resident block, transitioning
+    /// Exclusive→Modified. Returns false if the block is absent or not
+    /// writable.
+    pub fn write_word(&mut self, block: u64, word: usize, value: Word) -> bool {
+        match self.find(block) {
+            Some(line) if line.state.can_write() => {
+                line.data.set_word(word, value);
+                line.state = LineState::Modified;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Apply a pushed word update in place (fine-grained "put" landing).
+    /// Does not change the coherence state. Returns true if applied.
+    pub fn apply_word_update(&mut self, block: u64, word: usize, value: Word) -> bool {
+        match self.find(block) {
+            Some(line) => {
+                line.data.set_word(word, value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Insert (or replace) a block. Returns the victim if one was evicted.
+    pub fn insert(&mut self, block: u64, state: LineState, data: BlockData) -> Option<Evicted> {
+        assert!(state.is_valid(), "cannot insert an Invalid line");
+        assert_eq!(
+            data.len() as u64 * 8,
+            self.cfg.line_bytes,
+            "data size must match line size"
+        );
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(line) = self.find(block) {
+            line.state = state;
+            line.data = data;
+            line.lru = tick;
+            return None;
+        }
+        let ways = self.cfg.ways;
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        let mut victim = None;
+        if set.len() == ways {
+            let v = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("full set has a victim");
+            let line = set.swap_remove(v);
+            victim = Some(Evicted {
+                block: line.block,
+                state: line.state,
+                data: line.data,
+            });
+        }
+        set.push(Line {
+            block,
+            state,
+            data,
+            lru: tick,
+        });
+        victim
+    }
+
+    /// Remove a block entirely (invalidation). Returns its state and data
+    /// if it was present.
+    pub fn invalidate(&mut self, block: u64) -> Option<(LineState, BlockData)> {
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        let pos = set.iter().position(|l| l.block == block)?;
+        let line = set.swap_remove(pos);
+        Some((line.state, line.data))
+    }
+
+    /// Downgrade Exclusive/Modified to Shared (intervention for a reader).
+    /// Returns the block data if the line was dirty (home needs it).
+    pub fn downgrade(&mut self, block: u64) -> Option<Option<BlockData>> {
+        let line = self.find(block)?;
+        let dirty = matches!(line.state, LineState::Modified);
+        line.state = LineState::Shared;
+        Some(if dirty { Some(line.data.clone()) } else { None })
+    }
+
+    /// Change the state of a resident line (e.g. upgrade Shared→Exclusive
+    /// when an UpgradeAck arrives). Returns false if the line is absent.
+    pub fn set_state(&mut self, block: u64, state: LineState) -> bool {
+        match self.find(block) {
+            Some(line) => {
+                line.state = state;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of resident lines (diagnostics).
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amo_types::CacheConfig;
+
+    fn small() -> SetAssocCache {
+        // 2 sets x 2 ways x 128B lines = 512B cache.
+        SetAssocCache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 128,
+            ways: 2,
+            hit_latency: 10,
+        })
+    }
+
+    fn blk(data: &[(usize, Word)]) -> BlockData {
+        let mut b = BlockData::zeroed(16);
+        for &(i, v) in data {
+            b.set_word(i, v);
+        }
+        b
+    }
+
+    #[test]
+    fn insert_probe_read() {
+        let mut c = small();
+        assert_eq!(c.probe(0), None);
+        c.insert(0, LineState::Shared, blk(&[(3, 42)]));
+        assert_eq!(c.probe(0), Some(LineState::Shared));
+        assert_eq!(c.read_word(0, 3), Some(42));
+        assert_eq!(c.hit_stats(), (1, 1));
+    }
+
+    #[test]
+    fn write_requires_ownership() {
+        let mut c = small();
+        c.insert(0, LineState::Shared, blk(&[]));
+        assert!(!c.write_word(0, 0, 9), "shared line must refuse writes");
+        c.set_state(0, LineState::Exclusive);
+        assert!(c.write_word(0, 0, 9));
+        assert_eq!(c.peek_state(0), Some(LineState::Modified));
+        assert_eq!(c.read_word(0, 0), Some(9));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = small();
+        // Set index = (block/128) & 1: blocks 0, 256, 512 share set 0.
+        c.insert(0, LineState::Shared, blk(&[]));
+        c.insert(256, LineState::Shared, blk(&[]));
+        c.probe(0); // touch 0 so 256 is LRU
+        let ev = c
+            .insert(512, LineState::Shared, blk(&[]))
+            .expect("eviction");
+        assert_eq!(ev.block, 256);
+        assert_eq!(c.resident(), 2);
+    }
+
+    #[test]
+    fn eviction_returns_dirty_data() {
+        let mut c = small();
+        c.insert(0, LineState::Exclusive, blk(&[]));
+        c.write_word(0, 1, 77);
+        c.insert(256, LineState::Shared, blk(&[]));
+        let ev = c
+            .insert(512, LineState::Shared, blk(&[]))
+            .expect("eviction");
+        // LRU is block 0 (inserted, then written — both touch it; 256 later).
+        // write_word touches via find without lru bump, so victim is 0.
+        assert_eq!(ev.block, 0);
+        assert_eq!(ev.state, LineState::Modified);
+        assert_eq!(ev.data.word(1), 77);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = small();
+        c.insert(0, LineState::Modified, blk(&[(0, 5)]));
+        let (st, data) = c.invalidate(0).expect("was present");
+        assert_eq!(st, LineState::Modified);
+        assert_eq!(data.word(0), 5);
+        assert_eq!(c.probe(0), None);
+        assert!(c.invalidate(0).is_none());
+    }
+
+    #[test]
+    fn downgrade_reports_dirtiness() {
+        let mut c = small();
+        c.insert(0, LineState::Exclusive, blk(&[]));
+        assert_eq!(
+            c.downgrade(0),
+            Some(None),
+            "clean exclusive: no data needed"
+        );
+        c.insert(128, LineState::Exclusive, blk(&[]));
+        c.write_word(128, 2, 3);
+        let d = c.downgrade(128).expect("present");
+        assert_eq!(d.expect("dirty data").word(2), 3);
+        assert_eq!(c.peek_state(128), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn word_update_preserves_state() {
+        let mut c = small();
+        c.insert(0, LineState::Shared, blk(&[]));
+        assert!(c.apply_word_update(0, 4, 99));
+        assert_eq!(c.peek_state(0), Some(LineState::Shared));
+        assert_eq!(c.read_word(0, 4), Some(99));
+        assert!(
+            !c.apply_word_update(128, 0, 1),
+            "absent block ignores updates"
+        );
+    }
+
+    #[test]
+    fn reinsert_replaces_in_place() {
+        let mut c = small();
+        c.insert(0, LineState::Shared, blk(&[(0, 1)]));
+        assert!(c.insert(0, LineState::Exclusive, blk(&[(0, 2)])).is_none());
+        assert_eq!(c.peek_state(0), Some(LineState::Exclusive));
+        assert_eq!(c.read_word(0, 0), Some(2));
+        assert_eq!(c.resident(), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Remote access cache (RAC).
+//!
+//! The paper assumes "each node contains a remote access cache where
+//! updates can be pushed so that word-grained updates can be supported
+//! without processor modifications" (Sec. 1). In this model the RAC is a
+//! small per-node word store: every word update arriving at a node is
+//! recorded here in addition to being applied to any resident processor
+//! cache lines, so a processor whose copy raced away can still observe
+//! the released value locally.
+
+use amo_types::{Addr, Word};
+
+/// One RAC entry.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    addr: Addr,
+    value: Word,
+    lru: u64,
+}
+
+/// A small fully-associative word cache with LRU replacement.
+pub struct Rac {
+    entries: Vec<Entry>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl Rac {
+    /// A RAC holding up to `capacity` words.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        Rac {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            tick: 0,
+        }
+    }
+
+    /// Record a pushed word update.
+    pub fn push_update(&mut self, addr: Addr, value: Word) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.addr == addr) {
+            e.value = value;
+            e.lru = tick;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("full RAC has a victim");
+            self.entries.swap_remove(victim);
+        }
+        self.entries.push(Entry {
+            addr,
+            value,
+            lru: tick,
+        });
+    }
+
+    /// Look up the most recent pushed value for `addr`.
+    pub fn lookup(&mut self, addr: Addr) -> Option<Word> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.iter_mut().find(|e| e.addr == addr).map(|e| {
+            e.lru = tick;
+            e.value
+        })
+    }
+
+    /// Drop any entry for `addr` (e.g. the word's block was invalidated,
+    /// making the pushed value stale).
+    pub fn invalidate(&mut self, addr: Addr) {
+        self.entries.retain(|e| e.addr != addr);
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the RAC holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amo_types::NodeId;
+
+    fn a(off: u64) -> Addr {
+        Addr::on_node(NodeId(0), off * 8)
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut r = Rac::new(4);
+        r.push_update(a(1), 10);
+        r.push_update(a(2), 20);
+        assert_eq!(r.lookup(a(1)), Some(10));
+        assert_eq!(r.lookup(a(3)), None);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut r = Rac::new(2);
+        r.push_update(a(1), 10);
+        r.push_update(a(1), 11);
+        assert_eq!(r.lookup(a(1)), Some(11));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut r = Rac::new(2);
+        r.push_update(a(1), 1);
+        r.push_update(a(2), 2);
+        r.lookup(a(1)); // make a(2) the LRU
+        r.push_update(a(3), 3);
+        assert_eq!(r.lookup(a(2)), None, "LRU entry evicted");
+        assert_eq!(r.lookup(a(1)), Some(1));
+        assert_eq!(r.lookup(a(3)), Some(3));
+    }
+
+    #[test]
+    fn invalidate_drops_entry() {
+        let mut r = Rac::new(2);
+        r.push_update(a(1), 1);
+        r.invalidate(a(1));
+        assert!(r.is_empty());
+        assert_eq!(r.lookup(a(1)), None);
+    }
+}

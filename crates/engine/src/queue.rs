@@ -1,0 +1,167 @@
+//! The pending-event queue: a binary heap ordered by (time, sequence).
+
+use amo_types::Cycle;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry. Ordered so that the *earliest* time pops first,
+/// and among equal times the entry scheduled *first* pops first.
+struct Entry<E> {
+    when: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.when == other.when && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the smallest (when, seq)
+        // is at the top.
+        (other.when, other.seq).cmp(&(self.when, self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// ```
+/// use amo_engine::EventQueue;
+/// let mut q = EventQueue::new();
+/// q.schedule(10, "b");
+/// q.schedule(5, "a");
+/// q.schedule(10, "c");
+/// assert_eq!(q.pop(), Some((5, "a")));
+/// assert_eq!(q.pop(), Some((10, "b"))); // FIFO among ties
+/// assert_eq!(q.pop(), Some((10, "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute cycle `when`.
+    pub fn schedule(&mut self, when: Cycle, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Entry { when, seq, event });
+    }
+
+    /// Remove and return the earliest event, with its firing time.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|e| (e.when, e.event))
+    }
+
+    /// Firing time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.when)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled (monotonic; used as a runaway guard by
+    /// the machine's run loop).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(30, 3);
+        q.schedule(10, 1);
+        q.schedule(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "x");
+        assert_eq!(q.pop(), Some((10, "x")));
+        q.schedule(5, "y");
+        q.schedule(20, "z");
+        assert_eq!(q.pop(), Some((5, "y")));
+        q.schedule(15, "w");
+        assert_eq!(q.pop(), Some((15, "w")));
+        assert_eq!(q.pop(), Some((20, "z")));
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 4);
+    }
+
+    proptest! {
+        /// Popping must always yield non-decreasing times, and equal times
+        /// must preserve scheduling order.
+        #[test]
+        fn pops_sorted_stable(times in proptest::collection::vec(0u64..50, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(t, i);
+            }
+            let mut last: Option<(u64, usize)> = None;
+            while let Some((t, i)) = q.pop() {
+                if let Some((lt, li)) = last {
+                    prop_assert!(t > lt || (t == lt && i > li),
+                        "out of order: ({lt},{li}) then ({t},{i})");
+                }
+                last = Some((t, i));
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Fat-tree topology and hop-count routing.
+
+use amo_types::NodeId;
+
+/// A fat tree of routers with a fixed radix (children per router).
+/// Nodes attach to leaf routers in groups of `radix`; every level above
+/// groups `radix` routers under one parent.
+#[derive(Clone, Copy, Debug)]
+pub struct Topology {
+    num_nodes: u16,
+    radix: usize,
+}
+
+impl Topology {
+    /// Build a topology for `num_nodes` nodes with the given router radix.
+    pub fn new(num_nodes: u16, radix: usize) -> Self {
+        assert!(num_nodes >= 1, "topology needs at least one node");
+        assert!(radix >= 2, "router radix must be at least 2");
+        Topology { num_nodes, radix }
+    }
+
+    /// Number of nodes attached to the tree.
+    pub fn num_nodes(&self) -> u16 {
+        self.num_nodes
+    }
+
+    /// Router radix.
+    pub fn radix(&self) -> usize {
+        self.radix
+    }
+
+    /// Number of router levels needed to connect every node
+    /// (1 when all nodes share a single leaf router).
+    pub fn levels(&self) -> u32 {
+        let mut groups = self.num_nodes as usize;
+        let mut levels = 1;
+        groups = groups.div_ceil(self.radix);
+        while groups > 1 {
+            groups = groups.div_ceil(self.radix);
+            levels += 1;
+        }
+        levels
+    }
+
+    /// One-way hop count from `src` to `dst`.
+    ///
+    /// A hop is one link traversal. Same node: 0 hops. Nodes under the
+    /// same leaf router: node→router→node = 2 hops. Every extra level to
+    /// the lowest common ancestor adds 2 (one up, one down).
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> u64 {
+        assert!(
+            src.0 < self.num_nodes && dst.0 < self.num_nodes,
+            "node out of range"
+        );
+        if src == dst {
+            return 0;
+        }
+        let mut a = src.0 as usize / self.radix;
+        let mut b = dst.0 as usize / self.radix;
+        let mut hops = 2;
+        while a != b {
+            a /= self.radix;
+            b /= self.radix;
+            hops += 2;
+        }
+        hops
+    }
+
+    /// The sequence of link identifiers a packet traverses from `src`
+    /// to `dst`, for router-contention modelling. Each link is a
+    /// `(level, router-or-node index, up/down)` triple encoded as a
+    /// unique `u64`. Same-node traffic takes no links.
+    pub fn path_links(&self, src: NodeId, dst: NodeId) -> Vec<u64> {
+        if src == dst {
+            return Vec::new();
+        }
+        // Climb from both ends to the lowest common ancestor, collecting
+        // the up-links from the source side and down-links to the
+        // destination side.
+        let mut ups = Vec::new();
+        let mut downs = Vec::new();
+        let mut a = src.0 as u64;
+        let mut b = dst.0 as u64;
+        let mut level = 0u64;
+        // Level 0: node <-> leaf router links.
+        ups.push(encode_link(0, a, true));
+        downs.push(encode_link(0, b, false));
+        a /= self.radix as u64;
+        b /= self.radix as u64;
+        level += 1;
+        while a != b {
+            ups.push(encode_link(level, a, true));
+            downs.push(encode_link(level, b, false));
+            a /= self.radix as u64;
+            b /= self.radix as u64;
+            level += 1;
+        }
+        downs.reverse();
+        ups.extend(downs);
+        ups
+    }
+
+    /// Largest one-way hop count in this topology (network diameter).
+    pub fn diameter(&self) -> u64 {
+        if self.num_nodes <= 1 {
+            0
+        } else {
+            self.hops(NodeId(0), NodeId(self.num_nodes - 1))
+        }
+    }
+
+    /// Average one-way hop count over all ordered pairs of distinct nodes.
+    /// Used to report effective remote-access latency in experiments.
+    pub fn mean_hops(&self) -> f64 {
+        let n = self.num_nodes as u64;
+        if n <= 1 {
+            return 0.0;
+        }
+        let mut total = 0u64;
+        for s in 0..self.num_nodes {
+            for d in 0..self.num_nodes {
+                if s != d {
+                    total += self.hops(NodeId(s), NodeId(d));
+                }
+            }
+        }
+        total as f64 / (n * (n - 1)) as f64
+    }
+}
+
+/// Encode one directed link (level, index, direction) as a unique id.
+fn encode_link(level: u64, index: u64, up: bool) -> u64 {
+    (level << 32) | (index << 1) | up as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn same_node_is_zero_hops() {
+        let t = Topology::new(16, 8);
+        assert_eq!(t.hops(NodeId(3), NodeId(3)), 0);
+    }
+
+    #[test]
+    fn same_leaf_router_is_two_hops() {
+        let t = Topology::new(16, 8);
+        assert_eq!(t.hops(NodeId(0), NodeId(7)), 2);
+        assert_eq!(t.hops(NodeId(8), NodeId(15)), 2);
+    }
+
+    #[test]
+    fn cross_leaf_is_four_hops() {
+        let t = Topology::new(16, 8);
+        assert_eq!(t.hops(NodeId(0), NodeId(8)), 4);
+    }
+
+    #[test]
+    fn paper_scale_128_nodes() {
+        // 256 processors = 128 nodes: 16 leaf routers, 2 mid routers,
+        // 1 root → diameter 6.
+        let t = Topology::new(128, 8);
+        assert_eq!(t.levels(), 3);
+        assert_eq!(t.diameter(), 6);
+        assert_eq!(t.hops(NodeId(0), NodeId(63)), 4); // same mid-level subtree
+        assert_eq!(t.hops(NodeId(0), NodeId(64)), 6); // across the root
+    }
+
+    #[test]
+    fn two_node_machine() {
+        let t = Topology::new(2, 8);
+        assert_eq!(t.levels(), 1);
+        assert_eq!(t.hops(NodeId(0), NodeId(1)), 2);
+        assert_eq!(t.diameter(), 2);
+    }
+
+    #[test]
+    fn mean_hops_monotonic_in_size() {
+        let small = Topology::new(8, 8).mean_hops();
+        let big = Topology::new(128, 8).mean_hops();
+        assert!(big > small);
+        assert!(small > 0.0);
+    }
+
+    #[test]
+    fn path_links_match_hop_counts() {
+        let t = Topology::new(128, 8);
+        for (s, d) in [(0u16, 0u16), (0, 7), (0, 8), (0, 64), (3, 120)] {
+            let links = t.path_links(NodeId(s), NodeId(d));
+            assert_eq!(
+                links.len() as u64,
+                t.hops(NodeId(s), NodeId(d)),
+                "path length vs hops for {s}->{d}"
+            );
+        }
+    }
+
+    #[test]
+    fn paths_share_links_exactly_when_they_share_segments() {
+        let t = Topology::new(16, 8);
+        // 0->9 and 1->9 share the down-link into node 9 (and the
+        // inter-router segment), but not their injection links.
+        let p0: std::collections::HashSet<u64> =
+            t.path_links(NodeId(0), NodeId(9)).into_iter().collect();
+        let p1: std::collections::HashSet<u64> =
+            t.path_links(NodeId(1), NodeId(9)).into_iter().collect();
+        assert!(!p0.is_disjoint(&p1), "shared tail");
+        assert!(p0 != p1, "distinct injection links");
+        // Opposite directions over the same pair share nothing (links
+        // are directed).
+        let fwd: std::collections::HashSet<u64> =
+            t.path_links(NodeId(0), NodeId(9)).into_iter().collect();
+        let back: std::collections::HashSet<u64> =
+            t.path_links(NodeId(9), NodeId(0)).into_iter().collect();
+        assert!(fwd.is_disjoint(&back));
+    }
+
+    proptest! {
+        /// Hop counts are symmetric, even, and bounded by the diameter.
+        #[test]
+        fn hops_symmetric_even_bounded(n in 2u16..=128, a in 0u16..128, b in 0u16..128) {
+            let t = Topology::new(n, 8);
+            let (a, b) = (NodeId(a % n), NodeId(b % n));
+            let h = t.hops(a, b);
+            prop_assert_eq!(h, t.hops(b, a));
+            prop_assert_eq!(h % 2, 0);
+            prop_assert!(h <= t.diameter());
+            if a != b {
+                prop_assert!(h >= 2);
+            }
+        }
+    }
+}

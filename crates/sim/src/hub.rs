@@ -1,0 +1,56 @@
+//! One node's hub: directory controller, memory controller (DRAM timing +
+//! backing store), Active Memory Unit, and remote access cache.
+
+use amo_amu::Amu;
+use amo_cache::Rac;
+use amo_directory::Directory;
+use amo_dram::{DramTimer, MemoryStore};
+use amo_types::{Cycle, NodeId, SystemConfig};
+
+/// Everything that lives on one node besides its processors.
+pub struct Hub {
+    /// This hub's node.
+    pub node: NodeId,
+    /// Directory controller for locally-homed blocks.
+    pub directory: Directory,
+    /// Active Memory Unit.
+    pub amu: Amu,
+    /// DRAM timing model.
+    pub dram: DramTimer,
+    /// Backing store of local memory values.
+    pub memory: MemoryStore,
+    /// Remote access cache: sink for pushed word updates.
+    pub rac: Rac,
+    /// Directory service pipeline: busy until this cycle.
+    pub dir_free: Cycle,
+}
+
+impl Hub {
+    /// Build the hub for `node`.
+    pub fn new(node: NodeId, cfg: &SystemConfig) -> Self {
+        Hub {
+            node,
+            directory: Directory::new(node, cfg.procs_per_node),
+            amu: Amu::new(
+                cfg.amu.cache_words,
+                cfg.amu.op_hub_cycles * cfg.hub_cycle,
+                cfg.amu.queue_cap,
+                cfg.l2.line_bytes,
+            ),
+            dram: DramTimer::new(
+                cfg.dram_channels,
+                cfg.dram_latency,
+                cfg.dram_occupancy,
+                cfg.l2.line_bytes,
+            ),
+            memory: MemoryStore::new(),
+            rac: Rac::new(64),
+            dir_free: 0,
+        }
+    }
+
+    /// Occupancy (in CPU cycles) of one directory message service.
+    pub fn dir_occupancy(cfg: &SystemConfig) -> Cycle {
+        cfg.dir_occupancy_hub_cycles * cfg.hub_cycle
+    }
+}

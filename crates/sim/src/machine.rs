@@ -1,0 +1,1050 @@
+//! The machine: event loop and component glue.
+
+use crate::hub::Hub;
+use amo_amu::AmuEffect;
+use amo_cpu::{Kernel, ProcEffect, Processor};
+use amo_directory::{DirAction, DirRequest};
+use amo_engine::{Clock, EventQueue};
+use amo_noc::fabric::NodeTraffic;
+use amo_noc::Fabric;
+use amo_types::{
+    Addr, BlockAddr, Cycle, NodeId, Payload, ProcId, ReqId, Stats, SystemConfig, Word,
+};
+
+/// Everything that can happen.
+#[derive(Clone, Debug)]
+enum Event {
+    /// Call `Processor::step`.
+    ProcWake(ProcId),
+    /// Call `Processor::handler_done`.
+    ProcHandlerDone(ProcId),
+    /// Call `Processor::timeout`.
+    ProcTimeout(ProcId, ReqId),
+    /// Apply a word update at a processor (bus latency included).
+    ProcWordUpdate(ProcId, Addr, Word),
+    /// A message arrived at a hub's network interface.
+    ToHub(NodeId, Payload),
+    /// A directory-bound message cleared the service pipeline.
+    DirProcess(NodeId, Payload),
+    /// A DRAM block read completed for the directory.
+    DramDone(NodeId, BlockAddr),
+    /// The AMU function unit becomes free.
+    AmuWake(NodeId),
+    /// An uncached memory word read completed for the AMU.
+    AmuMemValue(NodeId, u64, Addr),
+    /// An AMU reply is ready to inject into the fabric.
+    AmuSend(NodeId, ProcId, Payload),
+    /// A message is delivered to a processor (bus latency included).
+    ToProc(ProcId, Payload),
+}
+
+/// Result of [`Machine::run`].
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Cycle of the last processed event.
+    pub end: Cycle,
+    /// True if every installed kernel reached `Op::Done`.
+    pub all_finished: bool,
+    /// Per-processor completion times.
+    pub finished: Vec<Option<Cycle>>,
+    /// Events processed.
+    pub events: u64,
+    /// True if the run stopped at the cycle limit.
+    pub hit_limit: bool,
+}
+
+impl RunResult {
+    /// Latest kernel completion time (panics if any kernel is unfinished).
+    pub fn last_finish(&self) -> Cycle {
+        self.finished
+            .iter()
+            .map(|f| f.expect("kernel did not finish"))
+            .max()
+            .expect("at least one kernel")
+    }
+
+    /// Earliest kernel completion time.
+    pub fn first_finish(&self) -> Cycle {
+        self.finished
+            .iter()
+            .map(|f| f.expect("kernel did not finish"))
+            .min()
+            .expect("at least one kernel")
+    }
+}
+
+/// The simulated multiprocessor.
+///
+/// ```
+/// use amo_sim::Machine;
+/// use amo_cpu::{Kernel, Op, Outcome};
+/// use amo_types::{Addr, NodeId, ProcId, SystemConfig};
+///
+/// // One processor stores 7 to a remote word, another reads it back.
+/// struct Put(bool);
+/// impl Kernel for Put {
+///     fn next(&mut self, _l: Option<Outcome>) -> Op {
+///         if self.0 { return Op::Done; }
+///         self.0 = true;
+///         Op::Store { addr: Addr::on_node(NodeId(1), 0x100), value: 7 }
+///     }
+/// }
+///
+/// let mut m = Machine::new(SystemConfig::with_procs(4));
+/// m.install_kernel(ProcId(0), Box::new(Put(false)), 0);
+/// let result = m.run(1_000_000);
+/// assert!(result.all_finished);
+/// assert!(m.stats().total_msgs() > 0);
+/// ```
+pub struct Machine {
+    cfg: SystemConfig,
+    clock: Clock,
+    queue: EventQueue<Event>,
+    fabric: Fabric,
+    procs: Vec<Processor>,
+    hubs: Vec<Hub>,
+    stats: Stats,
+    marks: Vec<(ProcId, u32, Cycle)>,
+    finished: Vec<Option<Cycle>>,
+    installed: Vec<bool>,
+    trace: Option<Vec<String>>,
+    event_counts: [u64; 11],
+}
+
+impl Machine {
+    /// Build a machine per `cfg` (validated).
+    pub fn new(cfg: SystemConfig) -> Self {
+        cfg.validate();
+        let nodes = cfg.num_nodes();
+        Machine {
+            fabric: Fabric::new(nodes, cfg.network),
+            procs: (0..cfg.num_procs)
+                .map(|i| Processor::new(ProcId(i), cfg))
+                .collect(),
+            hubs: (0..nodes).map(|n| Hub::new(NodeId(n), &cfg)).collect(),
+            clock: Clock::new(),
+            queue: EventQueue::new(),
+            stats: Stats::new(),
+            marks: Vec::new(),
+            finished: vec![None; cfg.num_procs as usize],
+            installed: vec![false; cfg.num_procs as usize],
+            trace: None,
+            event_counts: [0; 11],
+            cfg,
+        }
+    }
+
+    /// Dispatched-event histogram, by `Event` variant order (diagnostic:
+    /// spotting event storms).
+    pub fn event_histogram(&self) -> [(&'static str, u64); 11] {
+        const NAMES: [&str; 11] = [
+            "ProcWake",
+            "ProcHandlerDone",
+            "ProcTimeout",
+            "ProcWordUpdate",
+            "ToHub",
+            "DirProcess",
+            "DramDone",
+            "AmuWake",
+            "AmuMemValue",
+            "AmuSend",
+            "ToProc",
+        ];
+        let mut out = [("", 0); 11];
+        for i in 0..11 {
+            out[i] = (NAMES[i], self.event_counts[i]);
+        }
+        out
+    }
+
+    fn event_index(ev: &Event) -> usize {
+        match ev {
+            Event::ProcWake(..) => 0,
+            Event::ProcHandlerDone(..) => 1,
+            Event::ProcTimeout(..) => 2,
+            Event::ProcWordUpdate(..) => 3,
+            Event::ToHub(..) => 4,
+            Event::DirProcess(..) => 5,
+            Event::DramDone(..) => 6,
+            Event::AmuWake(..) => 7,
+            Event::AmuMemValue(..) => 8,
+            Event::AmuSend(..) => 9,
+            Event::ToProc(..) => 10,
+        }
+    }
+
+    /// Enable event tracing (debugging aid; every dispatched event is
+    /// recorded as a line).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Recorded trace lines, if tracing was enabled.
+    pub fn trace(&self) -> &[String] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Machine-wide statistics (valid after [`Self::run`]).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Recorded `Op::Mark` timestamps, in event order.
+    pub fn marks(&self) -> &[(ProcId, u32, Cycle)] {
+        &self.marks
+    }
+
+    /// A node's memory backing store (for asserting final values).
+    pub fn memory(&self, node: NodeId) -> &amo_dram::MemoryStore {
+        &self.hubs[node.index()].memory
+    }
+
+    /// Read-only access to a processor (diagnostics/tests).
+    pub fn processor(&self, p: ProcId) -> &Processor {
+        &self.procs[p.index()]
+    }
+
+    /// Human-readable report of unfinished kernels and their states —
+    /// the first thing to look at when a custom kernel stalls.
+    pub fn stall_report(&self) -> String {
+        let mut out = String::new();
+        for (i, (p, inst)) in self.procs.iter().zip(&self.installed).enumerate() {
+            if *inst && p.finished_at().is_none() {
+                out.push_str(&format!("P{i}: {}\n", p.kstate_debug()));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("all kernels finished\n");
+        }
+        out
+    }
+
+    /// Per-node fabric traffic.
+    pub fn node_traffic(&self, node: NodeId) -> NodeTraffic {
+        self.fabric.node_traffic(node)
+    }
+
+    /// Pre-initialize a word of home memory before the run (program
+    /// initialization, e.g. an array lock's first granted slot).
+    pub fn init_word(&mut self, addr: Addr, value: Word) {
+        self.hubs[addr.home().index()]
+            .memory
+            .write_word(addr, value);
+    }
+
+    /// Install `kernel` on processor `p`, starting at cycle `start`
+    /// (arrival skew goes here).
+    pub fn install_kernel(&mut self, p: ProcId, kernel: Box<dyn Kernel>, start: Cycle) {
+        self.procs[p.index()].load_kernel(kernel);
+        self.installed[p.index()] = true;
+        self.queue.schedule(start, Event::ProcWake(p));
+    }
+
+    /// Run until the event queue drains or `max_cycles` passes. Returns
+    /// timing and completion information.
+    pub fn run(&mut self, max_cycles: Cycle) -> RunResult {
+        let mut events = 0u64;
+        let mut hit_limit = false;
+        while let Some((when, ev)) = self.queue.pop() {
+            if when > max_cycles {
+                hit_limit = true;
+                break;
+            }
+            self.clock.advance_to(when);
+            events += 1;
+            if let Some(t) = self.trace.as_mut() {
+                t.push(format!("{when}: {ev:?}"));
+            }
+            self.event_counts[Self::event_index(&ev)] += 1;
+            self.dispatch(ev, when);
+        }
+        self.collect_cache_stats();
+        let finished: Vec<Option<Cycle>> = self
+            .procs
+            .iter()
+            .zip(&self.installed)
+            .filter(|(_, inst)| **inst)
+            .map(|(p, _)| p.finished_at())
+            .collect();
+        RunResult {
+            end: self.clock.now(),
+            all_finished: finished.iter().all(|f| f.is_some()),
+            finished,
+            events,
+            hit_limit,
+        }
+    }
+
+    fn collect_cache_stats(&mut self) {
+        let (mut h1, mut m1, mut h2, mut m2) = (0, 0, 0, 0);
+        for p in &self.procs {
+            let (a, b, c, d) = p.caches().hit_stats();
+            h1 += a;
+            m1 += b;
+            h2 += c;
+            m2 += d;
+        }
+        self.stats.l1_hits = h1;
+        self.stats.l1_misses = m1;
+        self.stats.l2_hits = h2;
+        self.stats.l2_misses = m2;
+    }
+
+    fn node_of(&self, p: ProcId) -> NodeId {
+        p.node(self.cfg.procs_per_node)
+    }
+
+    fn dispatch(&mut self, ev: Event, now: Cycle) {
+        match ev {
+            Event::ProcWake(p) => {
+                let eff = self.procs[p.index()].step(now, &mut self.stats);
+                self.run_proc_effects(p, eff, now);
+            }
+            Event::ProcHandlerDone(p) => {
+                let eff = self.procs[p.index()].handler_done(now, &mut self.stats);
+                self.run_proc_effects(p, eff, now);
+                // The kernel may have been blocked behind the handler.
+                self.queue.schedule(now, Event::ProcWake(p));
+            }
+            Event::ProcTimeout(p, req) => {
+                let eff = self.procs[p.index()].timeout(req, now, &mut self.stats);
+                self.run_proc_effects(p, eff, now);
+            }
+            Event::ProcWordUpdate(p, addr, value) => {
+                let eff = self.procs[p.index()].word_update(addr, value, now, &mut self.stats);
+                self.run_proc_effects(p, eff, now);
+            }
+            Event::ToHub(node, payload) => self.hub_receive(node, payload, now),
+            Event::DirProcess(node, payload) => self.dir_process(node, payload, now),
+            Event::DramDone(node, block) => {
+                let words = self.cfg.l2.line_words();
+                let data = self.hubs[node.index()].memory.read_block(block, words);
+                let actions =
+                    self.hubs[node.index()]
+                        .directory
+                        .dram_done(block, data, &mut self.stats);
+                self.run_dir_actions(node, actions, now);
+            }
+            Event::AmuWake(node) => {
+                let eff = self.hubs[node.index()].amu.advance(now, &mut self.stats);
+                self.run_amu_effects(node, eff, now);
+            }
+            Event::AmuMemValue(node, token, addr) => {
+                let value = self.hubs[node.index()].memory.read_word(addr);
+                let eff = self.hubs[node.index()]
+                    .amu
+                    .mem_value(token, value, now, &mut self.stats);
+                self.run_amu_effects(node, eff, now);
+            }
+            Event::AmuSend(node, proc, payload) => {
+                self.send_to_proc(node, proc, payload, now);
+            }
+            Event::ToProc(p, payload) => {
+                let eff = self.procs[p.index()].handle(payload, now, &mut self.stats);
+                self.run_proc_effects(p, eff, now);
+            }
+        }
+    }
+
+    /// Route a message that just arrived at a hub's network interface.
+    fn hub_receive(&mut self, node: NodeId, payload: Payload, now: Cycle) {
+        match payload {
+            // Directory-bound traffic goes through the service pipeline.
+            Payload::GetS { .. }
+            | Payload::GetX { .. }
+            | Payload::Upgrade { .. }
+            | Payload::Writeback { .. }
+            | Payload::InvAck { .. }
+            | Payload::InterventionReply { .. } => {
+                let occ = Hub::dir_occupancy(&self.cfg);
+                let hub = &mut self.hubs[node.index()];
+                let start = now.max(hub.dir_free);
+                hub.dir_free = start + occ;
+                self.queue
+                    .schedule(start + occ, Event::DirProcess(node, payload));
+            }
+            // AMU-bound traffic.
+            Payload::AmoReq {
+                req,
+                requester,
+                kind,
+                addr,
+                operand,
+                test,
+            } => {
+                let (ok, eff) = self.hubs[node.index()].amu.submit(
+                    amo_amu::AmuOp::Amo {
+                        req,
+                        requester,
+                        kind,
+                        addr,
+                        operand,
+                        test,
+                    },
+                    now,
+                    &mut self.stats,
+                );
+                assert!(ok, "AMU queue overflow at {node}");
+                self.run_amu_effects(node, eff, now);
+            }
+            Payload::MaoReq {
+                req,
+                requester,
+                kind,
+                addr,
+                operand,
+            } => {
+                let (ok, eff) = self.hubs[node.index()].amu.submit(
+                    amo_amu::AmuOp::Mao {
+                        req,
+                        requester,
+                        kind,
+                        addr,
+                        operand,
+                    },
+                    now,
+                    &mut self.stats,
+                );
+                assert!(ok, "AMU queue overflow at {node}");
+                self.run_amu_effects(node, eff, now);
+            }
+            Payload::UncachedRead {
+                req,
+                requester,
+                addr,
+            } => {
+                let (ok, eff) = self.hubs[node.index()].amu.submit(
+                    amo_amu::AmuOp::UncachedRead {
+                        req,
+                        requester,
+                        addr,
+                    },
+                    now,
+                    &mut self.stats,
+                );
+                assert!(ok, "AMU queue overflow at {node}");
+                self.run_amu_effects(node, eff, now);
+            }
+            Payload::UncachedWrite {
+                req,
+                requester,
+                addr,
+                value,
+            } => {
+                let (ok, eff) = self.hubs[node.index()].amu.submit(
+                    amo_amu::AmuOp::UncachedWrite {
+                        req,
+                        requester,
+                        addr,
+                        value,
+                    },
+                    now,
+                    &mut self.stats,
+                );
+                assert!(ok, "AMU queue overflow at {node}");
+                self.run_amu_effects(node, eff, now);
+            }
+            // Processor-bound traffic crossing this hub.
+            Payload::ActiveMsg { target_proc, .. } => {
+                assert_eq!(self.node_of(target_proc), node, "active message misrouted");
+                self.queue.schedule(
+                    now + self.cfg.bus_latency,
+                    Event::ToProc(target_proc, payload),
+                );
+            }
+            Payload::ActMsgAck { req, .. } => {
+                // The requester's id is encoded in the high bits of the
+                // request tag it allocated.
+                let proc = ProcId((req.0 >> 48) as u16);
+                assert_eq!(self.node_of(proc), node, "ack misrouted");
+                self.queue
+                    .schedule(now + self.cfg.bus_latency, Event::ToProc(proc, payload));
+            }
+            // Fine-grained update fanout landing on this node.
+            Payload::WordUpdate { addr, value } => {
+                self.hubs[node.index()].rac.push_update(addr, value);
+                for p in node.procs(self.cfg.procs_per_node) {
+                    self.queue.schedule(
+                        now + self.cfg.bus_latency,
+                        Event::ProcWordUpdate(p, addr, value),
+                    );
+                }
+            }
+            other => panic!("hub {node} got unexpected payload {other:?}"),
+        }
+    }
+
+    /// A directory-bound message cleared the occupancy pipeline.
+    fn dir_process(&mut self, node: NodeId, payload: Payload, now: Cycle) {
+        let hub = &mut self.hubs[node.index()];
+        let actions = match payload {
+            Payload::GetS {
+                req,
+                requester,
+                block,
+            } => hub
+                .directory
+                .request(block, DirRequest::GetS { req, requester }, &mut self.stats),
+            Payload::GetX {
+                req,
+                requester,
+                block,
+            } => hub
+                .directory
+                .request(block, DirRequest::GetX { req, requester }, &mut self.stats),
+            Payload::Upgrade {
+                req,
+                requester,
+                block,
+            } => hub.directory.request(
+                block,
+                DirRequest::Upgrade { req, requester },
+                &mut self.stats,
+            ),
+            Payload::Writeback {
+                requester,
+                block,
+                data,
+            } => hub
+                .directory
+                .writeback(block, requester, data, &mut self.stats),
+            Payload::InvAck { block, from } => hub.directory.inv_ack(block, from, &mut self.stats),
+            Payload::InterventionReply { block, from, resp } => {
+                hub.directory
+                    .intervention_reply(block, from, resp, &mut self.stats)
+            }
+            other => panic!("directory got unexpected payload {other:?}"),
+        };
+        self.run_dir_actions(node, actions, now);
+    }
+
+    fn run_dir_actions(&mut self, node: NodeId, actions: Vec<DirAction>, now: Cycle) {
+        for action in actions {
+            match action {
+                DirAction::ToProc { proc, payload } => {
+                    self.send_to_proc(node, proc, payload, now);
+                }
+                DirAction::WordUpdateToNode {
+                    node: dst,
+                    addr,
+                    value,
+                } => {
+                    let payload = Payload::WordUpdate { addr, value };
+                    let arrival = self.fabric.send(now, node, dst, &payload, &mut self.stats);
+                    self.queue.schedule(arrival, Event::ToHub(dst, payload));
+                }
+                DirAction::ReadDram { block } => {
+                    let done = self.hubs[node.index()].dram.access(now, block);
+                    self.queue.schedule(done, Event::DramDone(node, block));
+                }
+                DirAction::WriteDramWord { addr, value } => {
+                    let hub = &mut self.hubs[node.index()];
+                    hub.memory.write_word(addr, value);
+                    hub.dram.access(now, addr.block(self.cfg.l2.line_bytes));
+                }
+                DirAction::WriteDramBlock { block, data } => {
+                    let hub = &mut self.hubs[node.index()];
+                    hub.memory.write_block(block, &data);
+                    hub.dram.access(now, block);
+                }
+                DirAction::FlushAmu { block } => {
+                    let dirty = self.hubs[node.index()].amu.flush_block(block);
+                    for (addr, value) in dirty {
+                        self.hubs[node.index()].memory.write_word(addr, value);
+                    }
+                }
+                DirAction::FineValue { token, addr, value } => {
+                    let eff = self.hubs[node.index()].amu.fine_value(
+                        token,
+                        addr,
+                        value,
+                        now,
+                        &mut self.stats,
+                    );
+                    self.run_amu_effects(node, eff, now);
+                }
+            }
+        }
+    }
+
+    fn run_amu_effects(&mut self, node: NodeId, effects: Vec<AmuEffect>, now: Cycle) {
+        for eff in effects {
+            match eff {
+                AmuEffect::ReplyAt {
+                    when,
+                    proc,
+                    payload,
+                } => {
+                    self.queue
+                        .schedule(when, Event::AmuSend(node, proc, payload));
+                }
+                AmuEffect::FineGet { token, addr } => {
+                    let block = addr.block(self.cfg.l2.line_bytes);
+                    let actions = self.hubs[node.index()].directory.request(
+                        block,
+                        DirRequest::FineGet { token, addr },
+                        &mut self.stats,
+                    );
+                    self.run_dir_actions(node, actions, now);
+                }
+                AmuEffect::FinePut { addr, value } => {
+                    let block = addr.block(self.cfg.l2.line_bytes);
+                    let actions = self.hubs[node.index()].directory.request(
+                        block,
+                        DirRequest::FinePut { addr, value },
+                        &mut self.stats,
+                    );
+                    self.run_dir_actions(node, actions, now);
+                }
+                AmuEffect::FineComplete { block, put } => {
+                    let actions = self.hubs[node.index()].directory.fine_complete(
+                        block,
+                        put,
+                        &mut self.stats,
+                    );
+                    self.run_dir_actions(node, actions, now);
+                }
+                AmuEffect::ReadMemWord { token, addr } => {
+                    let done = self.hubs[node.index()]
+                        .dram
+                        .access(now, addr.block(self.cfg.l2.line_bytes));
+                    self.queue
+                        .schedule(done, Event::AmuMemValue(node, token, addr));
+                }
+                AmuEffect::WriteMemWord { addr, value } => {
+                    let hub = &mut self.hubs[node.index()];
+                    hub.memory.write_word(addr, value);
+                    hub.dram.access(now, addr.block(self.cfg.l2.line_bytes));
+                }
+                AmuEffect::WakeAt { when } => {
+                    self.queue.schedule(when, Event::AmuWake(node));
+                }
+            }
+        }
+    }
+
+    /// Send a hub-originated message to a processor: fabric to its node,
+    /// then the bus.
+    fn send_to_proc(&mut self, from: NodeId, proc: ProcId, payload: Payload, now: Cycle) {
+        let dst = self.node_of(proc);
+        let arrival = self.fabric.send(now, from, dst, &payload, &mut self.stats);
+        self.queue
+            .schedule(arrival + self.cfg.bus_latency, Event::ToProc(proc, payload));
+    }
+
+    fn run_proc_effects(&mut self, p: ProcId, effects: Vec<ProcEffect>, now: Cycle) {
+        let src = self.node_of(p);
+        for eff in effects {
+            match eff {
+                ProcEffect::Send { dst, payload } => {
+                    let t = now + self.cfg.bus_latency;
+                    let arrival = self.fabric.send(t, src, dst, &payload, &mut self.stats);
+                    self.queue.schedule(arrival, Event::ToHub(dst, payload));
+                }
+                ProcEffect::Wake { when } => {
+                    self.queue.schedule(when, Event::ProcWake(p));
+                }
+                ProcEffect::HandlerWake { when } => {
+                    self.queue.schedule(when, Event::ProcHandlerDone(p));
+                }
+                ProcEffect::TimeoutAt { req, when } => {
+                    self.queue.schedule(when, Event::ProcTimeout(p, req));
+                }
+                ProcEffect::Finished { when } => {
+                    self.finished[p.index()] = Some(when);
+                }
+                ProcEffect::Mark { id, when } => {
+                    self.marks.push((p, id, when));
+                }
+                ProcEffect::Defer { payload, when } => {
+                    self.queue.schedule(when, Event::ToProc(p, payload));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amo_cpu::{Op, Outcome};
+    use amo_types::{AmoKind, SpinPred};
+
+    fn var(node: u16, off: u64) -> Addr {
+        Addr::on_node(NodeId(node), off)
+    }
+
+    /// Simple scripted kernel: runs a fixed list of ops, records outcomes.
+    struct Script {
+        ops: Vec<Op>,
+        at: usize,
+        outcomes: std::rc::Rc<std::cell::RefCell<Vec<Outcome>>>,
+    }
+
+    impl Script {
+        fn new(ops: Vec<Op>) -> (Self, std::rc::Rc<std::cell::RefCell<Vec<Outcome>>>) {
+            let outcomes = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+            (
+                Script {
+                    ops,
+                    at: 0,
+                    outcomes: outcomes.clone(),
+                },
+                outcomes,
+            )
+        }
+    }
+
+    impl Kernel for Script {
+        fn next(&mut self, last: Option<Outcome>) -> Op {
+            if let Some(o) = last {
+                self.outcomes.borrow_mut().push(o);
+            }
+            let op = self.ops.get(self.at).copied().unwrap_or(Op::Done);
+            self.at += 1;
+            op
+        }
+    }
+
+    #[test]
+    fn store_then_remote_load_sees_value() {
+        let mut m = Machine::new(SystemConfig::with_procs(4));
+        let a = var(1, 0x100);
+        let (w, _) = Script::new(vec![Op::Store { addr: a, value: 42 }]);
+        m.install_kernel(ProcId(0), Box::new(w), 0);
+        let (r, out) = Script::new(vec![Op::Delay { cycles: 5_000 }, Op::Load { addr: a }]);
+        m.install_kernel(ProcId(3), Box::new(r), 0);
+        let res = m.run(1_000_000);
+        assert!(res.all_finished, "finished: {:?}", res.finished);
+        assert_eq!(out.borrow()[1], Outcome::Value(42));
+        // The store's dirty block is fetched from P0 via an intervention.
+        assert_eq!(m.stats().interventions_sent, 1);
+    }
+
+    #[test]
+    fn two_writers_serialize_through_home() {
+        let mut m = Machine::new(SystemConfig::with_procs(4));
+        let a = var(0, 0x100);
+        for p in [0u16, 1, 2, 3] {
+            let (k, _) = Script::new(vec![Op::AtomicRmw {
+                kind: AmoKind::FetchAdd,
+                addr: a,
+                operand: 1,
+            }]);
+            m.install_kernel(ProcId(p), Box::new(k), 0);
+        }
+        let res = m.run(1_000_000);
+        assert!(res.all_finished);
+        // All four increments are visible in home memory after the dust
+        // settles? The final value lives in the last owner's cache; memory
+        // holds the value as of the last ownership transfer (3 increments).
+        // Force visibility through stats instead: four atomic ops ran.
+        assert_eq!(m.stats().atomic_ops, 4);
+    }
+
+    #[test]
+    fn spin_wakes_via_invalidate_and_reload() {
+        let mut m = Machine::new(SystemConfig::with_procs(4));
+        let flag = var(0, 0x200);
+        let (spinner, out) = Script::new(vec![Op::SpinUntil {
+            addr: flag,
+            pred: SpinPred::Eq(1),
+        }]);
+        m.install_kernel(ProcId(2), Box::new(spinner), 0);
+        let (setter, _) = Script::new(vec![
+            Op::Delay { cycles: 10_000 },
+            Op::Store {
+                addr: flag,
+                value: 1,
+            },
+        ]);
+        m.install_kernel(ProcId(1), Box::new(setter), 0);
+        let res = m.run(1_000_000);
+        assert!(res.all_finished);
+        assert_eq!(out.borrow()[0], Outcome::SpinDone(1));
+        assert!(
+            m.stats().spin_reloads >= 1,
+            "spinner reloaded after invalidation"
+        );
+        assert!(m.stats().invalidations_sent >= 1);
+    }
+
+    #[test]
+    fn amo_inc_counts_all_processors_and_pushes_update() {
+        let cfg = SystemConfig::with_procs(4);
+        let mut m = Machine::new(cfg);
+        let ctr = var(0, 0x300);
+        for p in 0..4u16 {
+            // Every processor: amo.inc with test 4, then spin on the
+            // counter — the naive AMO barrier (paper Fig. 3(c)).
+            let (k, _) = Script::new(vec![
+                Op::Amo {
+                    kind: AmoKind::Inc,
+                    addr: ctr,
+                    operand: 0,
+                    test: Some(4),
+                },
+                Op::SpinUntil {
+                    addr: ctr,
+                    pred: SpinPred::Eq(4),
+                },
+            ]);
+            m.install_kernel(ProcId(p), Box::new(k), (p as u64) * 50);
+        }
+        let res = m.run(2_000_000);
+        assert!(res.all_finished, "finished: {:?}", res.finished);
+        assert_eq!(m.stats().amo_ops, 4);
+        assert_eq!(m.stats().puts, 1, "exactly one delayed put at count 4");
+        assert_eq!(m.memory(NodeId(0)).read_word(ctr), 4);
+        // No invalidation storm: the AMO path never invalidates spinners.
+        assert_eq!(m.stats().invalidations_sent, 0);
+    }
+
+    #[test]
+    fn mao_fetchadd_accumulates_in_memory() {
+        let mut m = Machine::new(SystemConfig::with_procs(4));
+        let ctr = var(1, 0x400);
+        for p in 0..4u16 {
+            let (k, _) = Script::new(vec![Op::Mao {
+                kind: AmoKind::FetchAdd,
+                addr: ctr,
+                operand: 10,
+            }]);
+            m.install_kernel(ProcId(p), Box::new(k), 0);
+        }
+        let res = m.run(1_000_000);
+        assert!(res.all_finished);
+        assert_eq!(m.memory(NodeId(1)).read_word(ctr), 40);
+        assert_eq!(m.stats().mao_ops, 4);
+    }
+
+    #[test]
+    fn active_message_barrier_publish_wakes_spinners() {
+        let cfg = SystemConfig::with_procs(4);
+        let mut m = Machine::new(cfg);
+        let home = NodeId(0);
+        let spin = var(0, 0x500);
+        for p in 0..4u16 {
+            let (k, _) = Script::new(vec![
+                Op::ActiveMsg {
+                    home,
+                    handler: amo_types::HandlerKind::FetchAdd {
+                        ctr: 0,
+                        operand: 1,
+                        publish: Some(amo_types::Publish {
+                            addr: spin,
+                            when_count: Some(4),
+                            value: Some(1),
+                            reset: true,
+                        }),
+                    },
+                },
+                Op::SpinUntil {
+                    addr: spin,
+                    pred: SpinPred::Eq(1),
+                },
+            ]);
+            m.install_kernel(ProcId(p), Box::new(k), (p as u64) * 100);
+        }
+        let res = m.run(5_000_000);
+        assert!(res.all_finished, "finished: {:?}", res.finished);
+        assert_eq!(m.stats().handlers_run, 4);
+        // The publish value reaches home memory via the spinners'
+        // intervention-triggered writeback of P0's dirty line.
+        assert_eq!(m.memory(home).read_word(spin), 1);
+    }
+
+    #[test]
+    fn marks_record_timestamps() {
+        let mut m = Machine::new(SystemConfig::with_procs(4));
+        let (k, _) = Script::new(vec![
+            Op::Mark { id: 7 },
+            Op::Delay { cycles: 100 },
+            Op::Mark { id: 8 },
+        ]);
+        m.install_kernel(ProcId(0), Box::new(k), 50);
+        let res = m.run(10_000);
+        assert!(res.all_finished);
+        let marks = m.marks();
+        assert_eq!(marks.len(), 2);
+        assert_eq!(marks[0], (ProcId(0), 7, 50));
+        assert_eq!(marks[1].1, 8);
+        assert_eq!(marks[1].2, 150);
+    }
+
+    #[test]
+    fn stall_report_names_stuck_processors() {
+        let mut m = Machine::new(SystemConfig::with_procs(4));
+        // A spinner nobody will ever wake.
+        let (k, _) = Script::new(vec![Op::SpinUntil {
+            addr: var(0, 0x100),
+            pred: SpinPred::Eq(1),
+        }]);
+        m.install_kernel(ProcId(2), Box::new(k), 0);
+        let res = m.run(1_000_000);
+        assert!(!res.all_finished);
+        let report = m.stall_report();
+        assert!(report.contains("P2"), "{report}");
+        assert!(report.contains("Spinning"), "{report}");
+        // A finished machine reports cleanly.
+        let mut m2 = Machine::new(SystemConfig::with_procs(4));
+        let (k, _) = Script::new(vec![Op::Delay { cycles: 5 }]);
+        m2.install_kernel(ProcId(0), Box::new(k), 0);
+        assert!(m2.run(1_000).all_finished);
+        assert!(m2.stall_report().contains("all kernels finished"));
+    }
+
+    #[test]
+    fn init_word_preloads_memory() {
+        let mut m = Machine::new(SystemConfig::with_procs(4));
+        let a = var(1, 0x800);
+        m.init_word(a, 99);
+        let (k, out) = Script::new(vec![Op::Load { addr: a }]);
+        m.install_kernel(ProcId(0), Box::new(k), 0);
+        assert!(m.run(1_000_000).all_finished);
+        assert_eq!(out.borrow()[0], Outcome::Value(99));
+    }
+
+    #[test]
+    fn event_histogram_accounts_every_event() {
+        let mut m = Machine::new(SystemConfig::with_procs(4));
+        let (k, _) = Script::new(vec![
+            Op::Load {
+                addr: var(1, 0x100),
+            },
+            Op::Amo {
+                kind: AmoKind::Inc,
+                addr: var(0, 0x200),
+                operand: 0,
+                test: None,
+            },
+        ]);
+        m.install_kernel(ProcId(0), Box::new(k), 0);
+        let res = m.run(1_000_000);
+        assert!(res.all_finished);
+        let total: u64 = m.event_histogram().iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, res.events);
+        let hist = m.event_histogram();
+        let get = |name: &str| hist.iter().find(|(n, _)| *n == name).unwrap().1;
+        assert!(get("ToProc") >= 2, "a data reply and an AMO reply arrived");
+        assert!(get("DramDone") >= 1);
+        assert!(get("AmuWake") >= 1);
+    }
+
+    #[test]
+    fn uncached_ops_roundtrip_through_home_memory() {
+        let mut m = Machine::new(SystemConfig::with_procs(4));
+        let a = var(1, 0x8000_0000);
+        let (w, _) = Script::new(vec![Op::UncachedStore { addr: a, value: 5 }]);
+        let (r, out) = Script::new(vec![
+            Op::Delay { cycles: 5_000 },
+            Op::UncachedLoad { addr: a },
+        ]);
+        m.install_kernel(ProcId(0), Box::new(w), 0);
+        m.install_kernel(ProcId(2), Box::new(r), 0);
+        assert!(m.run(1_000_000).all_finished);
+        assert_eq!(out.borrow()[1], Outcome::Value(5));
+        assert_eq!(m.memory(NodeId(1)).read_word(a), 5);
+    }
+
+    #[test]
+    fn probe_inside_residence_window_is_deferred_not_lost() {
+        // Two writers fight over one word; the minimum-residence deferral
+        // must delay interventions, never drop them: both finish and both
+        // increments land.
+        let mut m = Machine::new(SystemConfig::with_procs(4));
+        let a = var(0, 0x700);
+        for p in [0u16, 1] {
+            let (k, _) = Script::new(vec![
+                Op::AtomicRmw {
+                    kind: AmoKind::FetchAdd,
+                    addr: a,
+                    operand: 1,
+                },
+                Op::AtomicRmw {
+                    kind: AmoKind::FetchAdd,
+                    addr: a,
+                    operand: 1,
+                },
+            ]);
+            m.install_kernel(ProcId(p), Box::new(k), 0);
+        }
+        let res = m.run(1_000_000);
+        assert!(res.all_finished);
+        // Flush the final owner's dirty line by reading with a third
+        // processor through an atomic (exclusive grant).
+        let (k, out) = Script::new(vec![Op::AtomicRmw {
+            kind: AmoKind::FetchAdd,
+            addr: a,
+            operand: 0,
+        }]);
+        m.install_kernel(ProcId(3), Box::new(k), res.end + 1);
+        assert!(m.run(2_000_000).all_finished);
+        assert_eq!(out.borrow()[0], Outcome::Value(4), "no increment lost");
+    }
+
+    #[test]
+    fn op_latencies_are_recorded() {
+        use amo_types::stats::OpClass;
+        let mut m = Machine::new(SystemConfig::with_procs(4));
+        let a = var(1, 0x900);
+        let (k, _) = Script::new(vec![
+            Op::Load { addr: a },
+            Op::Amo {
+                kind: AmoKind::Inc,
+                addr: a,
+                operand: 0,
+                test: None,
+            },
+            Op::Delay { cycles: 100 },
+        ]);
+        m.install_kernel(ProcId(0), Box::new(k), 0);
+        assert!(m.run(1_000_000).all_finished);
+        let s = m.stats();
+        assert_eq!(s.op_lat_cnt[OpClass::Load.index()], 1);
+        assert_eq!(s.op_lat_cnt[OpClass::Amo.index()], 1);
+        assert_eq!(s.op_lat_cnt[OpClass::Atomic.index()], 0);
+        // A remote load miss costs hundreds of cycles; the recorded mean
+        // must be in that range, and delays are not recorded.
+        let load = s.mean_op_latency(OpClass::Load).unwrap();
+        assert!(load > 100.0 && load < 2_000.0, "load latency {load}");
+        assert!(s.mean_op_latency(OpClass::Spin).is_none());
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = || {
+            let mut m = Machine::new(SystemConfig::with_procs(8));
+            let a = var(0, 0x600);
+            for p in 0..8u16 {
+                let (k, _) = Script::new(vec![
+                    Op::AtomicRmw {
+                        kind: AmoKind::FetchAdd,
+                        addr: a,
+                        operand: 1,
+                    },
+                    Op::Amo {
+                        kind: AmoKind::Inc,
+                        addr: var(1, 0x700),
+                        operand: 0,
+                        test: None,
+                    },
+                ]);
+                m.install_kernel(ProcId(p), Box::new(k), (p as u64) * 13);
+            }
+            let res = m.run(10_000_000);
+            assert!(res.all_finished);
+            (
+                res.last_finish(),
+                m.stats().total_msgs(),
+                m.stats().byte_hops,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

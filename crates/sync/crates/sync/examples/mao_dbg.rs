@@ -1,0 +1,18 @@
+use amo_sim::Machine;
+use amo_sync::*;
+use amo_types::{NodeId, ProcId, SystemConfig};
+
+fn main() {
+    let cfg = SystemConfig::with_procs(4);
+    let mut machine = Machine::new(cfg);
+    machine.enable_trace();
+    let mut alloc = VarAlloc::new();
+    let spec = BarrierSpec::build(&mut alloc, Mechanism::Mao, NodeId(0), 4, 1);
+    for p in 0..4u16 {
+        let work = vec![100 + p as u64 * 37];
+        machine.install_kernel(ProcId(p), Box::new(BarrierKernel::new(spec, work)), 0);
+    }
+    let res = machine.run(3_000_000);
+    for l in machine.trace().iter().take(200) { println!("{l}"); }
+    println!("finished={:?} mao_ops={}", res.finished, machine.stats().mao_ops);
+}

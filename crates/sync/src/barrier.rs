@@ -1,0 +1,599 @@
+//! Centralized barriers (paper Fig. 3).
+//!
+//! All styles use a *cumulative* count: episode `e` completes when the
+//! counter reaches `e × P`, so the counter never needs a racy reset and
+//! the AMO test value is simply that target.
+//!
+//! * [`BarrierStyle::Naive`] — Fig. 3(a): spin directly on the barrier
+//!   variable. Efficient only with AMOs (word updates wake the
+//!   spinners); with conventional mechanisms the spinners' reloads fight
+//!   the increments.
+//! * [`BarrierStyle::SpinVariable`] — Fig. 3(b): the last arriver
+//!   releases a separate spin variable, eliminating false sharing
+//!   between spins and increments at the cost of one more write. This is
+//!   the paper's "highly optimized conventional barrier" baseline.
+//!
+//! Per mechanism, the default style follows the paper: AMO uses the
+//! naive coding (Fig. 3(c)); everything else uses the spin variable.
+
+use crate::layout::cumulative_target;
+use crate::mechanism::{BackoffCfg, FetchAddSub, Mechanism, ReleaseSub, SpinSub, Step};
+use crate::VarAlloc;
+use amo_cpu::{Kernel, Op, Outcome};
+use amo_types::{Addr, Cycle, NodeId, Publish, SpinPred, Word};
+
+/// Which word the processors spin on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BarrierStyle {
+    /// Spin on the barrier counter itself (Fig. 3(a)/(c)).
+    Naive,
+    /// Last arriver releases a separate spin variable (Fig. 3(b)).
+    SpinVariable,
+    /// Ablation of the delayed update (Sec. 4.2.1): like `Naive`, but an
+    /// AMO barrier pushes a word update after *every* increment
+    /// (`amo.fetchadd` without a test value) instead of only at the
+    /// target count. Quantifies what the test-value mechanism buys.
+    /// Non-AMO mechanisms treat this exactly like `Naive`.
+    EagerUpdates,
+    /// The textbook sense-reversing formulation: the counter is *reset*
+    /// by the last arriver each episode (instead of counting
+    /// cumulatively) before the release flag advances. Functionally
+    /// equivalent to `SpinVariable`; the reset costs one more coherent
+    /// store per episode — and under AMO it exercises the
+    /// exclusive-grant path that flushes the AMU's dirty count.
+    SenseReversing,
+}
+
+/// Shared description of one centralized barrier.
+#[derive(Clone, Copy, Debug)]
+pub struct BarrierSpec {
+    /// Mechanism implementing the atomic increment.
+    pub mech: Mechanism,
+    /// Spin placement.
+    pub style: BarrierStyle,
+    /// Number of participating processors (0..P take part).
+    pub participants: u16,
+    /// Barrier episodes each participant executes.
+    pub episodes: u32,
+    /// The barrier counter (uncached for MAO).
+    pub counter: Addr,
+    /// The separate spin variable (used by `SpinVariable` style).
+    pub spin: Addr,
+    /// Active-message service counter id at the home processor.
+    pub ctr_id: u16,
+}
+
+impl BarrierSpec {
+    /// Allocate a barrier homed on `home`, with the paper's default
+    /// style for the mechanism.
+    pub fn build(
+        alloc: &mut VarAlloc,
+        mech: Mechanism,
+        home: NodeId,
+        participants: u16,
+        episodes: u32,
+    ) -> Self {
+        let style = match mech {
+            Mechanism::Amo => BarrierStyle::Naive,
+            _ => BarrierStyle::SpinVariable,
+        };
+        Self::build_styled(alloc, mech, style, home, participants, episodes)
+    }
+
+    /// Allocate a barrier with an explicit style (ablations).
+    pub fn build_styled(
+        alloc: &mut VarAlloc,
+        mech: Mechanism,
+        style: BarrierStyle,
+        home: NodeId,
+        participants: u16,
+        episodes: u32,
+    ) -> Self {
+        BarrierSpec {
+            mech,
+            style,
+            participants,
+            episodes,
+            counter: alloc.counter_for(mech, home),
+            spin: alloc.word(home),
+            ctr_id: alloc.ctr(home),
+        }
+    }
+
+    /// Mark id recorded when a processor enters episode `e` (1-based).
+    pub fn enter_mark(e: u32) -> u32 {
+        e * 2
+    }
+
+    /// Mark id recorded when a processor exits episode `e`.
+    pub fn exit_mark(e: u32) -> u32 {
+        e * 2 + 1
+    }
+}
+
+#[derive(Debug)]
+enum BState {
+    StartEpisode,
+    WorkWait,
+    EnterMarkWait,
+    FaRun(FetchAddSub),
+    /// Sense-reversing only: the last arriver zeroes the counter before
+    /// releasing.
+    ResetWait,
+    RelRun(ReleaseSub),
+    SpinRun(SpinSub),
+    ExitMarkWait,
+    Done,
+}
+
+/// One participant's barrier kernel.
+///
+/// ```
+/// use amo_sim::Machine;
+/// use amo_sync::{BarrierKernel, BarrierSpec, Mechanism, VarAlloc};
+/// use amo_types::{NodeId, ProcId, SystemConfig};
+///
+/// let mut machine = Machine::new(SystemConfig::with_procs(4));
+/// let mut alloc = VarAlloc::new();
+/// let spec = BarrierSpec::build(&mut alloc, Mechanism::Amo, NodeId(0), 4, 2);
+/// for p in 0..4 {
+///     let work = vec![100 * (p as u64 + 1); 2]; // per-episode skew
+///     machine.install_kernel(ProcId(p), Box::new(BarrierKernel::new(spec, work)), 0);
+/// }
+/// assert!(machine.run(10_000_000).all_finished);
+/// assert_eq!(machine.stats().puts, 2, "one delayed put per episode");
+/// ```
+pub struct BarrierKernel {
+    spec: BarrierSpec,
+    /// Pre-episode local work (arrival skew), one entry per episode.
+    work: Vec<Cycle>,
+    e: u32,
+    state: BState,
+}
+
+impl BarrierKernel {
+    /// Build the kernel for one participant. `work[i]` is the local
+    /// computation time before episode `i+1`.
+    pub fn new(spec: BarrierSpec, work: Vec<Cycle>) -> Self {
+        assert_eq!(
+            work.len(),
+            spec.episodes as usize,
+            "one work entry per episode"
+        );
+        BarrierKernel {
+            spec,
+            work,
+            e: 1,
+            state: BState::StartEpisode,
+        }
+    }
+
+    fn make_fa(&self) -> FetchAddSub {
+        let s = &self.spec;
+        let target = cumulative_target(self.e, s.participants);
+        let fa = FetchAddSub::new(s.mech, s.counter, 1, s.ctr_id);
+        match (s.mech, s.style) {
+            // The AMO barrier's delayed put fires at the target count.
+            (Mechanism::Amo, BarrierStyle::Naive) => fa.with_test(target),
+            // Sense-reversing counters reset each episode; the AMU cache
+            // just accumulates (dirty) until the reset flushes it.
+            (Mechanism::Amo, BarrierStyle::SenseReversing) => fa.as_inc(),
+            (Mechanism::ActMsg, BarrierStyle::SenseReversing) => {
+                // The handler publishes the release at the per-episode
+                // target and resets its service counter itself — the
+                // closest active-message analogue.
+                fa.with_publish(Publish {
+                    addr: s.spin,
+                    when_count: Some(s.participants as Word),
+                    value: Some(self.e as Word),
+                    reset: true,
+                })
+            }
+            // Eager ablation: push after every increment. `FetchAddSub`
+            // emits amo.fetchadd (no test) which puts unconditionally.
+            (Mechanism::Amo, BarrierStyle::EagerUpdates) => fa,
+            // An AMO driving a separate spin variable doesn't test; the
+            // release below pushes the spin variable instead.
+            (Mechanism::Amo, BarrierStyle::SpinVariable) => fa,
+            // The active-message handler publishes the release when the
+            // count reaches the target.
+            (Mechanism::ActMsg, _) => fa.with_publish(Publish {
+                addr: s.spin,
+                when_count: Some(target),
+                value: Some(self.e as Word),
+                reset: false,
+            }),
+            _ => fa,
+        }
+    }
+
+    fn after_increment(&self, old: Word) -> BState {
+        let s = &self.spec;
+        let target = cumulative_target(self.e, s.participants);
+        match s.style {
+            BarrierStyle::Naive | BarrierStyle::EagerUpdates => {
+                // An active-message "counter" is a service counter at the
+                // home processor, not a coherent word — there is nothing
+                // to spin on directly, so ActMsg always uses the
+                // handler-published spin variable regardless of style.
+                if s.mech == Mechanism::ActMsg {
+                    return BState::SpinRun(SpinSub::coherent(
+                        s.spin,
+                        SpinPred::Ge(self.e as Word),
+                    ));
+                }
+                // Everyone spins on the counter itself.
+                if s.mech == Mechanism::Mao {
+                    BState::SpinRun(SpinSub::uncached(
+                        s.counter,
+                        SpinPred::Ge(target),
+                        BackoffCfg {
+                            target,
+                            ..BackoffCfg::default()
+                        },
+                    ))
+                } else {
+                    BState::SpinRun(SpinSub::coherent(s.counter, SpinPred::Ge(target)))
+                }
+            }
+            BarrierStyle::SenseReversing => {
+                let release_val = self.e as Word;
+                if s.mech == Mechanism::ActMsg {
+                    // The handler resets and publishes; everyone spins.
+                    return BState::SpinRun(SpinSub::coherent(s.spin, SpinPred::Ge(release_val)));
+                }
+                // Per-episode (non-cumulative) target: the counter was
+                // reset to zero by the previous episode's last arriver.
+                if old + 1 == s.participants as Word {
+                    BState::ResetWait
+                } else {
+                    BState::SpinRun(SpinSub::coherent(s.spin, SpinPred::Ge(release_val)))
+                }
+            }
+            BarrierStyle::SpinVariable => {
+                let release_val = self.e as Word;
+                if s.mech == Mechanism::ActMsg {
+                    // The handler publishes; everyone (including the last
+                    // arriver) just spins.
+                    return BState::SpinRun(SpinSub::coherent(s.spin, SpinPred::Ge(release_val)));
+                }
+                if old + 1 == target {
+                    // The spin variable is always coherent — under MAO
+                    // this is the paper's "optimized" variant: the MC
+                    // counts arrivals, the release is an ordinary store.
+                    let rel = if s.mech == Mechanism::Mao {
+                        ReleaseSub::coherent_store(s.spin, release_val)
+                    } else {
+                        ReleaseSub::new(s.mech, s.spin, release_val)
+                    };
+                    BState::RelRun(rel)
+                } else {
+                    BState::SpinRun(SpinSub::coherent(s.spin, SpinPred::Ge(release_val)))
+                }
+            }
+        }
+    }
+}
+
+impl Kernel for BarrierKernel {
+    fn next(&mut self, mut last: Option<Outcome>) -> Op {
+        loop {
+            match &mut self.state {
+                BState::StartEpisode => {
+                    if self.e > self.spec.episodes {
+                        self.state = BState::Done;
+                        continue;
+                    }
+                    self.state = BState::WorkWait;
+                    return Op::Delay {
+                        cycles: self.work[(self.e - 1) as usize],
+                    };
+                }
+                BState::WorkWait => {
+                    self.state = BState::EnterMarkWait;
+                    return Op::Mark {
+                        id: BarrierSpec::enter_mark(self.e),
+                    };
+                }
+                BState::EnterMarkWait => {
+                    self.state = BState::FaRun(self.make_fa());
+                    last = None;
+                }
+                BState::FaRun(fa) => match fa.poll(last.take()) {
+                    Step::Issue(op) => return op,
+                    Step::Ready(old) => {
+                        self.state = self.after_increment(old);
+                        if matches!(self.state, BState::ResetWait) {
+                            // Zero the counter before releasing. MAO
+                            // counters live in uncached space; coherent
+                            // ones are reset with an ordinary store whose
+                            // exclusive grant flushes any dirty AMU copy.
+                            return if self.spec.mech == Mechanism::Mao {
+                                Op::UncachedStore {
+                                    addr: self.spec.counter,
+                                    value: 0,
+                                }
+                            } else {
+                                Op::Store {
+                                    addr: self.spec.counter,
+                                    value: 0,
+                                }
+                            };
+                        }
+                    }
+                },
+                BState::ResetWait => {
+                    let rel = if self.spec.mech == Mechanism::Mao {
+                        ReleaseSub::coherent_store(self.spec.spin, self.e as Word)
+                    } else {
+                        ReleaseSub::new(self.spec.mech, self.spec.spin, self.e as Word)
+                    };
+                    self.state = BState::RelRun(rel);
+                    last = None;
+                }
+                BState::RelRun(rel) => match rel.poll(last.take()) {
+                    Step::Issue(op) => return op,
+                    Step::Ready(_) => {
+                        self.state = BState::ExitMarkWait;
+                        return Op::Mark {
+                            id: BarrierSpec::exit_mark(self.e),
+                        };
+                    }
+                },
+                BState::SpinRun(sp) => match sp.poll(last.take()) {
+                    Step::Issue(op) => return op,
+                    Step::Ready(_) => {
+                        self.state = BState::ExitMarkWait;
+                        return Op::Mark {
+                            id: BarrierSpec::exit_mark(self.e),
+                        };
+                    }
+                },
+                BState::ExitMarkWait => {
+                    self.e += 1;
+                    self.state = BState::StartEpisode;
+                    last = None;
+                }
+                BState::Done => return Op::Done,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amo_sim::Machine;
+    use amo_types::{ProcId, SystemConfig};
+
+    /// Run one barrier configuration to completion on a small machine
+    /// and sanity-check it synchronized: for every episode, every
+    /// processor's exit is at or after every processor's enter.
+    fn run_barrier(mech: Mechanism, procs: u16, episodes: u32) -> (Machine, u64) {
+        let cfg = SystemConfig::with_procs(procs);
+        let mut machine = Machine::new(cfg);
+        let mut alloc = VarAlloc::new();
+        let spec = BarrierSpec::build(&mut alloc, mech, NodeId(0), procs, episodes);
+        for p in 0..procs {
+            let work: Vec<Cycle> = (0..episodes)
+                .map(|e| 100 + (p as u64 * 37 + e as u64 * 13) % 400)
+                .collect();
+            machine.install_kernel(ProcId(p), Box::new(BarrierKernel::new(spec, work)), 0);
+        }
+        let res = machine.run(500_000_000);
+        assert!(res.all_finished, "{mech:?}: {:?}", res.finished);
+        let end = res.last_finish();
+        // Barrier semantics: within each episode, no exit before every
+        // enter.
+        for e in 1..=episodes {
+            let enters: Vec<Cycle> = machine
+                .marks()
+                .iter()
+                .filter(|(_, id, _)| *id == BarrierSpec::enter_mark(e))
+                .map(|&(_, _, t)| t)
+                .collect();
+            let exits: Vec<Cycle> = machine
+                .marks()
+                .iter()
+                .filter(|(_, id, _)| *id == BarrierSpec::exit_mark(e))
+                .map(|&(_, _, t)| t)
+                .collect();
+            assert_eq!(enters.len(), procs as usize);
+            assert_eq!(exits.len(), procs as usize);
+            let last_enter = *enters.iter().max().unwrap();
+            let first_exit = *exits.iter().min().unwrap();
+            assert!(
+                first_exit >= last_enter,
+                "{mech:?} episode {e}: exit {first_exit} before last enter {last_enter}"
+            );
+        }
+        (machine, end)
+    }
+
+    #[test]
+    fn llsc_barrier_synchronizes() {
+        let (m, _) = run_barrier(Mechanism::LlSc, 4, 3);
+        assert!(m.stats().ll_issued >= 12);
+        assert!(m.stats().sc_successes == 12);
+    }
+
+    #[test]
+    fn atomic_barrier_synchronizes() {
+        let (m, _) = run_barrier(Mechanism::Atomic, 4, 3);
+        assert_eq!(m.stats().atomic_ops, 12);
+    }
+
+    #[test]
+    fn actmsg_barrier_synchronizes() {
+        let (m, _) = run_barrier(Mechanism::ActMsg, 4, 3);
+        assert_eq!(m.stats().handlers_run, 12);
+    }
+
+    #[test]
+    fn mao_barrier_synchronizes() {
+        let (m, _) = run_barrier(Mechanism::Mao, 4, 3);
+        assert_eq!(m.stats().mao_ops, 12);
+    }
+
+    #[test]
+    fn amo_barrier_synchronizes_with_one_put_per_episode() {
+        let (m, _) = run_barrier(Mechanism::Amo, 4, 3);
+        assert_eq!(m.stats().amo_ops, 12);
+        assert_eq!(m.stats().puts, 3, "one delayed put per episode");
+        assert_eq!(
+            m.stats().invalidations_sent,
+            0,
+            "AMO barrier never invalidates"
+        );
+    }
+
+    #[test]
+    fn amo_barrier_is_fastest_at_8_procs() {
+        let times: Vec<(Mechanism, u64)> = Mechanism::ALL
+            .iter()
+            .map(|&mech| (mech, run_barrier(mech, 8, 4).1))
+            .collect();
+        let amo = times.iter().find(|(m, _)| *m == Mechanism::Amo).unwrap().1;
+        for &(mech, t) in &times {
+            if mech != Mechanism::Amo {
+                assert!(
+                    amo < t,
+                    "AMO ({amo}) should beat {mech:?} ({t}); all: {times:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_style_synchronizes_every_mechanism() {
+        for style in [
+            BarrierStyle::Naive,
+            BarrierStyle::SpinVariable,
+            BarrierStyle::EagerUpdates,
+            BarrierStyle::SenseReversing,
+        ] {
+            for mech in Mechanism::ALL {
+                let cfg = SystemConfig::with_procs(4);
+                let mut machine = Machine::new(cfg);
+                let mut alloc = VarAlloc::new();
+                let spec = BarrierSpec::build_styled(&mut alloc, mech, style, NodeId(0), 4, 2);
+                for p in 0..4u16 {
+                    let work: Vec<Cycle> = (0..2)
+                        .map(|e| 100 + (p as u64 * 37 + e * 13) % 400)
+                        .collect();
+                    machine.install_kernel(ProcId(p), Box::new(BarrierKernel::new(spec, work)), 0);
+                }
+                let res = machine.run(500_000_000);
+                assert!(res.all_finished, "{mech:?} {style:?}: {:?}", res.finished);
+            }
+        }
+    }
+
+    #[test]
+    fn sense_reversing_synchronizes_all_mechanisms() {
+        for mech in Mechanism::ALL {
+            let cfg = SystemConfig::with_procs(4);
+            let mut machine = Machine::new(cfg);
+            let mut alloc = VarAlloc::new();
+            let spec = BarrierSpec::build_styled(
+                &mut alloc,
+                mech,
+                BarrierStyle::SenseReversing,
+                NodeId(0),
+                4,
+                3,
+            );
+            for p in 0..4u16 {
+                let work: Vec<Cycle> = (0..3)
+                    .map(|e| 100 + (p as u64 * 37 + e * 13) % 400)
+                    .collect();
+                machine.install_kernel(ProcId(p), Box::new(BarrierKernel::new(spec, work)), 0);
+            }
+            let res = machine.run(500_000_000);
+            assert!(res.all_finished, "{mech:?}: {:?}", res.finished);
+            for e in 1..=3u32 {
+                let last_enter = machine
+                    .marks()
+                    .iter()
+                    .filter(|(_, id, _)| *id == BarrierSpec::enter_mark(e))
+                    .map(|&(_, _, t)| t)
+                    .max()
+                    .unwrap();
+                let first_exit = machine
+                    .marks()
+                    .iter()
+                    .filter(|(_, id, _)| *id == BarrierSpec::exit_mark(e))
+                    .map(|&(_, _, t)| t)
+                    .min()
+                    .unwrap();
+                assert!(first_exit >= last_enter, "{mech:?} episode {e}");
+            }
+            // Completing episodes 2 and 3 *is* the reset working: with a
+            // stale counter the per-episode target P would never be hit
+            // again. (Home memory may lag the reset — the zero lives in
+            // the resetter's Modified line.)
+        }
+    }
+
+    #[test]
+    fn sense_reversing_amo_flushes_the_dirty_amu_count() {
+        // The AMO sense-reversing barrier's counter accumulates dirty in
+        // the AMU; the reset's exclusive grant must flush it. Episode 2
+        // would count wrong otherwise, so finishing IS the proof; check
+        // the flush-visible effect explicitly too.
+        let cfg = SystemConfig::with_procs(4);
+        let mut machine = Machine::new(cfg);
+        let mut alloc = VarAlloc::new();
+        let spec = BarrierSpec::build_styled(
+            &mut alloc,
+            Mechanism::Amo,
+            BarrierStyle::SenseReversing,
+            NodeId(0),
+            4,
+            2,
+        );
+        for p in 0..4u16 {
+            machine.install_kernel(
+                ProcId(p),
+                Box::new(BarrierKernel::new(spec, vec![100 + p as u64 * 50; 2])),
+                0,
+            );
+        }
+        let res = machine.run(500_000_000);
+        assert!(res.all_finished, "{:?}", res.finished);
+        // 8 increments plus 2 pushing releases of the spin variable.
+        assert_eq!(machine.stats().amo_ops, 10);
+        assert_eq!(machine.stats().puts, 2, "only the releases push");
+        // Each episode's reset store grabbed exclusive ownership of the
+        // counter block, which must have flushed the AMU's dirty count.
+        assert_eq!(machine.stats().amu_evictions, 0);
+        assert!(machine.stats().amu_misses >= 2, "post-flush AMOs re-fetch");
+    }
+
+    #[test]
+    fn naive_llsc_barrier_also_works_but_slower() {
+        let cfg = SystemConfig::with_procs(4);
+        let run = |style| {
+            let mut machine = Machine::new(cfg);
+            let mut alloc = VarAlloc::new();
+            let spec =
+                BarrierSpec::build_styled(&mut alloc, Mechanism::LlSc, style, NodeId(0), 4, 3);
+            for p in 0..4u16 {
+                let work = vec![200; 3];
+                machine.install_kernel(ProcId(p), Box::new(BarrierKernel::new(spec, work)), 0);
+            }
+            let res = machine.run(500_000_000);
+            assert!(res.all_finished);
+            res.last_finish()
+        };
+        let naive = run(BarrierStyle::Naive);
+        let optimized = run(BarrierStyle::SpinVariable);
+        // Tiny configs may not show a large gap, but naive must at least
+        // not be dramatically faster — it suffers spin/increment
+        // interference.
+        assert!(
+            naive * 2 > optimized,
+            "naive {naive} vs optimized {optimized}"
+        );
+    }
+}

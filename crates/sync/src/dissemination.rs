@@ -1,0 +1,303 @@
+//! Dissemination barrier (Hensgen/Finkel/Manber; popularized by
+//! Mellor-Crummey & Scott, the paper's reference \[17\]).
+//!
+//! ⌈log₂ P⌉ rounds; in round `r`, processor `i` notifies processor
+//! `(i + 2^r) mod P` and waits for the notification from
+//! `(i − 2^r) mod P`. Every processor spins only on its **own** flags
+//! (homed on its own node), and there is no hot spot at all — the
+//! classic software answer to the centralized barrier's serialization,
+//! and a natural extra baseline for the AMO comparison.
+//!
+//! Flags hold cumulative episode counts (notify episode `e` by bringing
+//! the peer's flag for that round to `e`), so no sense reversal or
+//! resets are needed. Each flag has exactly one writer, so conventional
+//! mechanisms notify with a plain coherent store; AMO notifies with an
+//! `amo.fetchadd` whose put lands the count directly in the waiting
+//! cache.
+
+use crate::barrier::BarrierSpec;
+use crate::mechanism::{Mechanism, ReleaseSub, SpinSub, Step};
+use crate::VarAlloc;
+use amo_cpu::{Kernel, Op, Outcome};
+use amo_types::{Addr, Cycle, ProcId, SpinPred, Word};
+
+/// Shared description of a dissemination barrier.
+#[derive(Clone, Debug)]
+pub struct DisseminationSpec {
+    /// Mechanism implementing the notifications.
+    pub mech: Mechanism,
+    /// Participants.
+    pub participants: u16,
+    /// Episodes to run.
+    pub episodes: u32,
+    /// `flags[i][r]`: processor `i`'s round-`r` flag, homed on `i`'s
+    /// node — local spinning is the algorithm's point.
+    pub flags: Vec<Vec<Addr>>,
+}
+
+impl DisseminationSpec {
+    /// Number of rounds for `participants`.
+    pub fn rounds_for(participants: u16) -> u32 {
+        assert!(participants >= 2);
+        (participants as f64).log2().ceil() as u32
+    }
+
+    /// Allocate the flag matrix.
+    pub fn build(
+        alloc: &mut VarAlloc,
+        mech: Mechanism,
+        participants: u16,
+        procs_per_node: u16,
+        episodes: u32,
+    ) -> Self {
+        let rounds = Self::rounds_for(participants);
+        let flags = (0..participants)
+            .map(|p| {
+                let node = ProcId(p).node(procs_per_node);
+                (0..rounds).map(|_| alloc.word(node)).collect()
+            })
+            .collect();
+        DisseminationSpec {
+            mech,
+            participants,
+            episodes,
+            flags,
+        }
+    }
+
+    /// The peer processor `i` notifies in round `r`.
+    pub fn notify_target(&self, i: u16, r: u32) -> u16 {
+        ((i as u32 + (1 << r)) % self.participants as u32) as u16
+    }
+}
+
+#[derive(Debug)]
+enum DState {
+    StartEpisode,
+    WorkWait,
+    EnterMarkWait,
+    Notify(ReleaseSub),
+    Wait(SpinSub),
+    ExitMarkWait,
+    Done,
+}
+
+/// One participant's dissemination-barrier kernel.
+pub struct DisseminationKernel {
+    spec: DisseminationSpec,
+    me: u16,
+    work: Vec<Cycle>,
+    e: u32,
+    round: u32,
+    state: DState,
+}
+
+impl DisseminationKernel {
+    /// Build the kernel for participant `me`.
+    pub fn new(spec: DisseminationSpec, me: u16, work: Vec<Cycle>) -> Self {
+        assert_eq!(work.len(), spec.episodes as usize);
+        assert!((me as usize) < spec.flags.len());
+        DisseminationKernel {
+            spec,
+            me,
+            work,
+            e: 1,
+            round: 0,
+            state: DState::StartEpisode,
+        }
+    }
+
+    fn notify_sub(&self) -> ReleaseSub {
+        let peer = self.spec.notify_target(self.me, self.round);
+        let addr = self.spec.flags[peer as usize][self.round as usize];
+        // One writer per flag: conventional mechanisms store, AMO pushes.
+        match self.spec.mech {
+            Mechanism::Amo => ReleaseSub::new(Mechanism::Amo, addr, self.e as Word),
+            _ => ReleaseSub::coherent_store(addr, self.e as Word),
+        }
+    }
+
+    fn wait_sub(&self) -> SpinSub {
+        let addr = self.spec.flags[self.me as usize][self.round as usize];
+        SpinSub::coherent(addr, SpinPred::Ge(self.e as Word))
+    }
+
+    fn rounds(&self) -> u32 {
+        self.spec.flags[0].len() as u32
+    }
+}
+
+impl Kernel for DisseminationKernel {
+    fn next(&mut self, mut last: Option<Outcome>) -> Op {
+        loop {
+            match &mut self.state {
+                DState::StartEpisode => {
+                    if self.e > self.spec.episodes {
+                        self.state = DState::Done;
+                        continue;
+                    }
+                    self.state = DState::WorkWait;
+                    return Op::Delay {
+                        cycles: self.work[(self.e - 1) as usize],
+                    };
+                }
+                DState::WorkWait => {
+                    self.state = DState::EnterMarkWait;
+                    return Op::Mark {
+                        id: BarrierSpec::enter_mark(self.e),
+                    };
+                }
+                DState::EnterMarkWait => {
+                    self.round = 0;
+                    self.state = DState::Notify(self.notify_sub());
+                    last = None;
+                }
+                DState::Notify(rel) => match rel.poll(last.take()) {
+                    Step::Issue(op) => return op,
+                    Step::Ready(_) => {
+                        self.state = DState::Wait(self.wait_sub());
+                    }
+                },
+                DState::Wait(sp) => match sp.poll(last.take()) {
+                    Step::Issue(op) => return op,
+                    Step::Ready(_) => {
+                        self.round += 1;
+                        if self.round < self.rounds() {
+                            self.state = DState::Notify(self.notify_sub());
+                        } else {
+                            self.state = DState::ExitMarkWait;
+                            return Op::Mark {
+                                id: BarrierSpec::exit_mark(self.e),
+                            };
+                        }
+                    }
+                },
+                DState::ExitMarkWait => {
+                    self.e += 1;
+                    self.state = DState::StartEpisode;
+                    last = None;
+                }
+                DState::Done => return Op::Done,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amo_sim::Machine;
+    use amo_types::SystemConfig;
+
+    fn run_dissemination(mech: Mechanism, procs: u16, episodes: u32) -> (Machine, u64) {
+        let cfg = SystemConfig::with_procs(procs);
+        let mut machine = Machine::new(cfg);
+        let mut alloc = VarAlloc::new();
+        let spec = DisseminationSpec::build(&mut alloc, mech, procs, cfg.procs_per_node, episodes);
+        for p in 0..procs {
+            let work: Vec<Cycle> = (0..episodes)
+                .map(|e| 100 + (p as u64 * 37 + e as u64 * 13) % 400)
+                .collect();
+            machine.install_kernel(
+                ProcId(p),
+                Box::new(DisseminationKernel::new(spec.clone(), p, work)),
+                0,
+            );
+        }
+        let res = machine.run(2_000_000_000);
+        assert!(res.all_finished, "{mech:?}: {:?}", res.finished);
+        // Barrier property.
+        for e in 1..=episodes {
+            let last_enter = machine
+                .marks()
+                .iter()
+                .filter(|(_, id, _)| *id == BarrierSpec::enter_mark(e))
+                .map(|&(_, _, t)| t)
+                .max()
+                .unwrap();
+            let first_exit = machine
+                .marks()
+                .iter()
+                .filter(|(_, id, _)| *id == BarrierSpec::exit_mark(e))
+                .map(|&(_, _, t)| t)
+                .min()
+                .unwrap();
+            assert!(first_exit >= last_enter, "{mech:?} episode {e} violated");
+        }
+        (machine, res.last_finish())
+    }
+
+    #[test]
+    fn rounds_formula() {
+        assert_eq!(DisseminationSpec::rounds_for(2), 1);
+        assert_eq!(DisseminationSpec::rounds_for(4), 2);
+        assert_eq!(DisseminationSpec::rounds_for(5), 3);
+        assert_eq!(DisseminationSpec::rounds_for(8), 3);
+        assert_eq!(DisseminationSpec::rounds_for(256), 8);
+    }
+
+    #[test]
+    fn notify_partners_wrap() {
+        let mut alloc = VarAlloc::new();
+        let spec = DisseminationSpec::build(&mut alloc, Mechanism::Atomic, 8, 2, 1);
+        assert_eq!(spec.notify_target(0, 0), 1);
+        assert_eq!(spec.notify_target(7, 0), 0);
+        assert_eq!(spec.notify_target(6, 2), 2);
+    }
+
+    #[test]
+    fn dissemination_synchronizes_all_mechanisms() {
+        for mech in Mechanism::ALL {
+            run_dissemination(mech, 8, 3);
+        }
+    }
+
+    #[test]
+    fn works_with_non_power_of_two() {
+        run_dissemination(Mechanism::LlSc, 6, 2);
+        run_dissemination(Mechanism::Amo, 10, 2);
+    }
+
+    #[test]
+    fn flags_are_home_placed() {
+        let mut alloc = VarAlloc::new();
+        let spec = DisseminationSpec::build(&mut alloc, Mechanism::LlSc, 8, 2, 1);
+        for p in 0..8u16 {
+            for f in &spec.flags[p as usize] {
+                assert_eq!(f.home(), ProcId(p).node(2));
+            }
+        }
+    }
+
+    #[test]
+    fn beats_centralized_llsc_at_scale() {
+        use crate::BarrierKernel;
+        let procs = 32u16;
+        let episodes = 4;
+        let (_, diss) = run_dissemination(Mechanism::LlSc, procs, episodes);
+        // Centralized LL/SC for comparison.
+        let cfg = SystemConfig::with_procs(procs);
+        let mut machine = Machine::new(cfg);
+        let mut alloc = VarAlloc::new();
+        let spec = BarrierSpec::build(
+            &mut alloc,
+            Mechanism::LlSc,
+            amo_types::NodeId(0),
+            procs,
+            episodes,
+        );
+        for p in 0..procs {
+            let work: Vec<Cycle> = (0..episodes)
+                .map(|e| 100 + (p as u64 * 37 + e as u64 * 13) % 400)
+                .collect();
+            machine.install_kernel(ProcId(p), Box::new(BarrierKernel::new(spec, work)), 0);
+        }
+        let res = machine.run(2_000_000_000);
+        assert!(res.all_finished);
+        let central = res.last_finish();
+        assert!(
+            diss < central,
+            "dissemination {diss} should beat centralized LL/SC {central} at {procs} CPUs"
+        );
+    }
+}

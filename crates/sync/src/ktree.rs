@@ -1,0 +1,385 @@
+//! K-level software combining-tree barriers — the generalization the
+//! paper leaves as future work: "determining whether or not tree-based
+//! AMO barriers can provide extra benefits on very large-scale systems".
+//!
+//! The two-level tree of [`crate::tree`] is the paper's evaluated
+//! configuration; this module builds arbitrarily deep trees with a
+//! uniform branching factor. The last arriver of each group climbs one
+//! level; the last arriver at the root starts a downward release wave,
+//! with every climber releasing the groups it climbed out of, top-down.
+//! Counts are cumulative per episode as everywhere else in this crate.
+
+use crate::barrier::BarrierSpec;
+use crate::layout::cumulative_target;
+use crate::mechanism::{FetchAddSub, Mechanism, ReleaseSub, SpinSub, Step};
+use crate::VarAlloc;
+use amo_cpu::{Kernel, Op, Outcome};
+use amo_types::{Addr, Cycle, NodeId, SpinPred, Word};
+
+/// One group at one level of the tree.
+#[derive(Clone, Copy, Debug)]
+pub struct KGroup {
+    /// Arrival counter (uncached for MAO).
+    pub counter: Addr,
+    /// Release word the group's members spin on.
+    pub release: Addr,
+    /// Active-message service counter id.
+    pub ctr_id: u16,
+    /// Members of this group (processors at level 0, child groups above).
+    pub size: u16,
+}
+
+/// Shared description of a k-level combining tree.
+#[derive(Clone, Debug)]
+pub struct KTreeSpec {
+    /// Mechanism implementing the increments.
+    pub mech: Mechanism,
+    /// Participants.
+    pub participants: u16,
+    /// Episodes to run.
+    pub episodes: u32,
+    /// Uniform branching factor.
+    pub branching: u16,
+    /// `levels[l]` — the groups at level `l`; the last level has one
+    /// group (the root).
+    pub levels: Vec<Vec<KGroup>>,
+}
+
+impl KTreeSpec {
+    /// Build a tree of the depth implied by `participants` and
+    /// `branching`; group variables distribute round-robin across nodes,
+    /// the root lives on node 0.
+    pub fn build(
+        alloc: &mut VarAlloc,
+        mech: Mechanism,
+        participants: u16,
+        episodes: u32,
+        branching: u16,
+        num_nodes: u16,
+    ) -> Self {
+        assert!(branching >= 2);
+        assert!(participants > 1);
+        let mut levels = Vec::new();
+        let mut members = participants;
+        loop {
+            let num_groups = members.div_ceil(branching);
+            let level: Vec<KGroup> = (0..num_groups)
+                .map(|g| {
+                    let home = if num_groups == 1 {
+                        NodeId(0)
+                    } else {
+                        NodeId((g * 7 + levels.len() as u16 * 3) % num_nodes)
+                    };
+                    KGroup {
+                        counter: alloc.counter_for(mech, home),
+                        release: alloc.word(home),
+                        ctr_id: alloc.ctr(home),
+                        size: branching.min(members - g * branching),
+                    }
+                })
+                .collect();
+            levels.push(level);
+            if num_groups == 1 {
+                break;
+            }
+            members = num_groups;
+        }
+        KTreeSpec {
+            mech,
+            participants,
+            episodes,
+            branching,
+            levels,
+        }
+    }
+
+    /// Tree depth (number of levels).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The group index of member `m` at level `l` (member = processor at
+    /// level 0, child-group index above).
+    pub fn group_at(&self, mut m: u16, l: usize) -> u16 {
+        for _ in 0..l {
+            m /= self.branching;
+        }
+        m / self.branching
+    }
+}
+
+#[derive(Debug)]
+enum KState {
+    StartEpisode,
+    WorkWait,
+    EnterMarkWait,
+    /// Climbing: increment level `l`'s group counter.
+    Climb(FetchAddSub),
+    /// Not last at the stop level: wait for its release.
+    WaitRelease(SpinSub),
+    /// Downward wave: release the group at `descend_level`.
+    Descend(ReleaseSub),
+    ExitMarkWait,
+    Done,
+}
+
+/// One participant's k-level tree-barrier kernel.
+pub struct KTreeKernel {
+    spec: KTreeSpec,
+    me: u16,
+    work: Vec<Cycle>,
+    e: u32,
+    /// Level currently being climbed.
+    level: usize,
+    /// Level the downward wave is currently releasing.
+    descend_level: usize,
+    state: KState,
+}
+
+impl KTreeKernel {
+    /// Build the kernel for participant `me`.
+    pub fn new(spec: KTreeSpec, me: u16, work: Vec<Cycle>) -> Self {
+        assert_eq!(work.len(), spec.episodes as usize);
+        KTreeKernel {
+            spec,
+            me,
+            work,
+            e: 1,
+            level: 0,
+            descend_level: 0,
+            state: KState::StartEpisode,
+        }
+    }
+
+    fn group(&self, l: usize) -> &KGroup {
+        &self.spec.levels[l][self.spec.group_at(self.me, l) as usize]
+    }
+
+    fn climb_sub(&self, l: usize) -> FetchAddSub {
+        let g = self.group(l);
+        FetchAddSub::new(self.spec.mech, g.counter, 1, g.ctr_id)
+    }
+
+    fn release_sub(&self, l: usize) -> ReleaseSub {
+        let g = self.group(l);
+        if self.spec.mech == Mechanism::Mao {
+            ReleaseSub::coherent_store(g.release, self.e as Word)
+        } else {
+            ReleaseSub::new(self.spec.mech, g.release, self.e as Word)
+        }
+    }
+
+    fn wait_sub(&self, l: usize) -> SpinSub {
+        SpinSub::coherent(self.group(l).release, SpinPred::Ge(self.e as Word))
+    }
+}
+
+impl Kernel for KTreeKernel {
+    fn next(&mut self, mut last: Option<Outcome>) -> Op {
+        loop {
+            match &mut self.state {
+                KState::StartEpisode => {
+                    if self.e > self.spec.episodes {
+                        self.state = KState::Done;
+                        continue;
+                    }
+                    self.state = KState::WorkWait;
+                    return Op::Delay {
+                        cycles: self.work[(self.e - 1) as usize],
+                    };
+                }
+                KState::WorkWait => {
+                    self.state = KState::EnterMarkWait;
+                    return Op::Mark {
+                        id: BarrierSpec::enter_mark(self.e),
+                    };
+                }
+                KState::EnterMarkWait => {
+                    self.level = 0;
+                    self.state = KState::Climb(self.climb_sub(0));
+                    last = None;
+                }
+                KState::Climb(fa) => match fa.poll(last.take()) {
+                    Step::Issue(op) => return op,
+                    Step::Ready(old) => {
+                        let size = self.group(self.level).size;
+                        let target = cumulative_target(self.e, size);
+                        let is_last = old + 1 == target;
+                        let is_root = self.level + 1 == self.spec.depth();
+                        if is_last && !is_root {
+                            self.level += 1;
+                            self.state = KState::Climb(self.climb_sub(self.level));
+                        } else if is_last && is_root {
+                            // Root completion: start the downward wave
+                            // from the root itself.
+                            self.descend_level = self.level;
+                            self.state = KState::Descend(self.release_sub(self.level));
+                        } else {
+                            self.state = KState::WaitRelease(self.wait_sub(self.level));
+                        }
+                    }
+                },
+                KState::WaitRelease(sp) => match sp.poll(last.take()) {
+                    Step::Issue(op) => return op,
+                    Step::Ready(_) => {
+                        if self.level == 0 {
+                            self.state = KState::ExitMarkWait;
+                            return Op::Mark {
+                                id: BarrierSpec::exit_mark(self.e),
+                            };
+                        }
+                        // We climbed out of levels 0..self.level; release
+                        // them top-down.
+                        self.descend_level = self.level - 1;
+                        self.state = KState::Descend(self.release_sub(self.level - 1));
+                    }
+                },
+                KState::Descend(rel) => match rel.poll(last.take()) {
+                    Step::Issue(op) => return op,
+                    Step::Ready(_) => {
+                        if self.descend_level == 0 {
+                            self.state = KState::ExitMarkWait;
+                            return Op::Mark {
+                                id: BarrierSpec::exit_mark(self.e),
+                            };
+                        }
+                        self.descend_level -= 1;
+                        self.state = KState::Descend(self.release_sub(self.descend_level));
+                    }
+                },
+                KState::ExitMarkWait => {
+                    self.e += 1;
+                    self.state = KState::StartEpisode;
+                    last = None;
+                }
+                KState::Done => return Op::Done,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amo_sim::Machine;
+    use amo_types::{ProcId, SystemConfig};
+
+    fn run_ktree(mech: Mechanism, procs: u16, branching: u16, episodes: u32) -> (Machine, u64) {
+        let cfg = SystemConfig::with_procs(procs);
+        let nodes = cfg.num_nodes();
+        let mut machine = Machine::new(cfg);
+        let mut alloc = VarAlloc::new();
+        let spec = KTreeSpec::build(&mut alloc, mech, procs, episodes, branching, nodes);
+        for p in 0..procs {
+            let work: Vec<Cycle> = (0..episodes)
+                .map(|e| 100 + (p as u64 * 31 + e as u64 * 7) % 300)
+                .collect();
+            machine.install_kernel(
+                ProcId(p),
+                Box::new(KTreeKernel::new(spec.clone(), p, work)),
+                0,
+            );
+        }
+        let res = machine.run(4_000_000_000);
+        assert!(
+            res.all_finished,
+            "{mech:?} b={branching}: {:?}",
+            res.finished
+        );
+        for e in 1..=episodes {
+            let last_enter = machine
+                .marks()
+                .iter()
+                .filter(|(_, id, _)| *id == BarrierSpec::enter_mark(e))
+                .map(|&(_, _, t)| t)
+                .max()
+                .unwrap();
+            let first_exit = machine
+                .marks()
+                .iter()
+                .filter(|(_, id, _)| *id == BarrierSpec::exit_mark(e))
+                .map(|&(_, _, t)| t)
+                .min()
+                .unwrap();
+            assert!(first_exit >= last_enter, "{mech:?} episode {e} violated");
+        }
+        (machine, res.last_finish())
+    }
+
+    #[test]
+    fn depth_and_grouping() {
+        let mut alloc = VarAlloc::new();
+        let spec = KTreeSpec::build(&mut alloc, Mechanism::LlSc, 16, 1, 2, 8);
+        // 16 -> 8 -> 4 -> 2 -> 1 groups: 4 levels of grouping.
+        assert_eq!(spec.depth(), 4);
+        assert_eq!(spec.levels[0].len(), 8);
+        assert_eq!(spec.levels[3].len(), 1);
+        assert_eq!(spec.group_at(5, 0), 2);
+        assert_eq!(spec.group_at(5, 1), 1);
+        assert_eq!(spec.group_at(5, 2), 0);
+    }
+
+    #[test]
+    fn uneven_participants() {
+        let mut alloc = VarAlloc::new();
+        let spec = KTreeSpec::build(&mut alloc, Mechanism::LlSc, 10, 1, 4, 4);
+        // 10 -> 3 -> 1.
+        assert_eq!(spec.depth(), 2);
+        assert_eq!(spec.levels[0].len(), 3);
+        assert_eq!(spec.levels[0][2].size, 2);
+        assert_eq!(spec.levels[1][0].size, 3);
+    }
+
+    #[test]
+    fn deep_trees_synchronize_all_mechanisms() {
+        for mech in Mechanism::ALL {
+            run_ktree(mech, 16, 2, 2); // depth 4
+        }
+    }
+
+    #[test]
+    fn wider_tree_is_shallower_and_works() {
+        run_ktree(Mechanism::Atomic, 16, 4, 3); // 16 -> 4 -> 1: depth 2
+        run_ktree(Mechanism::Amo, 32, 8, 2); // 32 -> 4 -> 1: depth 2
+    }
+
+    #[test]
+    fn two_level_ktree_matches_tree_module_shape() {
+        // A ktree with branching b over b^2 procs has the same structure
+        // as the paper's two-level tree; sanity-check relative timing is
+        // in the same ballpark (within 2x) for LL/SC.
+        use crate::{TreeBarrierKernel, TreeBarrierSpec};
+        let procs = 16u16;
+        let episodes = 3;
+        let (_, kt) = run_ktree(Mechanism::LlSc, procs, 4, episodes);
+
+        let cfg = SystemConfig::with_procs(procs);
+        let mut machine = Machine::new(cfg);
+        let mut alloc = VarAlloc::new();
+        let spec = TreeBarrierSpec::build(
+            &mut alloc,
+            Mechanism::LlSc,
+            procs,
+            episodes,
+            4,
+            cfg.num_nodes(),
+        );
+        for p in 0..procs {
+            let work: Vec<Cycle> = (0..episodes)
+                .map(|e| 100 + (p as u64 * 31 + e as u64 * 7) % 300)
+                .collect();
+            machine.install_kernel(
+                ProcId(p),
+                Box::new(TreeBarrierKernel::new(spec.clone(), p, work)),
+                0,
+            );
+        }
+        let res = machine.run(2_000_000_000);
+        assert!(res.all_finished);
+        let two = res.last_finish();
+        assert!(
+            kt < two * 2 && two < kt * 2,
+            "ktree {kt} vs two-level {two}"
+        );
+    }
+}

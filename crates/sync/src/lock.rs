@@ -1,0 +1,727 @@
+//! Spin locks: ticket locks and Anderson array-based queuing locks
+//! (paper Sec. 3.3.2 and 4.2.3), over all five mechanisms.
+//!
+//! Both use cumulative counts. A ticket lock's `now_serving` only ever
+//! increments; an array lock's per-slot flag counts how many times the
+//! slot has been granted, so the holder of ticket `t` spins on
+//! `flags[t % n] ≥ t/n + 1` and releases by bringing
+//! `flags[(t+1) % n]` to `(t+1)/n + 1`.
+//!
+//! Under MAO only the *sequencer* lives in uncached space (it is the
+//! only word needing atomicity); grant words stay coherent and releases
+//! are ordinary stores — which is why the paper's MAO locks perform like
+//! the conventional ones. Under AMO the release is an `amo.fetchadd`
+//! whose immediate put pushes the new value into every waiting cache.
+//!
+//! The array lock is Anderson's: the conventional release performs *two*
+//! writes (reset your own slot, grant the next), which is what makes it
+//! slower than the ticket lock on small machines; the AMO recoding drops
+//! the reset ("using AMOs makes it a moot point", paper Sec. 3.3.2).
+
+use crate::mechanism::{FetchAddSub, Mechanism, MsgOpSub, ReleaseSub, SpinSub, Step};
+use crate::VarAlloc;
+use amo_cpu::{Kernel, Op, Outcome};
+use amo_types::HandlerKind;
+use amo_types::{Addr, Cycle, NodeId, SpinPred, Word};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Marker ids recorded by lock kernels: round `r` (1-based) acquires at
+/// mark `2r` and releases at mark `2r + 1`.
+pub fn acquire_mark(round: u32) -> u32 {
+    round * 2
+}
+
+/// See [`acquire_mark`].
+pub fn release_mark(round: u32) -> u32 {
+    round * 2 + 1
+}
+
+/// Optional in-simulation mutual-exclusion checker: each holder scribbles
+/// its tag into a shared word on entry and verifies it on exit; any
+/// mismatch means two processors were inside simultaneously.
+#[derive(Clone)]
+pub struct ExclusionCheck {
+    /// Shared scribble word (coherent).
+    pub addr: Addr,
+    /// Violation counter shared with the test harness.
+    pub violations: Rc<Cell<u64>>,
+}
+
+/// Shared description of a ticket lock.
+#[derive(Clone, Copy, Debug)]
+pub struct TicketLockSpec {
+    /// Mechanism implementing fetch-and-add / release / spin.
+    pub mech: Mechanism,
+    /// The sequencer (`next_ticket`).
+    pub next_ticket: Addr,
+    /// The grant counter (`now_serving`).
+    pub now_serving: Addr,
+    /// Active-message service counter for the sequencer.
+    pub ctr_id: u16,
+    /// Active-message service counter holding the grant count (the
+    /// ActMsg ticket lock keeps `now_serving` at the home processor and
+    /// waiters poll it with messages).
+    pub ctr_serving: u16,
+    /// Acquisitions each participant performs.
+    pub rounds: u32,
+    /// Critical-section length in cycles.
+    pub cs_cycles: Cycle,
+}
+
+impl TicketLockSpec {
+    /// Allocate a ticket lock homed on `home`.
+    pub fn build(
+        alloc: &mut VarAlloc,
+        mech: Mechanism,
+        home: NodeId,
+        rounds: u32,
+        cs_cycles: Cycle,
+    ) -> Self {
+        TicketLockSpec {
+            mech,
+            // Only the sequencer needs atomicity; under MAO it lives in
+            // uncached space. The grant counter is always coherent.
+            next_ticket: alloc.counter_for(mech, home),
+            now_serving: alloc.word(home),
+            ctr_id: alloc.ctr(home),
+            ctr_serving: alloc.ctr(home),
+            rounds,
+            cs_cycles,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum LockPhase {
+    StartRound,
+    ThinkWait,
+    Acquire(AcqSub),
+    Waiting(WaitSub),
+    AcqMarkWait,
+    ScribbleWait,
+    CsWait,
+    VerifyWait,
+    ResetWait,
+    Release(RelSub),
+    RelMarkWait,
+    Done,
+}
+
+/// How a ticket is obtained: a mechanism fetch-add, or a home-mediated
+/// acquire message whose ack is the deferred grant (ActMsg ticket lock).
+#[derive(Debug)]
+enum AcqSub {
+    Fa(FetchAddSub),
+    Msg(MsgOpSub),
+}
+
+impl AcqSub {
+    fn poll(&mut self, last: Option<Outcome>) -> Step {
+        match self {
+            AcqSub::Fa(f) => f.poll(last),
+            AcqSub::Msg(m) => m.poll(last),
+        }
+    }
+}
+
+/// How a waiter waits: a cached spin — or nothing at all, when the
+/// acquire's ack already was the grant (ActMsg ticket lock).
+#[derive(Debug)]
+enum WaitSub {
+    Spin(SpinSub),
+    Granted,
+}
+
+impl WaitSub {
+    fn poll(&mut self, last: Option<Outcome>) -> Step {
+        match self {
+            WaitSub::Spin(s) => s.poll(last),
+            WaitSub::Granted => Step::Ready(0),
+        }
+    }
+}
+
+/// How a release happens: a release write, or a home-mediated release
+/// message (ActMsg ticket lock).
+#[derive(Debug)]
+enum RelSub {
+    Rel(ReleaseSub),
+    Msg(MsgOpSub),
+}
+
+impl RelSub {
+    fn poll(&mut self, last: Option<Outcome>) -> Step {
+        match self {
+            RelSub::Rel(r) => r.poll(last),
+            RelSub::Msg(m) => m.poll(last),
+        }
+    }
+}
+
+/// One participant's ticket-lock benchmark kernel: `rounds` iterations
+/// of think → acquire → critical section → release.
+pub struct TicketLockKernel {
+    spec: TicketLockSpec,
+    think: Vec<Cycle>,
+    tag: Word,
+    check: Option<ExclusionCheck>,
+    r: u32,
+    my_ticket: Word,
+    state: LockPhase,
+}
+
+impl TicketLockKernel {
+    /// Build the kernel. `think[i]` is the local delay before round
+    /// `i+1`; `tag` must be unique and nonzero per participant when an
+    /// exclusion check is attached.
+    pub fn new(
+        spec: TicketLockSpec,
+        think: Vec<Cycle>,
+        tag: Word,
+        check: Option<ExclusionCheck>,
+    ) -> Self {
+        assert_eq!(think.len(), spec.rounds as usize);
+        TicketLockKernel {
+            spec,
+            think,
+            tag,
+            check,
+            r: 1,
+            my_ticket: 0,
+            state: LockPhase::StartRound,
+        }
+    }
+
+    fn acquire_sub(&self) -> AcqSub {
+        match self.spec.mech {
+            // Home-mediated: the ack is the deferred grant. Waiting
+            // happens inside this one message exchange; long waits make
+            // the requester's timer retransmit, and every duplicate
+            // invocation burns home-CPU time — the paper's
+            // heavy-contention interference and traffic blow-up.
+            Mechanism::ActMsg => AcqSub::Msg(MsgOpSub::new(
+                self.spec.now_serving.home(),
+                HandlerKind::LockAcquire {
+                    lock: self.spec.ctr_serving,
+                },
+            )),
+            _ => AcqSub::Fa(FetchAddSub::new(
+                self.spec.mech,
+                self.spec.next_ticket,
+                1,
+                self.spec.ctr_id,
+            )),
+        }
+    }
+
+    fn wait_sub(&self) -> WaitSub {
+        match self.spec.mech {
+            // The grant already arrived with the acquire's ack.
+            Mechanism::ActMsg => WaitSub::Granted,
+            _ => WaitSub::Spin(SpinSub::coherent(
+                self.spec.now_serving,
+                SpinPred::Ge(self.my_ticket),
+            )),
+        }
+    }
+
+    fn release_sub(&self) -> RelSub {
+        let new_value = self.my_ticket + 1;
+        match self.spec.mech {
+            Mechanism::ActMsg => RelSub::Msg(MsgOpSub::new(
+                self.spec.now_serving.home(),
+                HandlerKind::LockRelease {
+                    lock: self.spec.ctr_serving,
+                },
+            )),
+            // The grant counter is coherent; MAO releases it with an
+            // ordinary store.
+            Mechanism::Mao => {
+                RelSub::Rel(ReleaseSub::coherent_store(self.spec.now_serving, new_value))
+            }
+            _ => RelSub::Rel(ReleaseSub::new(
+                self.spec.mech,
+                self.spec.now_serving,
+                new_value,
+            )),
+        }
+    }
+}
+
+impl Kernel for TicketLockKernel {
+    fn next(&mut self, mut last: Option<Outcome>) -> Op {
+        loop {
+            match &mut self.state {
+                LockPhase::StartRound => {
+                    if self.r > self.spec.rounds {
+                        self.state = LockPhase::Done;
+                        continue;
+                    }
+                    self.state = LockPhase::ThinkWait;
+                    return Op::Delay {
+                        cycles: self.think[(self.r - 1) as usize],
+                    };
+                }
+                LockPhase::ThinkWait => {
+                    self.state = LockPhase::Acquire(self.acquire_sub());
+                    last = None;
+                }
+                LockPhase::Acquire(fa) => match fa.poll(last.take()) {
+                    Step::Issue(op) => return op,
+                    Step::Ready(ticket) => {
+                        self.my_ticket = ticket;
+                        self.state = LockPhase::Waiting(self.wait_sub());
+                    }
+                },
+                LockPhase::Waiting(sp) => match sp.poll(last.take()) {
+                    Step::Issue(op) => return op,
+                    Step::Ready(_) => {
+                        self.state = LockPhase::AcqMarkWait;
+                        return Op::Mark {
+                            id: acquire_mark(self.r),
+                        };
+                    }
+                },
+                LockPhase::AcqMarkWait => {
+                    if let Some(c) = &self.check {
+                        self.state = LockPhase::ScribbleWait;
+                        return Op::Store {
+                            addr: c.addr,
+                            value: self.tag,
+                        };
+                    }
+                    self.state = LockPhase::CsWait;
+                    return Op::Delay {
+                        cycles: self.spec.cs_cycles,
+                    };
+                }
+                LockPhase::ScribbleWait => {
+                    self.state = LockPhase::CsWait;
+                    return Op::Delay {
+                        cycles: self.spec.cs_cycles,
+                    };
+                }
+                LockPhase::CsWait => {
+                    if let Some(c) = &self.check {
+                        self.state = LockPhase::VerifyWait;
+                        return Op::Load { addr: c.addr };
+                    }
+                    // Release marks record *initiation*: the grant becomes
+                    // visible to the next holder while the releaser's own
+                    // completion (reply/ack) is still in flight.
+                    self.state = LockPhase::RelMarkWait;
+                    return Op::Mark {
+                        id: release_mark(self.r),
+                    };
+                }
+                LockPhase::VerifyWait => {
+                    if let Some(Outcome::Value(v)) = last.take() {
+                        let c = self.check.as_ref().expect("verify without check");
+                        if v != self.tag {
+                            c.violations.set(c.violations.get() + 1);
+                        }
+                    }
+                    self.state = LockPhase::RelMarkWait;
+                    return Op::Mark {
+                        id: release_mark(self.r),
+                    };
+                }
+                LockPhase::ResetWait => unreachable!("ticket locks have no reset write"),
+                LockPhase::RelMarkWait => {
+                    self.state = LockPhase::Release(self.release_sub());
+                    last = None;
+                }
+                LockPhase::Release(rel) => match rel.poll(last.take()) {
+                    Step::Issue(op) => return op,
+                    Step::Ready(_) => {
+                        self.r += 1;
+                        self.state = LockPhase::StartRound;
+                        last = None;
+                    }
+                },
+                LockPhase::Done => return Op::Done,
+            }
+        }
+    }
+}
+
+/// Shared description of an Anderson array-based queuing lock.
+#[derive(Clone, Debug)]
+pub struct ArrayLockSpec {
+    /// Mechanism implementing fetch-and-add / release / spin.
+    pub mech: Mechanism,
+    /// The sequencer handing out slots.
+    pub sequencer: Addr,
+    /// Per-slot grant-count flags, each in its own block.
+    pub flags: Vec<Addr>,
+    /// Active-message service counter for the sequencer.
+    pub ctr_id: u16,
+    /// Acquisitions each participant performs.
+    pub rounds: u32,
+    /// Critical-section length in cycles.
+    pub cs_cycles: Cycle,
+}
+
+impl ArrayLockSpec {
+    /// Allocate an array lock with `slots` flags, all homed on `home`
+    /// (as a contiguously-allocated flag array would be).
+    pub fn build(
+        alloc: &mut VarAlloc,
+        mech: Mechanism,
+        home: NodeId,
+        slots: u16,
+        rounds: u32,
+        cs_cycles: Cycle,
+    ) -> Self {
+        assert!(slots >= 2);
+        ArrayLockSpec {
+            mech,
+            // Only the sequencer needs atomicity (uncached under MAO);
+            // flags are coherent words, one per block.
+            sequencer: alloc.counter_for(mech, home),
+            flags: (0..slots).map(|_| alloc.word(home)).collect(),
+            ctr_id: alloc.ctr(home),
+            rounds,
+            cs_cycles,
+        }
+    }
+
+    /// Program initialization: slot 0 starts granted (the lock is free).
+    /// Must be applied to the machine before the run.
+    pub fn init(&self, machine: &mut amo_sim::Machine) {
+        machine.init_word(self.flags[0], 1);
+    }
+
+    fn slot(&self, ticket: Word) -> usize {
+        (ticket % self.flags.len() as Word) as usize
+    }
+
+    fn grant(&self, ticket: Word) -> Word {
+        ticket / self.flags.len() as Word + 1
+    }
+}
+
+/// One participant's array-lock benchmark kernel.
+pub struct ArrayLockKernel {
+    spec: ArrayLockSpec,
+    think: Vec<Cycle>,
+    tag: Word,
+    check: Option<ExclusionCheck>,
+    r: u32,
+    my_ticket: Word,
+    state: LockPhase,
+}
+
+impl ArrayLockKernel {
+    /// Build the kernel (see [`TicketLockKernel::new`]).
+    pub fn new(
+        spec: ArrayLockSpec,
+        think: Vec<Cycle>,
+        tag: Word,
+        check: Option<ExclusionCheck>,
+    ) -> Self {
+        assert_eq!(think.len(), spec.rounds as usize);
+        ArrayLockKernel {
+            spec,
+            think,
+            tag,
+            check,
+            r: 1,
+            my_ticket: 0,
+            state: LockPhase::StartRound,
+        }
+    }
+
+    fn wait_sub(&self) -> WaitSub {
+        let slot = self.spec.slot(self.my_ticket);
+        let grant = self.spec.grant(self.my_ticket);
+        WaitSub::Spin(SpinSub::coherent(
+            self.spec.flags[slot],
+            SpinPred::Ge(grant),
+        ))
+    }
+
+    fn release_sub(&self) -> RelSub {
+        let next = self.my_ticket + 1;
+        let slot = self.spec.slot(next);
+        let addr = self.spec.flags[slot];
+        let grant = self.spec.grant(next);
+        // Flags are coherent for every mechanism (the array lock's whole
+        // point is local spinning); MAO and ActMsg release with ordinary
+        // stores, AMO pushes.
+        match self.spec.mech {
+            Mechanism::Mao | Mechanism::ActMsg => {
+                RelSub::Rel(ReleaseSub::coherent_store(addr, grant))
+            }
+            _ => RelSub::Rel(ReleaseSub::new(self.spec.mech, addr, grant)),
+        }
+    }
+
+    /// Anderson's release performs a second write: reset your own slot
+    /// to "must wait" before granting the next. With cumulative grant
+    /// counts the value is semantically inert, but the coherence traffic
+    /// and latency it costs are exactly the original algorithm's. AMO
+    /// recodings drop it.
+    fn reset_op(&self) -> Op {
+        let slot = self.spec.slot(self.my_ticket);
+        Op::Store {
+            addr: self.spec.flags[slot],
+            value: self.spec.grant(self.my_ticket),
+        }
+    }
+}
+
+impl Kernel for ArrayLockKernel {
+    fn next(&mut self, mut last: Option<Outcome>) -> Op {
+        loop {
+            match &mut self.state {
+                LockPhase::StartRound => {
+                    if self.r > self.spec.rounds {
+                        self.state = LockPhase::Done;
+                        continue;
+                    }
+                    self.state = LockPhase::ThinkWait;
+                    return Op::Delay {
+                        cycles: self.think[(self.r - 1) as usize],
+                    };
+                }
+                LockPhase::ThinkWait => {
+                    self.state = LockPhase::Acquire(AcqSub::Fa(FetchAddSub::new(
+                        self.spec.mech,
+                        self.spec.sequencer,
+                        1,
+                        self.spec.ctr_id,
+                    )));
+                    last = None;
+                }
+                LockPhase::Acquire(fa) => match fa.poll(last.take()) {
+                    Step::Issue(op) => return op,
+                    Step::Ready(ticket) => {
+                        self.my_ticket = ticket;
+                        self.state = LockPhase::Waiting(self.wait_sub());
+                    }
+                },
+                LockPhase::Waiting(sp) => match sp.poll(last.take()) {
+                    Step::Issue(op) => return op,
+                    Step::Ready(_) => {
+                        self.state = LockPhase::AcqMarkWait;
+                        return Op::Mark {
+                            id: acquire_mark(self.r),
+                        };
+                    }
+                },
+                LockPhase::AcqMarkWait => {
+                    if let Some(c) = &self.check {
+                        self.state = LockPhase::ScribbleWait;
+                        return Op::Store {
+                            addr: c.addr,
+                            value: self.tag,
+                        };
+                    }
+                    self.state = LockPhase::CsWait;
+                    return Op::Delay {
+                        cycles: self.spec.cs_cycles,
+                    };
+                }
+                LockPhase::ScribbleWait => {
+                    self.state = LockPhase::CsWait;
+                    return Op::Delay {
+                        cycles: self.spec.cs_cycles,
+                    };
+                }
+                LockPhase::CsWait => {
+                    if let Some(c) = &self.check {
+                        self.state = LockPhase::VerifyWait;
+                        return Op::Load { addr: c.addr };
+                    }
+                    if self.spec.mech != Mechanism::Amo {
+                        self.state = LockPhase::ResetWait;
+                        return self.reset_op();
+                    }
+                    self.state = LockPhase::RelMarkWait;
+                    return Op::Mark {
+                        id: release_mark(self.r),
+                    };
+                }
+                LockPhase::VerifyWait => {
+                    if let Some(Outcome::Value(v)) = last.take() {
+                        let c = self.check.as_ref().expect("verify without check");
+                        if v != self.tag {
+                            c.violations.set(c.violations.get() + 1);
+                        }
+                    }
+                    if self.spec.mech != Mechanism::Amo {
+                        self.state = LockPhase::ResetWait;
+                        return self.reset_op();
+                    }
+                    self.state = LockPhase::RelMarkWait;
+                    return Op::Mark {
+                        id: release_mark(self.r),
+                    };
+                }
+                LockPhase::ResetWait => {
+                    self.state = LockPhase::RelMarkWait;
+                    return Op::Mark {
+                        id: release_mark(self.r),
+                    };
+                }
+                LockPhase::RelMarkWait => {
+                    self.state = LockPhase::Release(self.release_sub());
+                    last = None;
+                }
+                LockPhase::Release(rel) => match rel.poll(last.take()) {
+                    Step::Issue(op) => return op,
+                    Step::Ready(_) => {
+                        self.r += 1;
+                        self.state = LockPhase::StartRound;
+                        last = None;
+                    }
+                },
+                LockPhase::Done => return Op::Done,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amo_sim::Machine;
+    use amo_types::{ProcId, SystemConfig};
+
+    fn run_ticket(mech: Mechanism, procs: u16, rounds: u32) -> (Machine, u64) {
+        let cfg = SystemConfig::with_procs(procs);
+        let mut machine = Machine::new(cfg);
+        let mut alloc = VarAlloc::new();
+        let spec = TicketLockSpec::build(&mut alloc, mech, NodeId(0), rounds, 200);
+        let check = ExclusionCheck {
+            addr: alloc.word(NodeId(0)),
+            violations: Rc::new(Cell::new(0)),
+        };
+        for p in 0..procs {
+            let think: Vec<Cycle> = (0..rounds)
+                .map(|r| 100 + (p as u64 * 41 + r as u64 * 17) % 500)
+                .collect();
+            machine.install_kernel(
+                ProcId(p),
+                Box::new(TicketLockKernel::new(
+                    spec,
+                    think,
+                    p as Word + 1,
+                    Some(check.clone()),
+                )),
+                0,
+            );
+        }
+        let res = machine.run(2_000_000_000);
+        assert!(res.all_finished, "{mech:?}: {:?}", res.finished);
+        assert_eq!(
+            check.violations.get(),
+            0,
+            "{mech:?} violated mutual exclusion"
+        );
+        (machine, res.last_finish())
+    }
+
+    fn run_array(mech: Mechanism, procs: u16, rounds: u32) -> (Machine, u64) {
+        let cfg = SystemConfig::with_procs(procs);
+        let mut machine = Machine::new(cfg);
+        let mut alloc = VarAlloc::new();
+        let spec = ArrayLockSpec::build(&mut alloc, mech, NodeId(0), procs, rounds, 200);
+        spec.init(&mut machine);
+        let check = ExclusionCheck {
+            addr: alloc.word(NodeId(0)),
+            violations: Rc::new(Cell::new(0)),
+        };
+        for p in 0..procs {
+            let think: Vec<Cycle> = (0..rounds)
+                .map(|r| 100 + (p as u64 * 43 + r as u64 * 19) % 500)
+                .collect();
+            machine.install_kernel(
+                ProcId(p),
+                Box::new(ArrayLockKernel::new(
+                    spec.clone(),
+                    think,
+                    p as Word + 1,
+                    Some(check.clone()),
+                )),
+                0,
+            );
+        }
+        let res = machine.run(2_000_000_000);
+        assert!(res.all_finished, "{mech:?}: {:?}", res.finished);
+        assert_eq!(
+            check.violations.get(),
+            0,
+            "{mech:?} violated mutual exclusion"
+        );
+        (machine, res.last_finish())
+    }
+
+    #[test]
+    fn ticket_lock_mutual_exclusion_all_mechanisms() {
+        for mech in Mechanism::ALL {
+            run_ticket(mech, 4, 3);
+        }
+    }
+
+    #[test]
+    fn array_lock_mutual_exclusion_all_mechanisms() {
+        for mech in Mechanism::ALL {
+            run_array(mech, 4, 3);
+        }
+    }
+
+    #[test]
+    fn ticket_lock_grants_fifo() {
+        // With a coherent ticket lock, acquisition order must follow
+        // ticket order; verify via marks: acquire times are strictly
+        // ordered and never overlap with the previous holder's release.
+        let (machine, _) = run_ticket(Mechanism::Atomic, 4, 3);
+        let mut acquires: Vec<(u64, ProcId)> = machine
+            .marks()
+            .iter()
+            .filter(|(_, id, _)| id % 2 == 0 && *id >= 2)
+            .map(|&(p, _, t)| (t, p))
+            .collect();
+        let mut releases: Vec<u64> = machine
+            .marks()
+            .iter()
+            .filter(|(_, id, _)| id % 2 == 1 && *id >= 3)
+            .map(|&(_, _, t)| t)
+            .collect();
+        acquires.sort_unstable();
+        releases.sort_unstable();
+        assert_eq!(acquires.len(), releases.len());
+        // k-th acquire happens at/after (k-1)-th release.
+        for k in 1..acquires.len() {
+            assert!(
+                acquires[k].0 >= releases[k - 1],
+                "overlap: acquire {} before release {}",
+                acquires[k].0,
+                releases[k - 1]
+            );
+        }
+    }
+
+    #[test]
+    fn amo_ticket_lock_beats_llsc_at_8() {
+        let (_, amo) = run_ticket(Mechanism::Amo, 8, 4);
+        let (_, llsc) = run_ticket(Mechanism::LlSc, 8, 4);
+        assert!(amo < llsc, "AMO {amo} should beat LL/SC {llsc}");
+    }
+
+    #[test]
+    fn array_lock_slot_arithmetic() {
+        let mut alloc = VarAlloc::new();
+        let spec = ArrayLockSpec::build(&mut alloc, Mechanism::Atomic, NodeId(0), 4, 1, 100);
+        assert_eq!(spec.slot(0), 0);
+        assert_eq!(spec.slot(5), 1);
+        assert_eq!(spec.grant(0), 1);
+        assert_eq!(spec.grant(4), 2);
+        assert_eq!(spec.grant(5), 2);
+        // Flags are in distinct blocks.
+        assert_ne!(spec.flags[0].block(128), spec.flags[1].block(128));
+    }
+}

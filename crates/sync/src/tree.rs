@@ -1,0 +1,334 @@
+//! Software combining-tree barriers (Yew, Tzeng & Lawrie; paper
+//! Sec. 4.2.2).
+//!
+//! A two-level tree, as in the paper: processors are partitioned into
+//! groups of `branching` leaves; the last processor to arrive in a group
+//! increments the root counter; the last to arrive at the root releases
+//! the root, and each group leader then releases its group. Group
+//! counters are distributed round-robin across home nodes, which is the
+//! whole point of the tree — spreading the hot spot.
+//!
+//! Counts are cumulative across episodes (episode `e` completes a group
+//! of size `s` at `e × s`), so no resets are needed.
+
+use crate::layout::cumulative_target;
+use crate::mechanism::{FetchAddSub, Mechanism, ReleaseSub, SpinSub, Step};
+use crate::{BarrierSpec, VarAlloc};
+use amo_cpu::{Kernel, Op, Outcome};
+use amo_types::{Addr, Cycle, NodeId, SpinPred, Word};
+
+/// One group's variables.
+#[derive(Clone, Copy, Debug)]
+pub struct GroupSpec {
+    /// Arrival counter (uncached for MAO).
+    pub counter: Addr,
+    /// Release word the group members spin on.
+    pub release: Addr,
+    /// Active-message service counter id at the group's home.
+    pub ctr_id: u16,
+    /// Number of processors in this group.
+    pub size: u16,
+}
+
+/// Shared description of a two-level combining-tree barrier.
+#[derive(Clone, Debug)]
+pub struct TreeBarrierSpec {
+    /// Mechanism implementing the atomic increments.
+    pub mech: Mechanism,
+    /// Total participating processors.
+    pub participants: u16,
+    /// Episodes to run.
+    pub episodes: u32,
+    /// Leaf fan-in (group size); the paper searches the best value.
+    pub branching: u16,
+    /// Per-group variables.
+    pub groups: Vec<GroupSpec>,
+    /// Root arrival counter.
+    pub root_counter: Addr,
+    /// Root release word the group leaders spin on.
+    pub root_release: Addr,
+    /// Active-message counter id for the root.
+    pub root_ctr_id: u16,
+}
+
+impl TreeBarrierSpec {
+    /// Build a tree with the given branching factor; group variables are
+    /// homed round-robin across the machine's nodes, the root on node 0.
+    pub fn build(
+        alloc: &mut VarAlloc,
+        mech: Mechanism,
+        participants: u16,
+        episodes: u32,
+        branching: u16,
+        num_nodes: u16,
+    ) -> Self {
+        assert!(branching >= 2, "tree needs fan-in of at least 2");
+        assert!(
+            participants > branching,
+            "tree smaller than one group is pointless"
+        );
+        let num_groups = participants.div_ceil(branching);
+        let groups = (0..num_groups)
+            .map(|g| {
+                let home = NodeId(g % num_nodes);
+                let size = branching.min(participants - g * branching);
+                GroupSpec {
+                    counter: alloc.counter_for(mech, home),
+                    release: alloc.word(home),
+                    ctr_id: alloc.ctr(home),
+                    size,
+                }
+            })
+            .collect();
+        TreeBarrierSpec {
+            mech,
+            participants,
+            episodes,
+            branching,
+            groups,
+            root_counter: alloc.counter_for(mech, NodeId(0)),
+            root_release: alloc.word(NodeId(0)),
+            root_ctr_id: alloc.ctr(NodeId(0)),
+        }
+    }
+
+    /// Group index of processor `p`.
+    pub fn group_of(&self, p: u16) -> usize {
+        (p / self.branching) as usize
+    }
+
+    /// Number of groups (root fan-in).
+    pub fn num_groups(&self) -> u16 {
+        self.groups.len() as u16
+    }
+}
+
+#[derive(Debug)]
+enum TState {
+    StartEpisode,
+    WorkWait,
+    EnterMarkWait,
+    GroupFa(FetchAddSub),
+    RootFa(FetchAddSub),
+    RootRel(ReleaseSub),
+    RootSpin(SpinSub),
+    GroupRel(ReleaseSub),
+    GroupSpin(SpinSub),
+    ExitMarkWait,
+    Done,
+}
+
+/// One participant's tree-barrier kernel.
+pub struct TreeBarrierKernel {
+    spec: TreeBarrierSpec,
+    group: usize,
+    work: Vec<Cycle>,
+    e: u32,
+    state: TState,
+}
+
+impl TreeBarrierKernel {
+    /// Build the kernel for participant `p` (its group is derived).
+    pub fn new(spec: TreeBarrierSpec, p: u16, work: Vec<Cycle>) -> Self {
+        assert_eq!(work.len(), spec.episodes as usize);
+        let group = spec.group_of(p);
+        TreeBarrierKernel {
+            spec,
+            group,
+            work,
+            e: 1,
+            state: TState::StartEpisode,
+        }
+    }
+
+    fn spin_for(&self, addr: Addr, target: Word) -> SpinSub {
+        // Releases are always coherent words (even under MAO, the
+        // optimized spin-variable discipline applies), so spins are
+        // coherent too.
+        SpinSub::coherent(addr, SpinPred::Ge(target))
+    }
+
+    fn release_for(&self, addr: Addr, new_value: Word) -> ReleaseSub {
+        // Tree release words are coherent even under MAO (optimized
+        // spin-variable discipline), so MAO releases are plain stores.
+        if self.spec.mech == Mechanism::Mao {
+            ReleaseSub::coherent_store(addr, new_value)
+        } else {
+            ReleaseSub::new(self.spec.mech, addr, new_value)
+        }
+    }
+}
+
+impl Kernel for TreeBarrierKernel {
+    fn next(&mut self, mut last: Option<Outcome>) -> Op {
+        loop {
+            let e = self.e;
+            let g = &self.spec.groups[self.group];
+            match &mut self.state {
+                TState::StartEpisode => {
+                    if e > self.spec.episodes {
+                        self.state = TState::Done;
+                        continue;
+                    }
+                    self.state = TState::WorkWait;
+                    return Op::Delay {
+                        cycles: self.work[(e - 1) as usize],
+                    };
+                }
+                TState::WorkWait => {
+                    self.state = TState::EnterMarkWait;
+                    return Op::Mark {
+                        id: BarrierSpec::enter_mark(e),
+                    };
+                }
+                TState::EnterMarkWait => {
+                    self.state =
+                        TState::GroupFa(FetchAddSub::new(self.spec.mech, g.counter, 1, g.ctr_id));
+                    last = None;
+                }
+                TState::GroupFa(fa) => match fa.poll(last.take()) {
+                    Step::Issue(op) => return op,
+                    Step::Ready(old) => {
+                        let target = cumulative_target(e, g.size);
+                        if old + 1 == target {
+                            // Group leader: climb to the root.
+                            self.state = TState::RootFa(FetchAddSub::new(
+                                self.spec.mech,
+                                self.spec.root_counter,
+                                1,
+                                self.spec.root_ctr_id,
+                            ));
+                        } else {
+                            self.state = TState::GroupSpin(self.spin_for(g.release, e as Word));
+                        }
+                    }
+                },
+                TState::RootFa(fa) => match fa.poll(last.take()) {
+                    Step::Issue(op) => return op,
+                    Step::Ready(old) => {
+                        let target = cumulative_target(e, self.spec.num_groups());
+                        if old + 1 == target {
+                            self.state = TState::RootRel(
+                                self.release_for(self.spec.root_release, e as Word),
+                            );
+                        } else {
+                            self.state =
+                                TState::RootSpin(self.spin_for(self.spec.root_release, e as Word));
+                        }
+                    }
+                },
+                TState::RootRel(rel) => match rel.poll(last.take()) {
+                    Step::Issue(op) => return op,
+                    Step::Ready(_) => {
+                        self.state = TState::GroupRel(self.release_for(g.release, e as Word));
+                        last = None;
+                    }
+                },
+                TState::RootSpin(sp) => match sp.poll(last.take()) {
+                    Step::Issue(op) => return op,
+                    Step::Ready(_) => {
+                        self.state = TState::GroupRel(self.release_for(g.release, e as Word));
+                        last = None;
+                    }
+                },
+                TState::GroupRel(rel) => match rel.poll(last.take()) {
+                    Step::Issue(op) => return op,
+                    Step::Ready(_) => {
+                        self.state = TState::ExitMarkWait;
+                        return Op::Mark {
+                            id: BarrierSpec::exit_mark(e),
+                        };
+                    }
+                },
+                TState::GroupSpin(sp) => match sp.poll(last.take()) {
+                    Step::Issue(op) => return op,
+                    Step::Ready(_) => {
+                        self.state = TState::ExitMarkWait;
+                        return Op::Mark {
+                            id: BarrierSpec::exit_mark(e),
+                        };
+                    }
+                },
+                TState::ExitMarkWait => {
+                    self.e += 1;
+                    self.state = TState::StartEpisode;
+                    last = None;
+                }
+                TState::Done => return Op::Done,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amo_sim::Machine;
+    use amo_types::{ProcId, SystemConfig};
+
+    fn run_tree(mech: Mechanism, procs: u16, branching: u16, episodes: u32) -> Machine {
+        let cfg = SystemConfig::with_procs(procs);
+        let nodes = cfg.num_nodes();
+        let mut machine = Machine::new(cfg);
+        let mut alloc = VarAlloc::new();
+        let spec = TreeBarrierSpec::build(&mut alloc, mech, procs, episodes, branching, nodes);
+        for p in 0..procs {
+            let work: Vec<Cycle> = (0..episodes)
+                .map(|e| 100 + (p as u64 * 31 + e as u64 * 7) % 300)
+                .collect();
+            machine.install_kernel(
+                ProcId(p),
+                Box::new(TreeBarrierKernel::new(spec.clone(), p, work)),
+                0,
+            );
+        }
+        let res = machine.run(1_000_000_000);
+        assert!(res.all_finished, "{mech:?}: {:?}", res.finished);
+        // Barrier property per episode.
+        for e in 1..=episodes {
+            let last_enter = machine
+                .marks()
+                .iter()
+                .filter(|(_, id, _)| *id == BarrierSpec::enter_mark(e))
+                .map(|&(_, _, t)| t)
+                .max()
+                .unwrap();
+            let first_exit = machine
+                .marks()
+                .iter()
+                .filter(|(_, id, _)| *id == BarrierSpec::exit_mark(e))
+                .map(|&(_, _, t)| t)
+                .min()
+                .unwrap();
+            assert!(first_exit >= last_enter, "{mech:?} episode {e} violated");
+        }
+        machine
+    }
+
+    #[test]
+    fn tree_barrier_all_mechanisms_8_procs() {
+        for mech in Mechanism::ALL {
+            run_tree(mech, 8, 4, 3);
+        }
+    }
+
+    #[test]
+    fn uneven_group_sizes_work() {
+        // 10 procs with branching 4: groups of 4, 4, 2.
+        run_tree(Mechanism::Atomic, 10, 4, 2);
+    }
+
+    #[test]
+    fn group_assignment() {
+        let mut alloc = VarAlloc::new();
+        let spec = TreeBarrierSpec::build(&mut alloc, Mechanism::LlSc, 16, 1, 4, 8);
+        assert_eq!(spec.num_groups(), 4);
+        assert_eq!(spec.group_of(0), 0);
+        assert_eq!(spec.group_of(3), 0);
+        assert_eq!(spec.group_of(4), 1);
+        assert_eq!(spec.group_of(15), 3);
+        assert_eq!(spec.groups[3].size, 4);
+        // Group homes are distributed.
+        assert_ne!(spec.groups[0].counter.home(), spec.groups[1].counter.home());
+    }
+}

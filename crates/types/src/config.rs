@@ -1,0 +1,284 @@
+//! System configuration — the paper's Table 1, plus the handful of model
+//! parameters the paper describes in prose (AMU cache size, active-message
+//! handler costs, ...). All latencies are in 2 GHz CPU cycles.
+
+use crate::Cycle;
+
+/// Geometry and latency of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line (block) size in bytes.
+    pub line_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Access latency on a hit, in CPU cycles.
+    pub hit_latency: Cycle,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / (self.line_bytes * self.ways as u64)) as usize
+    }
+
+    /// Words per line.
+    pub fn line_words(&self) -> usize {
+        (self.line_bytes / 8) as usize
+    }
+}
+
+/// Interconnect parameters (paper: SGI NUMALink-4-style fat tree).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetworkConfig {
+    /// Latency of one hop through the network, in CPU cycles
+    /// (paper: 50 ns = 100 cycles at 2 GHz).
+    pub hop_latency: Cycle,
+    /// Children per non-leaf router of the fat tree (paper: 8).
+    pub router_radix: usize,
+    /// Minimum network packet size in bytes (paper: 32).
+    pub min_packet_bytes: u64,
+    /// Header bytes prepended to data payloads.
+    pub header_bytes: u64,
+    /// Bytes a node's network interface can inject (or eject) per CPU
+    /// cycle. Models link serialization at the endpoints; the paper's
+    /// 16-byte-per-1GHz-bus-cycle CPU→system path is 8 B per CPU cycle.
+    pub ni_bytes_per_cycle: u64,
+    /// Model per-link router contention inside the fat tree (every
+    /// directed link serializes packets at `ni_bytes_per_cycle`).
+    /// Default off: the paper's hot spot is the home node, which the
+    /// endpoint model already serializes; enabling this adds fabric-core
+    /// queueing for sensitivity studies.
+    pub model_router_contention: bool,
+}
+
+/// Active Memory Unit parameters (paper Sec. 3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AmuConfig {
+    /// Words in the AMU cache; an N-word cache allows N concurrently
+    /// active synchronization variables (paper assumes 8).
+    pub cache_words: usize,
+    /// Hub cycles for an AMO that hits in the AMU cache (paper: 2).
+    pub op_hub_cycles: u64,
+    /// Capacity of the AMU's dispatch queue.
+    pub queue_cap: usize,
+}
+
+/// Active-message cost model (paper Sec. 2 and 4.2.1: invocation overhead
+/// on the home processor dwarfs the handler body; heavy contention causes
+/// timeouts and retransmission).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ActMsgConfig {
+    /// CPU cycles to invoke a user-level handler on the home processor
+    /// (trap/dispatch overhead).
+    pub invoke_cycles: Cycle,
+    /// CPU cycles the handler body itself runs.
+    pub handler_cycles: Cycle,
+    /// Incoming-message queue capacity at the home processor; arrivals
+    /// beyond this are dropped (the sender's timeout recovers them).
+    pub queue_cap: usize,
+    /// Cycles a sender waits for an ack before retransmitting.
+    pub timeout: Cycle,
+    /// Upper bound on retransmissions before the run is declared stuck
+    /// (a model-sanity guard, not a protocol feature).
+    pub max_retries: u32,
+}
+
+/// Full machine configuration. [`SystemConfig::default`] reproduces the
+/// paper's Table 1; constructors tweak the processor count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// Total processors (the paper sweeps 4..256).
+    pub num_procs: u16,
+    /// Processors per node (paper: 2).
+    pub procs_per_node: u16,
+    /// L1 data cache (paper: 2-way 32 KB, 32 B lines, 2-cycle).
+    pub l1: CacheConfig,
+    /// L2 cache (paper: 4-way 2 MB, 128 B lines, 10-cycle).
+    pub l2: CacheConfig,
+    /// Maximum outstanding L2 misses per processor (paper: 16).
+    pub max_outstanding_misses: usize,
+    /// Extra cycles a library LL/SC pair spends around the conditional
+    /// store (retry-loop branch, pipeline drain) compared with a single
+    /// atomic instruction. Sits on the critical path of a contended
+    /// handoff, which is why the paper's Atomic baseline modestly beats
+    /// LL/SC.
+    pub llsc_pair_overhead: Cycle,
+    /// Minimum cycles a freshly-filled block stays at its new owner
+    /// before the processor answers an external probe for it. Real
+    /// load/store units hold off probes while a conditional store is in
+    /// flight — without this window, contended LL/SC has no forward
+    /// progress guarantee (the next writer's intervention arrives right
+    /// behind the fill).
+    pub min_residence: Cycle,
+    /// CPU cycles to cross the system bus between a processor and its
+    /// local Hub (one direction).
+    pub bus_latency: Cycle,
+    /// CPU cycles per Hub clock (paper: Hub at 500 MHz = 4 CPU cycles).
+    pub hub_cycle: Cycle,
+    /// Hub cycles the directory/memory controller spends servicing one
+    /// protocol message (home-node occupancy; the serialization point).
+    pub dir_occupancy_hub_cycles: u64,
+    /// DRAM access latency in CPU cycles (paper: 60).
+    pub dram_latency: Cycle,
+    /// Independent DRAM channels (paper: 16).
+    pub dram_channels: usize,
+    /// CPU cycles one DRAM channel is busy per block access (derived from
+    /// the paper's 80-bit-burst-per-two-hub-cycles DDR backend).
+    pub dram_occupancy: Cycle,
+    /// Interconnect parameters.
+    pub network: NetworkConfig,
+    /// Active Memory Unit parameters.
+    pub amu: AmuConfig,
+    /// Active-message cost model.
+    pub actmsg: ActMsgConfig,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            num_procs: 4,
+            procs_per_node: 2,
+            l1: CacheConfig {
+                size_bytes: 32 * 1024,
+                line_bytes: 32,
+                ways: 2,
+                hit_latency: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 2 * 1024 * 1024,
+                line_bytes: 128,
+                ways: 4,
+                hit_latency: 10,
+            },
+            max_outstanding_misses: 16,
+            llsc_pair_overhead: 48,
+            min_residence: 24,
+            bus_latency: 10,
+            hub_cycle: 4,
+            dir_occupancy_hub_cycles: 4,
+            dram_latency: 60,
+            dram_channels: 16,
+            dram_occupancy: 8,
+            network: NetworkConfig {
+                hop_latency: 100,
+                router_radix: 8,
+                min_packet_bytes: 32,
+                header_bytes: 32,
+                ni_bytes_per_cycle: 8,
+                model_router_contention: false,
+            },
+            amu: AmuConfig {
+                cache_words: 8,
+                op_hub_cycles: 2,
+                queue_cap: 1024,
+            },
+            actmsg: ActMsgConfig {
+                invoke_cycles: 350,
+                handler_cycles: 50,
+                queue_cap: 16,
+                timeout: 10_000,
+                max_retries: 100_000,
+            },
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Table 1 configuration with `num_procs` processors.
+    pub fn with_procs(num_procs: u16) -> Self {
+        SystemConfig {
+            num_procs,
+            ..Self::default()
+        }
+    }
+
+    /// Number of nodes implied by the processor count.
+    pub fn num_nodes(&self) -> u16 {
+        assert!(
+            self.num_procs.is_multiple_of(self.procs_per_node),
+            "num_procs must be a multiple of procs_per_node"
+        );
+        self.num_procs / self.procs_per_node
+    }
+
+    /// Validate internal consistency; panics with a description otherwise.
+    pub fn validate(&self) {
+        assert!(self.num_procs > 0, "need at least one processor");
+        assert!(
+            (self.num_procs as usize) <= crate::bitset::MAX_PROCS,
+            "directory supports at most {} processors",
+            crate::bitset::MAX_PROCS
+        );
+        assert!(self.procs_per_node > 0);
+        assert_eq!(
+            self.num_procs % self.procs_per_node,
+            0,
+            "num_procs must be a multiple of procs_per_node"
+        );
+        assert!(self.l1.line_bytes.is_power_of_two());
+        assert!(self.l2.line_bytes.is_power_of_two());
+        assert!(
+            self.l1.line_bytes <= self.l2.line_bytes,
+            "L1 lines must not exceed L2 lines (inclusive hierarchy)"
+        );
+        assert!(self.l1.sets() > 0 && self.l2.sets() > 0);
+        assert!(self.network.router_radix >= 2);
+        assert!(self.amu.cache_words >= 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_table1() {
+        let c = SystemConfig::default();
+        assert_eq!(c.l1.size_bytes, 32 * 1024);
+        assert_eq!(c.l1.line_bytes, 32);
+        assert_eq!(c.l1.hit_latency, 2);
+        assert_eq!(c.l2.size_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.l2.line_bytes, 128);
+        assert_eq!(c.l2.ways, 4);
+        assert_eq!(c.l2.hit_latency, 10);
+        assert_eq!(c.dram_latency, 60);
+        assert_eq!(c.network.hop_latency, 100);
+        assert_eq!(c.network.router_radix, 8);
+        assert_eq!(c.network.min_packet_bytes, 32);
+        assert_eq!(c.amu.cache_words, 8);
+        assert_eq!(c.max_outstanding_misses, 16);
+        assert_eq!(c.procs_per_node, 2);
+        c.validate();
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let c = SystemConfig::default();
+        // 32KB / (32B * 2 ways) = 512 sets.
+        assert_eq!(c.l1.sets(), 512);
+        // 2MB / (128B * 4 ways) = 4096 sets.
+        assert_eq!(c.l2.sets(), 4096);
+        assert_eq!(c.l2.line_words(), 16);
+        assert_eq!(c.l1.line_words(), 4);
+    }
+
+    #[test]
+    fn node_count() {
+        assert_eq!(SystemConfig::with_procs(256).num_nodes(), 128);
+        assert_eq!(SystemConfig::with_procs(4).num_nodes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of procs_per_node")]
+    fn odd_proc_count_rejected() {
+        SystemConfig::with_procs(5).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_procs_rejected() {
+        SystemConfig::with_procs(512).validate();
+    }
+}

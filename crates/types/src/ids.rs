@@ -1,0 +1,94 @@
+//! Identifiers for processors, nodes, and outstanding requests.
+
+use std::fmt;
+
+/// Identifies one processor in the machine. Processors are numbered
+/// `0..num_procs`; two consecutive processors share a node (the paper's
+/// machine has two MIPS processors per Hub).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcId(pub u16);
+
+impl ProcId {
+    /// The node this processor lives on, given `procs_per_node`.
+    #[inline]
+    pub fn node(self, procs_per_node: u16) -> NodeId {
+        NodeId(self.0 / procs_per_node)
+    }
+
+    /// Numeric index, convenient for table/vec indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifies one node: a pair of processors plus a Hub containing the
+/// memory controller, directory controller, network interface, and the
+/// Active Memory Unit.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Numeric index, convenient for table/vec indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over the processors on this node.
+    pub fn procs(self, procs_per_node: u16) -> impl Iterator<Item = ProcId> {
+        let base = self.0 * procs_per_node;
+        (base..base + procs_per_node).map(ProcId)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// Tag matching a reply to the request that caused it. Unique within a run;
+/// allocated monotonically by whoever issues requests (processors, AMUs).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ReqId(pub u64);
+
+impl fmt::Display for ReqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_to_node_mapping_uses_procs_per_node() {
+        assert_eq!(ProcId(0).node(2), NodeId(0));
+        assert_eq!(ProcId(1).node(2), NodeId(0));
+        assert_eq!(ProcId(2).node(2), NodeId(1));
+        assert_eq!(ProcId(255).node(2), NodeId(127));
+        assert_eq!(ProcId(3).node(4), NodeId(0));
+        assert_eq!(ProcId(4).node(4), NodeId(1));
+    }
+
+    #[test]
+    fn node_lists_its_processors() {
+        let procs: Vec<_> = NodeId(3).procs(2).collect();
+        assert_eq!(procs, vec![ProcId(6), ProcId(7)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ProcId(7).to_string(), "P7");
+        assert_eq!(NodeId(3).to_string(), "N3");
+        assert_eq!(ReqId(12).to_string(), "req12");
+    }
+}

@@ -1,0 +1,382 @@
+//! Statistics counters shared by every component.
+//!
+//! One [`Stats`] instance lives in the machine; components increment it as
+//! they act. The benchmark harness reads message/byte counts to regenerate
+//! the paper's Figure 7 (network traffic) and sanity metrics (SC failure
+//! rates, active-message retransmissions, AMU hit rates).
+
+use std::fmt;
+
+/// Coarse classification of wire messages for traffic accounting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(usize)]
+pub enum MsgClass {
+    /// GetS / GetX / Upgrade requests.
+    Request,
+    /// Data-carrying replies and writebacks.
+    Data,
+    /// Control acknowledgements (upgrade acks).
+    Ack,
+    /// Invalidation requests.
+    Inv,
+    /// Invalidation acknowledgements.
+    InvAck,
+    /// Interventions and their replies.
+    Intervention,
+    /// Fine-grained word updates (the AMO "put" fanout).
+    WordUpdate,
+    /// AMO commands and replies.
+    Amo,
+    /// MAO commands/replies and uncached reads/writes.
+    Mao,
+    /// Active messages and their acks.
+    ActMsg,
+}
+
+/// Number of [`MsgClass`] variants.
+pub const MSG_CLASSES: usize = 10;
+
+/// All [`MsgClass`] variants, in discriminant order.
+pub const ALL_MSG_CLASSES: [MsgClass; MSG_CLASSES] = [
+    MsgClass::Request,
+    MsgClass::Data,
+    MsgClass::Ack,
+    MsgClass::Inv,
+    MsgClass::InvAck,
+    MsgClass::Intervention,
+    MsgClass::WordUpdate,
+    MsgClass::Amo,
+    MsgClass::Mao,
+    MsgClass::ActMsg,
+];
+
+impl MsgClass {
+    /// Stable index for array-backed counters.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgClass::Request => "request",
+            MsgClass::Data => "data",
+            MsgClass::Ack => "ack",
+            MsgClass::Inv => "inv",
+            MsgClass::InvAck => "inv-ack",
+            MsgClass::Intervention => "intervention",
+            MsgClass::WordUpdate => "word-update",
+            MsgClass::Amo => "amo",
+            MsgClass::Mao => "mao",
+            MsgClass::ActMsg => "actmsg",
+        }
+    }
+}
+
+/// Machine-wide counters. All fields are public: components update them
+/// directly and tests assert on them.
+#[derive(Clone, Default, Debug)]
+pub struct Stats {
+    /// Messages injected into the fabric, by class.
+    pub msgs: [u64; MSG_CLASSES],
+    /// Bytes injected into the fabric, by class.
+    pub bytes: [u64; MSG_CLASSES],
+    /// Sum over messages of `bytes * hops` (link occupancy measure).
+    pub byte_hops: u64,
+    /// Sum over messages of their hop counts.
+    pub hops: u64,
+    /// Messages that stayed node-local (src == dst, no network hops).
+    pub local_msgs: u64,
+
+    /// Load-linked operations issued.
+    pub ll_issued: u64,
+    /// Store-conditionals that succeeded.
+    pub sc_successes: u64,
+    /// Store-conditionals that failed (lost reservation).
+    pub sc_failures: u64,
+
+    /// Processor-side atomic RMWs performed.
+    pub atomic_ops: u64,
+    /// AMO commands executed by AMUs.
+    pub amo_ops: u64,
+    /// MAO commands executed by AMUs' uncached port.
+    pub mao_ops: u64,
+    /// AMO/MAO operations that hit in an AMU cache.
+    pub amu_hits: u64,
+    /// AMO/MAO operations that missed and fetched via fine-grained get.
+    pub amu_misses: u64,
+    /// AMU-cache evictions that forced a put.
+    pub amu_evictions: u64,
+
+    /// Fine-grained puts performed (each fans out word updates).
+    pub puts: u64,
+    /// Word-update messages sent to sharers.
+    pub word_updates_sent: u64,
+    /// Invalidation messages sent by directories.
+    pub invalidations_sent: u64,
+    /// Interventions sent by directories.
+    pub interventions_sent: u64,
+    /// Requests a directory had to queue because the block was busy.
+    pub dir_queued: u64,
+    /// Protocol transactions completed by directories.
+    pub dir_transactions: u64,
+
+    /// L1 hits / misses and L2 hits / misses across all processors.
+    pub l1_hits: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+
+    /// DRAM block reads.
+    pub dram_reads: u64,
+    /// DRAM block writes (writebacks and put word-writes).
+    pub dram_writes: u64,
+
+    /// Active-message handlers executed.
+    pub handlers_run: u64,
+    /// CPU cycles home processors spent in handler invocation + body.
+    pub handler_busy_cycles: u64,
+    /// Active messages dropped at a full handler queue.
+    pub actmsg_drops: u64,
+    /// Active-message retransmissions after timeout.
+    pub actmsg_retransmissions: u64,
+
+    /// Processor spin-loop reloads after an invalidation woke a spinner.
+    pub spin_reloads: u64,
+
+    /// Per-operation-class completion latency: total cycles, by
+    /// [`OpClass`] index.
+    pub op_lat_sum: [u64; OP_CLASSES],
+    /// Per-operation-class completion counts.
+    pub op_lat_cnt: [u64; OP_CLASSES],
+}
+
+/// Classification of kernel operations for latency accounting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(usize)]
+pub enum OpClass {
+    /// Coherent loads (including LL).
+    Load,
+    /// Coherent stores (including SC).
+    Store,
+    /// Processor-side atomic RMW.
+    Atomic,
+    /// AMO command round trips.
+    Amo,
+    /// MAO / uncached operations.
+    Mao,
+    /// Active-message exchanges.
+    ActMsg,
+    /// Spin waits (from first probe to satisfaction).
+    Spin,
+}
+
+/// Number of [`OpClass`] variants.
+pub const OP_CLASSES: usize = 7;
+
+impl OpClass {
+    /// Stable index for array-backed counters.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Atomic => "atomic",
+            OpClass::Amo => "amo",
+            OpClass::Mao => "mao",
+            OpClass::ActMsg => "actmsg",
+            OpClass::Spin => "spin",
+        }
+    }
+}
+
+impl Stats {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one kernel operation's completion latency.
+    #[inline]
+    pub fn record_op(&mut self, class: OpClass, latency: u64) {
+        self.op_lat_sum[class.index()] += latency;
+        self.op_lat_cnt[class.index()] += 1;
+    }
+
+    /// Mean completion latency of an operation class, if any completed.
+    pub fn mean_op_latency(&self, class: OpClass) -> Option<f64> {
+        let n = self.op_lat_cnt[class.index()];
+        (n > 0).then(|| self.op_lat_sum[class.index()] as f64 / n as f64)
+    }
+
+    /// Record a message entering the fabric.
+    #[inline]
+    pub fn record_msg(&mut self, class: MsgClass, bytes: u64, hops: u64) {
+        self.msgs[class.index()] += 1;
+        self.bytes[class.index()] += bytes;
+        self.byte_hops += bytes * hops;
+        self.hops += hops;
+        if hops == 0 {
+            self.local_msgs += 1;
+        }
+    }
+
+    /// Total messages injected (all classes).
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.iter().sum()
+    }
+
+    /// Total network messages (excluding node-local loopbacks).
+    pub fn network_msgs(&self) -> u64 {
+        self.total_msgs() - self.local_msgs
+    }
+
+    /// Total bytes injected (all classes).
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Add another set of counters into this one.
+    pub fn merge(&mut self, other: &Stats) {
+        for i in 0..MSG_CLASSES {
+            self.msgs[i] += other.msgs[i];
+            self.bytes[i] += other.bytes[i];
+        }
+        self.byte_hops += other.byte_hops;
+        self.hops += other.hops;
+        self.local_msgs += other.local_msgs;
+        self.ll_issued += other.ll_issued;
+        self.sc_successes += other.sc_successes;
+        self.sc_failures += other.sc_failures;
+        self.atomic_ops += other.atomic_ops;
+        self.amo_ops += other.amo_ops;
+        self.mao_ops += other.mao_ops;
+        self.amu_hits += other.amu_hits;
+        self.amu_misses += other.amu_misses;
+        self.amu_evictions += other.amu_evictions;
+        self.puts += other.puts;
+        self.word_updates_sent += other.word_updates_sent;
+        self.invalidations_sent += other.invalidations_sent;
+        self.interventions_sent += other.interventions_sent;
+        self.dir_queued += other.dir_queued;
+        self.dir_transactions += other.dir_transactions;
+        self.l1_hits += other.l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
+        self.dram_reads += other.dram_reads;
+        self.dram_writes += other.dram_writes;
+        self.handlers_run += other.handlers_run;
+        self.handler_busy_cycles += other.handler_busy_cycles;
+        self.actmsg_drops += other.actmsg_drops;
+        self.actmsg_retransmissions += other.actmsg_retransmissions;
+        self.spin_reloads += other.spin_reloads;
+        for i in 0..OP_CLASSES {
+            self.op_lat_sum[i] += other.op_lat_sum[i];
+            self.op_lat_cnt[i] += other.op_lat_cnt[i];
+        }
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "messages: {} total ({} network, {} local), {} bytes, {} byte-hops",
+            self.total_msgs(),
+            self.network_msgs(),
+            self.local_msgs,
+            self.total_bytes(),
+            self.byte_hops
+        )?;
+        for c in ALL_MSG_CLASSES {
+            let i = c.index();
+            if self.msgs[i] > 0 {
+                writeln!(
+                    f,
+                    "  {:>12}: {:>8} msgs {:>10} B",
+                    c.label(),
+                    self.msgs[i],
+                    self.bytes[i]
+                )?;
+            }
+        }
+        writeln!(
+            f,
+            "ll/sc: {} LL, {} SC ok, {} SC fail; atomics: {}; amo: {} (amu {}h/{}m); mao: {}",
+            self.ll_issued,
+            self.sc_successes,
+            self.sc_failures,
+            self.atomic_ops,
+            self.amo_ops,
+            self.amu_hits,
+            self.amu_misses,
+            self.mao_ops
+        )?;
+        writeln!(
+            f,
+            "puts: {} ({} word updates); inv: {}; interventions: {}",
+            self.puts, self.word_updates_sent, self.invalidations_sent, self.interventions_sent
+        )?;
+        write!(
+            f,
+            "actmsg: {} handlers, {} drops, {} retransmissions; spin reloads: {}",
+            self.handlers_run, self.actmsg_drops, self.actmsg_retransmissions, self.spin_reloads
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = Stats::new();
+        s.record_msg(MsgClass::Request, 32, 4);
+        s.record_msg(MsgClass::Data, 160, 4);
+        s.record_msg(MsgClass::WordUpdate, 32, 0);
+        assert_eq!(s.total_msgs(), 3);
+        assert_eq!(s.network_msgs(), 2);
+        assert_eq!(s.total_bytes(), 224);
+        assert_eq!(s.byte_hops, 32 * 4 + 160 * 4);
+        assert_eq!(s.local_msgs, 1);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = Stats::new();
+        a.record_msg(MsgClass::Amo, 32, 2);
+        a.sc_failures = 5;
+        let mut b = Stats::new();
+        b.record_msg(MsgClass::Amo, 32, 3);
+        b.sc_failures = 7;
+        a.merge(&b);
+        assert_eq!(a.msgs[MsgClass::Amo.index()], 2);
+        assert_eq!(a.sc_failures, 12);
+        assert_eq!(a.hops, 5);
+    }
+
+    #[test]
+    fn class_indices_match_all_array() {
+        for (i, c) in ALL_MSG_CLASSES.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_does_not_panic() {
+        let mut s = Stats::new();
+        s.record_msg(MsgClass::ActMsg, 32, 1);
+        let _ = s.to_string();
+    }
+}

@@ -1,0 +1,21 @@
+use amo_sim::Machine;
+use amo_sync::*;
+use amo_types::{Cycle, NodeId, ProcId, SystemConfig};
+
+#[test]
+fn llsc_dbg() {
+    let cfg = SystemConfig::with_procs(4);
+    let mut machine = Machine::new(cfg);
+    machine.enable_trace();
+    let mut alloc = VarAlloc::new();
+    let spec = BarrierSpec::build(&mut alloc, Mechanism::LlSc, NodeId(0), 4, 1);
+    for p in 0..4u16 {
+        let work: Vec<Cycle> = vec![100 + p as u64 * 37];
+        machine.install_kernel(ProcId(p), Box::new(BarrierKernel::new(spec, work)), 0);
+    }
+    let res = machine.run(2_000_000);
+    println!("finished={:?} hit={} events={}", res.finished, res.hit_limit, res.events);
+    let n = machine.trace().len();
+    for l in machine.trace().iter().skip(n.saturating_sub(80)) { println!("{l}"); }
+    panic!("dump");
+}

@@ -1,0 +1,505 @@
+//! Application-style workloads: what the synchronization speedups mean
+//! for a real program.
+//!
+//! The paper's introduction motivates AMOs with a "synchronization tax"
+//! argument: a 32-processor barrier on an Origin 3000 costs ~90,000
+//! cycles, time in which the machine could have executed 5.76 MFLOPS.
+//! [`sync_tax`] measures exactly that: an iterative bulk-synchronous
+//! computation (work, then barrier, repeated) across work grains, and
+//! how much of the wall time each mechanism's barrier eats.
+//!
+//! [`cs_sensitivity`] is the lock-side analogue: as critical sections
+//! grow, lock overhead amortizes and every mechanism converges — the
+//! AMO advantage is a *short-critical-section* phenomenon.
+
+use crate::measure::barrier_measurement;
+use crate::runner::{run_lock, BarrierBench, LockBench, LockKind};
+use amo_sim::Machine;
+use amo_sync::{BarrierKernel, BarrierSpec, Mechanism, VarAlloc};
+use amo_types::{Cycle, NodeId, ProcId, SystemConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One mechanism's result at one work grain.
+#[derive(Clone, Debug)]
+pub struct SyncTaxCell {
+    /// Mechanism measured.
+    pub mech: Mechanism,
+    /// Mean wall time of one (work + barrier) step.
+    pub step_cycles: f64,
+    /// Fraction of the step spent synchronizing (1 − work/step).
+    pub tax: f64,
+}
+
+/// One row of the synchronization-tax study.
+#[derive(Clone, Debug)]
+pub struct SyncTaxRow {
+    /// Cycles of useful work per processor per step.
+    pub work_grain: Cycle,
+    /// Per-mechanism results.
+    pub cells: Vec<SyncTaxCell>,
+}
+
+/// Run a bulk-synchronous computation — `steps` iterations of
+/// `work_grain` cycles of local work followed by a barrier — and report
+/// each mechanism's synchronization tax.
+pub fn sync_tax(procs: u16, work_grains: &[Cycle], steps: u32, warmup: u32) -> Vec<SyncTaxRow> {
+    work_grains
+        .iter()
+        .map(|&grain| {
+            let cells = Mechanism::ALL
+                .iter()
+                .map(|&mech| {
+                    let cfg = SystemConfig::with_procs(procs);
+                    let mut machine = Machine::new(cfg);
+                    let mut alloc = VarAlloc::new();
+                    let spec = BarrierSpec::build(&mut alloc, mech, NodeId(0), procs, steps);
+                    let mut rng = StdRng::seed_from_u64(0x7A_EED ^ grain);
+                    for p in 0..procs {
+                        // Work with ±5% jitter: realistic imbalance.
+                        let work: Vec<Cycle> = (0..steps)
+                            .map(|_| grain - grain / 20 + rng.gen_range(0..=grain / 10))
+                            .collect();
+                        machine.install_kernel(
+                            ProcId(p),
+                            Box::new(BarrierKernel::new(spec, work)),
+                            0,
+                        );
+                    }
+                    let res = machine.run(1_000_000_000_000);
+                    assert!(res.all_finished, "{mech:?} stalled");
+                    let m = barrier_measurement(machine.marks(), procs, steps, warmup);
+                    SyncTaxCell {
+                        mech,
+                        step_cycles: m.avg_cycles,
+                        tax: 1.0 - grain as f64 / m.avg_cycles,
+                    }
+                })
+                .collect();
+            SyncTaxRow {
+                work_grain: grain,
+                cells,
+            }
+        })
+        .collect()
+}
+
+/// One row of the critical-section sensitivity study.
+#[derive(Clone, Debug)]
+pub struct CsSensitivityRow {
+    /// Critical-section length in cycles.
+    pub cs_cycles: Cycle,
+    /// (mechanism, ticket-lock benchmark time, AMO speedup over it is
+    /// derived by the caller).
+    pub times: Vec<(Mechanism, u64)>,
+}
+
+/// Sweep critical-section lengths for the ticket lock.
+pub fn cs_sensitivity(procs: u16, cs_lengths: &[Cycle], rounds: u32) -> Vec<CsSensitivityRow> {
+    cs_lengths
+        .iter()
+        .map(|&cs| {
+            let times = Mechanism::ALL
+                .iter()
+                .map(|&mech| {
+                    let r = run_lock(LockBench {
+                        rounds,
+                        cs_cycles: cs,
+                        ..LockBench::paper(mech, LockKind::Ticket, procs)
+                    });
+                    (mech, r.timing.total_cycles)
+                })
+                .collect();
+            CsSensitivityRow {
+                cs_cycles: cs,
+                times,
+            }
+        })
+        .collect()
+}
+
+/// Convenience used by renderers: AMO-over-LL/SC speedup of a row.
+pub fn row_amo_speedup(row: &CsSensitivityRow) -> f64 {
+    let llsc = row
+        .times
+        .iter()
+        .find(|(m, _)| *m == Mechanism::LlSc)
+        .expect("LL/SC measured")
+        .1 as f64;
+    let amo = row
+        .times
+        .iter()
+        .find(|(m, _)| *m == Mechanism::Amo)
+        .expect("AMO measured")
+        .1 as f64;
+    llsc / amo
+}
+
+/// Result of the producer→consumer signalling study.
+#[derive(Clone, Debug)]
+pub struct SignalResult {
+    /// Mechanism measured.
+    pub mech: Mechanism,
+    /// Mean one-way signal latency: producer's release issue to
+    /// consumer's wake-up, averaged over all pairs and rounds.
+    pub mean_latency: f64,
+}
+
+/// Point-to-point signalling: `pairs` producer→consumer pairs ping-pong
+/// `rounds` times over per-pair flag words (each homed on its waiter's
+/// node). Measures the latency of "make one waiting processor see my
+/// write" — the primitive underneath every release — isolating the AMO
+/// word-update push against the conventional invalidate-then-reload
+/// wake-up.
+pub fn signal_latency(mech: Mechanism, pairs: u16, rounds: u32) -> SignalResult {
+    use amo_cpu::{Kernel, Op, Outcome};
+    use amo_types::{Addr, SpinPred, Word};
+
+    struct PingPong {
+        /// Flag I set (homed at my peer).
+        out: Addr,
+        /// Flag I wait on (homed at me).
+        inn: Addr,
+        /// True: I signal first each round.
+        initiator: bool,
+        mech: Mechanism,
+        rounds: u32,
+        r: u32,
+        phase: u8,
+    }
+
+    impl PingPong {
+        fn release_op(&self) -> Op {
+            // Same discipline as ReleaseSub: AMO pushes, the rest store.
+            match self.mech {
+                Mechanism::Amo => Op::Amo {
+                    kind: amo_types::AmoKind::FetchAdd,
+                    addr: self.out,
+                    operand: 1,
+                    test: None,
+                },
+                _ => Op::Store {
+                    addr: self.out,
+                    value: self.r as Word + 1,
+                },
+            }
+        }
+    }
+
+    impl Kernel for PingPong {
+        fn next(&mut self, _l: Option<Outcome>) -> Op {
+            {
+                if self.r >= self.rounds {
+                    return Op::Done;
+                }
+                let target = self.r as Word + 1;
+                let op = match (self.initiator, self.phase) {
+                    // Initiator: mark, signal, await the echo.
+                    (true, 0) => Op::Mark { id: self.r * 2 + 2 },
+                    (true, 1) => self.release_op(),
+                    (true, 2) => Op::SpinUntil {
+                        addr: self.inn,
+                        pred: SpinPred::Ge(target),
+                    },
+                    // Responder: await the signal, mark, echo.
+                    (false, 0) => Op::SpinUntil {
+                        addr: self.inn,
+                        pred: SpinPred::Ge(target),
+                    },
+                    (false, 1) => Op::Mark { id: self.r * 2 + 3 },
+                    (false, 2) => self.release_op(),
+                    _ => unreachable!(),
+                };
+                self.phase += 1;
+                if self.phase == 3 {
+                    self.phase = 0;
+                    self.r += 1;
+                }
+                op
+            }
+        }
+    }
+
+    let procs = pairs * 2;
+    let cfg = SystemConfig::with_procs(procs);
+    let mut machine = Machine::new(cfg);
+    let mut alloc = VarAlloc::new();
+    for pair in 0..pairs {
+        // Initiators occupy the first half of the machine, responders
+        // the second, so every pair crosses the network.
+        let a = pair; // initiator
+        let b = pairs + pair; // responder
+        let flag_at_a = alloc.word(ProcId(a).node(cfg.procs_per_node));
+        let flag_at_b = alloc.word(ProcId(b).node(cfg.procs_per_node));
+        machine.install_kernel(
+            ProcId(a),
+            Box::new(PingPong {
+                out: flag_at_b,
+                inn: flag_at_a,
+                initiator: true,
+                mech,
+                rounds,
+                r: 0,
+                phase: 0,
+            }),
+            0,
+        );
+        machine.install_kernel(
+            ProcId(b),
+            Box::new(PingPong {
+                out: flag_at_a,
+                inn: flag_at_b,
+                initiator: false,
+                mech,
+                rounds,
+                r: 0,
+                phase: 0,
+            }),
+            0,
+        );
+    }
+    let res = machine.run(10_000_000_000);
+    assert!(res.all_finished, "{mech:?} signalling stalled");
+    // Mean latency: initiator's send mark (2r+2) to responder's receive
+    // mark (2r+3), per pair; pairs share round ids so collect per proc.
+    let mut sum = 0u64;
+    let mut n = 0u64;
+    for pair in 0..pairs {
+        let a = ProcId(pair);
+        let b = ProcId(pairs + pair);
+        for r in 0..rounds {
+            let sent = machine
+                .marks()
+                .iter()
+                .find(|&&(p, id, _)| p == a && id == r * 2 + 2)
+                .map(|&(_, _, t)| t)
+                .expect("send mark");
+            let recv = machine
+                .marks()
+                .iter()
+                .find(|&&(p, id, _)| p == b && id == r * 2 + 3)
+                .map(|&(_, _, t)| t)
+                .expect("receive mark");
+            sum += recv.saturating_sub(sent);
+            n += 1;
+        }
+    }
+    SignalResult {
+        mech,
+        mean_latency: sum as f64 / n as f64,
+    }
+}
+
+/// Result of the self-scheduling-loop study at one task grain.
+#[derive(Clone, Debug)]
+pub struct SelfSchedCell {
+    /// Mechanism measured.
+    pub mech: Mechanism,
+    /// Wall time to drain the task pool.
+    pub total_cycles: u64,
+}
+
+/// One row of the self-scheduling study.
+#[derive(Clone, Debug)]
+pub struct SelfSchedRow {
+    /// Cycles of work per task.
+    pub task_grain: Cycle,
+    /// Per-mechanism results.
+    pub cells: Vec<SelfSchedCell>,
+}
+
+/// Dynamic loop self-scheduling (the NYU Ultracomputer's motivating
+/// fetch-and-add workload, paper Sec. 2): `tasks` loop iterations are
+/// handed out by an atomic fetch-add on a shared index; each worker
+/// loops "grab next index, compute" until the pool drains. At fine task
+/// grains the fetch-add is the bottleneck — precisely where shipping it
+/// to the memory controller pays.
+pub fn self_scheduling(procs: u16, tasks: u32, task_grains: &[Cycle]) -> Vec<SelfSchedRow> {
+    use amo_cpu::{Kernel, Op, Outcome};
+    use amo_sync::mechanism::{FetchAddSub, Step};
+    use amo_types::Word;
+
+    struct Worker {
+        mech: Mechanism,
+        index: amo_types::Addr,
+        ctr_id: u16,
+        tasks: Word,
+        grain: Cycle,
+        fa: Option<FetchAddSub>,
+        computing: bool,
+    }
+
+    impl Kernel for Worker {
+        fn next(&mut self, mut last: Option<Outcome>) -> Op {
+            if self.computing {
+                // Finished a task's compute; grab the next.
+                self.computing = false;
+                last = None;
+            }
+            let fa = self
+                .fa
+                .get_or_insert_with(|| FetchAddSub::new(self.mech, self.index, 1, self.ctr_id));
+            match fa.poll(last.take()) {
+                Step::Issue(op) => op,
+                Step::Ready(idx) => {
+                    self.fa = None;
+                    if idx >= self.tasks {
+                        return Op::Done;
+                    }
+                    self.computing = true;
+                    Op::Delay { cycles: self.grain }
+                }
+            }
+        }
+    }
+
+    task_grains
+        .iter()
+        .map(|&grain| {
+            let cells = Mechanism::ALL
+                .iter()
+                .map(|&mech| {
+                    let cfg = SystemConfig::with_procs(procs);
+                    let mut machine = Machine::new(cfg);
+                    let mut alloc = VarAlloc::new();
+                    let index = alloc.counter_for(mech, NodeId(0));
+                    let ctr_id = alloc.ctr(NodeId(0));
+                    for p in 0..procs {
+                        machine.install_kernel(
+                            ProcId(p),
+                            Box::new(Worker {
+                                mech,
+                                index,
+                                ctr_id,
+                                tasks: tasks as Word,
+                                grain,
+                                fa: None,
+                                computing: false,
+                            }),
+                            (p as Cycle) * 7, // slight stagger
+                        );
+                    }
+                    let res = machine.run(1_000_000_000_000);
+                    assert!(res.all_finished, "{mech:?} self-scheduling stalled");
+                    SelfSchedCell {
+                        mech,
+                        total_cycles: res.last_finish(),
+                    }
+                })
+                .collect();
+            SelfSchedRow {
+                task_grain: grain,
+                cells,
+            }
+        })
+        .collect()
+}
+
+/// The paper-intro headline number for a configuration: how many cycles
+/// of computation one barrier costs (the "90,000 cycles" figure).
+pub fn barrier_cost_cycles(mech: Mechanism, procs: u16) -> f64 {
+    let r = crate::runner::run_barrier(BarrierBench {
+        episodes: 8,
+        warmup: 2,
+        ..BarrierBench::paper(mech, procs)
+    });
+    r.timing.avg_cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_tax_decreases_with_work_grain() {
+        let rows = sync_tax(8, &[1_000, 50_000], 4, 1);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            let llsc = row
+                .cells
+                .iter()
+                .find(|c| c.mech == Mechanism::LlSc)
+                .unwrap();
+            let amo = row.cells.iter().find(|c| c.mech == Mechanism::Amo).unwrap();
+            assert!(
+                amo.tax < llsc.tax,
+                "AMO tax below LL/SC at grain {}",
+                row.work_grain
+            );
+            assert!(amo.tax > 0.0 && amo.tax < 1.0);
+        }
+        // Bigger work grain → smaller tax for everyone.
+        let small = rows[0]
+            .cells
+            .iter()
+            .find(|c| c.mech == Mechanism::LlSc)
+            .unwrap()
+            .tax;
+        let big = rows[1]
+            .cells
+            .iter()
+            .find(|c| c.mech == Mechanism::LlSc)
+            .unwrap()
+            .tax;
+        assert!(
+            big < small,
+            "tax must shrink with work grain: {small} -> {big}"
+        );
+    }
+
+    #[test]
+    fn amo_advantage_shrinks_with_critical_section_length() {
+        let rows = cs_sensitivity(8, &[50, 5_000], 4);
+        let short = row_amo_speedup(&rows[0]);
+        let long = row_amo_speedup(&rows[1]);
+        assert!(
+            long < short,
+            "AMO speedup should shrink as critical sections grow: {short} -> {long}"
+        );
+        assert!(long >= 0.9, "long-CS regime converges near 1.0: {long}");
+    }
+
+    #[test]
+    fn self_scheduling_completes_every_task_and_amo_wins_fine_grains() {
+        let rows = self_scheduling(8, 64, &[50, 20_000]);
+        // Fine grain: the shared index is the bottleneck; AMO must win.
+        let fine = &rows[0].cells;
+        let llsc = fine
+            .iter()
+            .find(|c| c.mech == Mechanism::LlSc)
+            .unwrap()
+            .total_cycles;
+        let amo = fine
+            .iter()
+            .find(|c| c.mech == Mechanism::Amo)
+            .unwrap()
+            .total_cycles;
+        assert!(amo < llsc, "fine-grain AMO {amo} vs LL/SC {llsc}");
+        // Coarse grain: compute dominates; mechanisms converge within 20%.
+        let coarse = &rows[1].cells;
+        let min = coarse.iter().map(|c| c.total_cycles).min().unwrap() as f64;
+        let max = coarse.iter().map(|c| c.total_cycles).max().unwrap() as f64;
+        assert!(max / min < 1.2, "coarse grain converges: {min} vs {max}");
+        // Work conservation: coarse runs take at least tasks*grain/procs.
+        assert!(max >= (64u64 * 20_000 / 8) as f64);
+    }
+
+    #[test]
+    fn amo_signalling_beats_invalidate_reload() {
+        // One-way producer→consumer latency: the AMO word-update push
+        // must beat every invalidate-then-reload mechanism.
+        let amo = signal_latency(Mechanism::Amo, 4, 4).mean_latency;
+        for mech in [Mechanism::LlSc, Mechanism::Atomic] {
+            let conv = signal_latency(mech, 4, 4).mean_latency;
+            assert!(amo < conv, "AMO signal {amo} should beat {mech:?} {conv}");
+        }
+        assert!(amo > 100.0, "a cross-node signal costs real cycles: {amo}");
+    }
+
+    #[test]
+    fn barrier_cost_is_positive_and_ordered() {
+        let llsc = barrier_cost_cycles(Mechanism::LlSc, 8);
+        let amo = barrier_cost_cycles(Mechanism::Amo, 8);
+        assert!(amo > 0.0 && amo < llsc);
+    }
+}

@@ -1,0 +1,24 @@
+//! Experiment harness: builds machines, installs synchronization
+//! kernels, runs them, and reduces the recorded marks into the numbers
+//! the paper reports — barrier time, cycles-per-processor, lock
+//! benchmark time, and network traffic.
+//!
+//! The table/figure generators in [`tables`] regenerate every
+//! evaluation artefact of the paper: Table 2 / Figure 5 (centralized
+//! barriers), Table 3 / Figure 6 (tree barriers), Table 4 (locks), and
+//! Figure 7 (ticket-lock network traffic).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod measure;
+pub mod render;
+pub mod runner;
+pub mod tables;
+
+pub use measure::{BarrierMeasurement, LockMeasurement};
+pub use runner::{
+    run_barrier, run_lock, BarrierAlgo, BarrierBench, BarrierResult, LockBench, LockKind,
+    LockResult,
+};

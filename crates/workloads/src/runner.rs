@@ -1,0 +1,491 @@
+//! Build machines, install kernels, run, and collect results.
+
+use crate::measure::{barrier_measurement, lock_measurement, BarrierMeasurement, LockMeasurement};
+use amo_sim::Machine;
+use amo_sync::lock::ExclusionCheck;
+use amo_sync::{
+    ArrayLockKernel, ArrayLockSpec, BarrierKernel, BarrierSpec, BarrierStyle, DisseminationKernel,
+    DisseminationSpec, KTreeKernel, KTreeSpec, McsLockKernel, McsLockSpec, Mechanism,
+    TicketLockKernel, TicketLockSpec, TreeBarrierKernel, TreeBarrierSpec, VarAlloc,
+};
+use amo_types::{Cycle, NodeId, ProcId, Stats, SystemConfig, Word};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Safety limit for any single simulation (a run that hits it is a bug).
+const MAX_CYCLES: Cycle = 40_000_000_000;
+
+/// Which barrier algorithm a [`BarrierBench`] runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BarrierAlgo {
+    /// Centralized barrier (paper Fig. 3).
+    Central,
+    /// Two-level combining tree with the given branching (paper
+    /// Sec. 4.2.2).
+    Tree(u16),
+    /// K-level combining tree with uniform branching (the paper's
+    /// future-work generalization).
+    KTree(u16),
+    /// Dissemination barrier (log-depth, no hot spot).
+    Dissemination,
+}
+
+/// A barrier benchmark description.
+#[derive(Clone, Copy, Debug)]
+pub struct BarrierBench {
+    /// Mechanism under test.
+    pub mech: Mechanism,
+    /// Processor count.
+    pub procs: u16,
+    /// Total episodes (including warm-up).
+    pub episodes: u32,
+    /// Warm-up episodes excluded from measurement.
+    pub warmup: u32,
+    /// Which barrier algorithm to run.
+    pub algo: BarrierAlgo,
+    /// Override the barrier style (centralized only); `None` = the
+    /// paper's default per mechanism.
+    pub style: Option<BarrierStyle>,
+    /// Maximum random pre-episode local work (arrival skew), in cycles.
+    pub max_skew: Cycle,
+    /// RNG seed for the skew pattern (same seed ⇒ identical arrival
+    /// pattern across mechanisms — that is what makes speedups fair).
+    pub seed: u64,
+    /// Full machine-configuration override (ablations: AMU cache size,
+    /// hop latency, handler costs, ...). `None` = the paper's Table 1
+    /// with `procs` processors.
+    pub config: Option<SystemConfig>,
+}
+
+impl BarrierBench {
+    /// The defaults used by the paper-table generators.
+    pub fn paper(mech: Mechanism, procs: u16) -> Self {
+        BarrierBench {
+            mech,
+            procs,
+            episodes: 10,
+            warmup: 2,
+            algo: BarrierAlgo::Central,
+            style: None,
+            max_skew: 800,
+            seed: 0xA40_5EED,
+            config: None,
+        }
+    }
+
+    /// Same benchmark through a two-level combining tree.
+    pub fn with_tree(mut self, branching: u16) -> Self {
+        self.algo = BarrierAlgo::Tree(branching);
+        self
+    }
+
+    /// Same benchmark through a k-level combining tree.
+    pub fn with_ktree(mut self, branching: u16) -> Self {
+        self.algo = BarrierAlgo::KTree(branching);
+        self
+    }
+
+    /// Same benchmark through a dissemination barrier.
+    pub fn with_dissemination(mut self) -> Self {
+        self.algo = BarrierAlgo::Dissemination;
+        self
+    }
+}
+
+/// Outcome of a barrier benchmark.
+#[derive(Clone, Debug)]
+pub struct BarrierResult {
+    /// The benchmark that ran.
+    pub bench: BarrierBench,
+    /// Timing reduction.
+    pub timing: BarrierMeasurement,
+    /// Machine-wide statistics for the whole run.
+    pub stats: Stats,
+}
+
+fn skew_plan(rng: &mut StdRng, episodes: u32, max_skew: Cycle) -> Vec<Cycle> {
+    (0..episodes)
+        .map(|_| 100 + rng.gen_range(0..max_skew.max(1)))
+        .collect()
+}
+
+/// Run one barrier benchmark to completion.
+pub fn run_barrier(bench: BarrierBench) -> BarrierResult {
+    let cfg = bench
+        .config
+        .unwrap_or_else(|| SystemConfig::with_procs(bench.procs));
+    assert_eq!(
+        cfg.num_procs, bench.procs,
+        "config override must match procs"
+    );
+    let nodes = cfg.num_nodes();
+    let mut machine = Machine::new(cfg);
+    let mut alloc = VarAlloc::new();
+    let mut rng = StdRng::seed_from_u64(bench.seed ^ (bench.procs as u64) << 32);
+
+    match bench.algo {
+        BarrierAlgo::Central => {
+            let spec = match bench.style {
+                None => BarrierSpec::build(
+                    &mut alloc,
+                    bench.mech,
+                    NodeId(0),
+                    bench.procs,
+                    bench.episodes,
+                ),
+                Some(style) => BarrierSpec::build_styled(
+                    &mut alloc,
+                    bench.mech,
+                    style,
+                    NodeId(0),
+                    bench.procs,
+                    bench.episodes,
+                ),
+            };
+            for p in 0..bench.procs {
+                let work = skew_plan(&mut rng, bench.episodes, bench.max_skew);
+                machine.install_kernel(ProcId(p), Box::new(BarrierKernel::new(spec, work)), 0);
+            }
+        }
+        BarrierAlgo::Tree(branching) => {
+            let spec = TreeBarrierSpec::build(
+                &mut alloc,
+                bench.mech,
+                bench.procs,
+                bench.episodes,
+                branching,
+                nodes,
+            );
+            for p in 0..bench.procs {
+                let work = skew_plan(&mut rng, bench.episodes, bench.max_skew);
+                machine.install_kernel(
+                    ProcId(p),
+                    Box::new(TreeBarrierKernel::new(spec.clone(), p, work)),
+                    0,
+                );
+            }
+        }
+        BarrierAlgo::KTree(branching) => {
+            let spec = KTreeSpec::build(
+                &mut alloc,
+                bench.mech,
+                bench.procs,
+                bench.episodes,
+                branching,
+                nodes,
+            );
+            for p in 0..bench.procs {
+                let work = skew_plan(&mut rng, bench.episodes, bench.max_skew);
+                machine.install_kernel(
+                    ProcId(p),
+                    Box::new(KTreeKernel::new(spec.clone(), p, work)),
+                    0,
+                );
+            }
+        }
+        BarrierAlgo::Dissemination => {
+            let spec = DisseminationSpec::build(
+                &mut alloc,
+                bench.mech,
+                bench.procs,
+                cfg.procs_per_node,
+                bench.episodes,
+            );
+            for p in 0..bench.procs {
+                let work = skew_plan(&mut rng, bench.episodes, bench.max_skew);
+                machine.install_kernel(
+                    ProcId(p),
+                    Box::new(DisseminationKernel::new(spec.clone(), p, work)),
+                    0,
+                );
+            }
+        }
+    }
+
+    let res = machine.run(MAX_CYCLES);
+    assert!(
+        res.all_finished,
+        "barrier run stalled: {:?} at {} procs (hit_limit={})\n{}",
+        bench.mech,
+        bench.procs,
+        res.hit_limit,
+        machine.stall_report()
+    );
+    let timing = barrier_measurement(machine.marks(), bench.procs, bench.episodes, bench.warmup);
+    BarrierResult {
+        bench,
+        timing,
+        stats: machine.stats().clone(),
+    }
+}
+
+/// Search tree branching factors and return the best-performing result,
+/// as the paper does ("we try all possible tree branching factors and
+/// use the one that delivers the best performance").
+pub fn best_tree_barrier(base: BarrierBench) -> (u16, BarrierResult) {
+    let candidates = [2u16, 4, 8, 16, 32, 64]
+        .into_iter()
+        .filter(|&b| b < base.procs)
+        .collect::<Vec<_>>();
+    assert!(
+        !candidates.is_empty(),
+        "no valid branching factor for {} procs",
+        base.procs
+    );
+    let mut best: Option<(u16, BarrierResult)> = None;
+    for b in candidates {
+        let r = run_barrier(base.with_tree(b));
+        let better = match &best {
+            None => true,
+            Some((_, cur)) => r.timing.avg_cycles < cur.timing.avg_cycles,
+        };
+        if better {
+            best = Some((b, r));
+        }
+    }
+    best.expect("at least one branching factor")
+}
+
+/// Which lock algorithm to benchmark.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockKind {
+    /// Ticket lock (Mellor-Crummey & Scott formulation).
+    Ticket,
+    /// Anderson array-based queuing lock.
+    Array,
+    /// MCS list-based queue lock (extension; needs swap/cas, so it is
+    /// unavailable under the active-message mechanism).
+    Mcs,
+}
+
+/// A lock benchmark description.
+#[derive(Clone, Copy, Debug)]
+pub struct LockBench {
+    /// Mechanism under test.
+    pub mech: Mechanism,
+    /// Lock algorithm.
+    pub kind: LockKind,
+    /// Processor count.
+    pub procs: u16,
+    /// Acquisitions per processor.
+    pub rounds: u32,
+    /// Critical-section length.
+    pub cs_cycles: Cycle,
+    /// Maximum random think time between acquisitions.
+    pub max_think: Cycle,
+    /// RNG seed (shared across mechanisms for fairness).
+    pub seed: u64,
+    /// Attach the in-simulation mutual-exclusion checker.
+    pub check_exclusion: bool,
+    /// Full machine-configuration override (ablations). `None` = the
+    /// paper's Table 1 with `procs` processors.
+    pub config: Option<SystemConfig>,
+}
+
+impl LockBench {
+    /// The defaults used by the paper-table generators.
+    pub fn paper(mech: Mechanism, kind: LockKind, procs: u16) -> Self {
+        LockBench {
+            mech,
+            kind,
+            procs,
+            rounds: 8,
+            cs_cycles: 250,
+            max_think: 1_000,
+            seed: 0x10C_5EED,
+            check_exclusion: true,
+            config: None,
+        }
+    }
+}
+
+/// Outcome of a lock benchmark.
+#[derive(Clone, Debug)]
+pub struct LockResult {
+    /// The benchmark that ran.
+    pub bench: LockBench,
+    /// Timing reduction.
+    pub timing: LockMeasurement,
+    /// Machine-wide statistics.
+    pub stats: Stats,
+    /// Mutual-exclusion violations observed (must be zero).
+    pub violations: u64,
+}
+
+/// Run one lock benchmark to completion.
+pub fn run_lock(bench: LockBench) -> LockResult {
+    let cfg = bench
+        .config
+        .unwrap_or_else(|| SystemConfig::with_procs(bench.procs));
+    assert_eq!(
+        cfg.num_procs, bench.procs,
+        "config override must match procs"
+    );
+    let mut machine = Machine::new(cfg);
+    let mut alloc = VarAlloc::new();
+    let mut rng = StdRng::seed_from_u64(bench.seed ^ (bench.procs as u64) << 32);
+    let check = bench.check_exclusion.then(|| ExclusionCheck {
+        addr: alloc.word(NodeId(0)),
+        violations: Rc::new(Cell::new(0)),
+    });
+
+    match bench.kind {
+        LockKind::Ticket => {
+            let spec = TicketLockSpec::build(
+                &mut alloc,
+                bench.mech,
+                NodeId(0),
+                bench.rounds,
+                bench.cs_cycles,
+            );
+            for p in 0..bench.procs {
+                let think: Vec<Cycle> = (0..bench.rounds)
+                    .map(|_| 100 + rng.gen_range(0..bench.max_think.max(1)))
+                    .collect();
+                machine.install_kernel(
+                    ProcId(p),
+                    Box::new(TicketLockKernel::new(
+                        spec,
+                        think,
+                        p as Word + 1,
+                        check.clone(),
+                    )),
+                    0,
+                );
+            }
+        }
+        LockKind::Mcs => {
+            let spec = McsLockSpec::build(
+                &mut alloc,
+                bench.mech,
+                NodeId(0),
+                bench.procs,
+                cfg.procs_per_node,
+                bench.rounds,
+                bench.cs_cycles,
+            );
+            for p in 0..bench.procs {
+                let think: Vec<Cycle> = (0..bench.rounds)
+                    .map(|_| 100 + rng.gen_range(0..bench.max_think.max(1)))
+                    .collect();
+                machine.install_kernel(
+                    ProcId(p),
+                    Box::new(McsLockKernel::new(
+                        spec.clone(),
+                        p,
+                        think,
+                        p as Word + 1,
+                        check.clone(),
+                    )),
+                    0,
+                );
+            }
+        }
+        LockKind::Array => {
+            let spec = ArrayLockSpec::build(
+                &mut alloc,
+                bench.mech,
+                NodeId(0),
+                bench.procs,
+                bench.rounds,
+                bench.cs_cycles,
+            );
+            spec.init(&mut machine);
+            for p in 0..bench.procs {
+                let think: Vec<Cycle> = (0..bench.rounds)
+                    .map(|_| 100 + rng.gen_range(0..bench.max_think.max(1)))
+                    .collect();
+                machine.install_kernel(
+                    ProcId(p),
+                    Box::new(ArrayLockKernel::new(
+                        spec.clone(),
+                        think,
+                        p as Word + 1,
+                        check.clone(),
+                    )),
+                    0,
+                );
+            }
+        }
+    }
+
+    let res = machine.run(MAX_CYCLES);
+    assert!(
+        res.all_finished,
+        "lock run stalled: {:?} {:?} at {} procs\n{}",
+        bench.mech,
+        bench.kind,
+        bench.procs,
+        machine.stall_report()
+    );
+    let violations = check.map_or(0, |c| c.violations.get());
+    assert_eq!(
+        violations, 0,
+        "{:?} {:?} violated mutual exclusion",
+        bench.mech, bench.kind
+    );
+    let timing = lock_measurement(machine.marks(), bench.procs, bench.rounds);
+    LockResult {
+        bench,
+        timing,
+        stats: machine.stats().clone(),
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_runner_produces_measurement() {
+        let r = run_barrier(BarrierBench {
+            episodes: 4,
+            warmup: 1,
+            ..BarrierBench::paper(Mechanism::Amo, 4)
+        });
+        assert_eq!(r.timing.measured, 3);
+        assert!(r.timing.avg_cycles > 0.0);
+        assert_eq!(r.stats.puts, 4, "one put per episode");
+    }
+
+    #[test]
+    fn tree_runner_works() {
+        let r = run_barrier(
+            BarrierBench {
+                episodes: 3,
+                warmup: 1,
+                ..BarrierBench::paper(Mechanism::Atomic, 8)
+            }
+            .with_tree(4),
+        );
+        assert!(r.timing.avg_cycles > 0.0);
+    }
+
+    #[test]
+    fn lock_runner_all_kinds() {
+        for kind in [LockKind::Ticket, LockKind::Array] {
+            let r = run_lock(LockBench {
+                rounds: 3,
+                ..LockBench::paper(Mechanism::Atomic, kind, 4)
+            });
+            assert_eq!(r.timing.acquisitions, 12);
+            assert_eq!(r.violations, 0);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_result() {
+        let b = BarrierBench {
+            episodes: 3,
+            warmup: 1,
+            ..BarrierBench::paper(Mechanism::LlSc, 4)
+        };
+        let a = run_barrier(b);
+        let c = run_barrier(b);
+        assert_eq!(a.timing.per_episode, c.timing.per_episode);
+        assert_eq!(a.stats.total_msgs(), c.stats.total_msgs());
+    }
+}

@@ -1,0 +1,495 @@
+//! Generators for every table and figure of the paper's evaluation.
+//!
+//! Each generator returns structured data; [`crate::render`] turns it
+//! into text. Absolute cycle counts come from our simulator, not the
+//! authors' testbed — the claims to check are the *shapes*: orderings,
+//! approximate factors, and crossover points (see EXPERIMENTS.md).
+
+use crate::runner::{best_tree_barrier, run_barrier, run_lock, BarrierBench, LockBench, LockKind};
+use amo_sync::Mechanism;
+
+/// Run one closure per input on its own OS thread and collect the
+/// results in order. Every simulation builds its own machine, so rows
+/// are embarrassingly parallel; this cuts a full paper-size
+/// regeneration by roughly the core count.
+fn par_map<I, O, F>(inputs: &[I], f: F) -> Vec<O>
+where
+    I: Copy + Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    std::thread::scope(|s| {
+        let fref = &f;
+        let handles: Vec<_> = inputs.iter().map(|&i| s.spawn(move || fref(i))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("row thread panicked"))
+            .collect()
+    })
+}
+
+/// Processor counts used by the paper for non-tree experiments.
+pub const PAPER_SIZES: [u16; 7] = [4, 8, 16, 32, 64, 128, 256];
+/// Processor counts used by the paper for tree experiments.
+pub const TREE_SIZES: [u16; 5] = [16, 32, 64, 128, 256];
+
+/// Mechanisms in the column order of Tables 2 and 3.
+pub const TABLE_MECHS: [Mechanism; 4] = [
+    Mechanism::ActMsg,
+    Mechanism::Atomic,
+    Mechanism::Mao,
+    Mechanism::Amo,
+];
+
+/// One row of Table 2 (plus the Figure 5 series for the same runs).
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Processor count.
+    pub procs: u16,
+    /// LL/SC baseline barrier time (cycles per episode).
+    pub base_cycles: f64,
+    /// Speedup over the baseline, per mechanism in [`TABLE_MECHS`] order.
+    pub speedups: Vec<(Mechanism, f64)>,
+    /// Figure 5: cycles-per-processor, for LL/SC then [`TABLE_MECHS`].
+    pub cycles_per_proc: Vec<(Mechanism, f64)>,
+}
+
+/// Generate Table 2 and Figure 5: centralized barriers.
+pub fn table2(sizes: &[u16], episodes: u32, warmup: u32) -> Vec<Table2Row> {
+    par_map(sizes, |procs| {
+        let mk = |mech| BarrierBench {
+            episodes,
+            warmup,
+            ..BarrierBench::paper(mech, procs)
+        };
+        let base = run_barrier(mk(Mechanism::LlSc));
+        let mut speedups = Vec::new();
+        let mut cpp = vec![(Mechanism::LlSc, base.timing.cycles_per_proc)];
+        for mech in TABLE_MECHS {
+            let r = run_barrier(mk(mech));
+            speedups.push((mech, base.timing.avg_cycles / r.timing.avg_cycles));
+            cpp.push((mech, r.timing.cycles_per_proc));
+        }
+        Table2Row {
+            procs,
+            base_cycles: base.timing.avg_cycles,
+            speedups,
+            cycles_per_proc: cpp,
+        }
+    })
+}
+
+/// One row of Table 3 (plus Figure 6 series).
+#[derive(Clone, Debug)]
+pub struct Table3Row {
+    /// Processor count.
+    pub procs: u16,
+    /// Flat LL/SC baseline barrier time (denominator of all speedups).
+    pub base_cycles: f64,
+    /// Tree-barrier speedups over the flat LL/SC baseline, one per
+    /// mechanism (LL/SC, ActMsg, Atomic, MAO, AMO), with the best
+    /// branching factor found.
+    pub tree_speedups: Vec<(Mechanism, u16, f64)>,
+    /// Flat AMO speedup (the paper's last column).
+    pub amo_flat_speedup: f64,
+    /// Figure 6: cycles-per-processor of each tree barrier.
+    pub cycles_per_proc: Vec<(Mechanism, f64)>,
+}
+
+/// Tree-table mechanism order (the paper's columns).
+pub const TREE_MECHS: [Mechanism; 5] = [
+    Mechanism::LlSc,
+    Mechanism::ActMsg,
+    Mechanism::Atomic,
+    Mechanism::Mao,
+    Mechanism::Amo,
+];
+
+/// Generate Table 3 and Figure 6: two-level combining-tree barriers.
+pub fn table3(sizes: &[u16], episodes: u32, warmup: u32) -> Vec<Table3Row> {
+    par_map(sizes, |procs| {
+        let mk = |mech| BarrierBench {
+            episodes,
+            warmup,
+            ..BarrierBench::paper(mech, procs)
+        };
+        let base = run_barrier(mk(Mechanism::LlSc));
+        let mut tree_speedups = Vec::new();
+        let mut cpp = Vec::new();
+        for mech in TREE_MECHS {
+            let (branching, r) = best_tree_barrier(mk(mech));
+            tree_speedups.push((
+                mech,
+                branching,
+                base.timing.avg_cycles / r.timing.avg_cycles,
+            ));
+            cpp.push((mech, r.timing.cycles_per_proc));
+        }
+        let amo_flat = run_barrier(mk(Mechanism::Amo));
+        Table3Row {
+            procs,
+            base_cycles: base.timing.avg_cycles,
+            tree_speedups,
+            amo_flat_speedup: base.timing.avg_cycles / amo_flat.timing.avg_cycles,
+            cycles_per_proc: cpp,
+        }
+    })
+}
+
+/// One row of Table 4.
+#[derive(Clone, Debug)]
+pub struct Table4Row {
+    /// Processor count.
+    pub procs: u16,
+    /// LL/SC ticket-lock baseline time.
+    pub base_cycles: f64,
+    /// Per mechanism (paper order LL/SC, ActMsg, Atomic, MAO, AMO):
+    /// (mechanism, ticket speedup, array speedup) over the LL/SC ticket
+    /// lock.
+    pub speedups: Vec<(Mechanism, f64, f64)>,
+}
+
+/// Lock-table mechanism order (the paper's columns).
+pub const LOCK_MECHS: [Mechanism; 5] = [
+    Mechanism::LlSc,
+    Mechanism::ActMsg,
+    Mechanism::Atomic,
+    Mechanism::Mao,
+    Mechanism::Amo,
+];
+
+/// Generate Table 4: ticket and array locks.
+pub fn table4(sizes: &[u16], rounds: u32) -> Vec<Table4Row> {
+    par_map(sizes, |procs| {
+        let mk = |mech, kind| LockBench {
+            rounds,
+            ..LockBench::paper(mech, kind, procs)
+        };
+        let base = run_lock(mk(Mechanism::LlSc, LockKind::Ticket));
+        let speedups = LOCK_MECHS
+            .iter()
+            .map(|&mech| {
+                let t = if mech == Mechanism::LlSc {
+                    base.timing.total_cycles as f64
+                } else {
+                    run_lock(mk(mech, LockKind::Ticket)).timing.total_cycles as f64
+                };
+                let a = run_lock(mk(mech, LockKind::Array)).timing.total_cycles as f64;
+                let b = base.timing.total_cycles as f64;
+                (mech, b / t, b / a)
+            })
+            .collect();
+        Table4Row {
+            procs,
+            base_cycles: base.timing.total_cycles as f64,
+            speedups,
+        }
+    })
+}
+
+/// Figure 7: ticket-lock network traffic, normalized to LL/SC.
+#[derive(Clone, Debug)]
+pub struct Figure7Row {
+    /// Processor count (paper: 128 and 256).
+    pub procs: u16,
+    /// (mechanism, traffic bytes, normalized to LL/SC).
+    pub traffic: Vec<(Mechanism, u64, f64)>,
+}
+
+/// Generate Figure 7 for the given sizes.
+pub fn figure7(sizes: &[u16], rounds: u32) -> Vec<Figure7Row> {
+    par_map(sizes, |procs| {
+        let mk = |mech| LockBench {
+            rounds,
+            ..LockBench::paper(mech, LockKind::Ticket, procs)
+        };
+        let base_bytes = run_lock(mk(Mechanism::LlSc)).stats.total_bytes();
+        let traffic = LOCK_MECHS
+            .iter()
+            .map(|&mech| {
+                let bytes = if mech == Mechanism::LlSc {
+                    base_bytes
+                } else {
+                    run_lock(mk(mech)).stats.total_bytes()
+                };
+                (mech, bytes, bytes as f64 / base_bytes as f64)
+            })
+            .collect();
+        Figure7Row { procs, traffic }
+    })
+}
+
+/// Figure 1 message census: one barrier episode on three processors,
+/// LL/SC vs AMO. Returns (llsc one-way messages, amo one-way messages).
+pub fn figure1() -> (u64, u64) {
+    let count = |mech| {
+        let r = run_barrier(BarrierBench {
+            episodes: 2,
+            warmup: 1,
+            max_skew: 200,
+            ..BarrierBench::paper(mech, 4)
+        });
+        // Messages for the measured (warm) episode ≈ total − cold episode;
+        // report the per-episode steady-state count.
+        r.stats.total_msgs() / 2
+    };
+    (count(Mechanism::LlSc), count(Mechanism::Amo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_small_shapes() {
+        let rows = table2(&[4, 8], 4, 1);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            let amo = row
+                .speedups
+                .iter()
+                .find(|(m, _)| *m == Mechanism::Amo)
+                .unwrap()
+                .1;
+            assert!(
+                amo > 1.0,
+                "AMO must beat LL/SC at {} procs: {amo}",
+                row.procs
+            );
+        }
+        // Scaling: AMO's advantage grows with the machine.
+        let amo4 = rows[0]
+            .speedups
+            .iter()
+            .find(|(m, _)| *m == Mechanism::Amo)
+            .unwrap()
+            .1;
+        let amo8 = rows[1]
+            .speedups
+            .iter()
+            .find(|(m, _)| *m == Mechanism::Amo)
+            .unwrap()
+            .1;
+        assert!(amo8 > amo4, "AMO speedup should grow: {amo4} -> {amo8}");
+    }
+
+    #[test]
+    fn table4_small_shapes() {
+        let rows = table4(&[4], 4);
+        let amo = rows[0]
+            .speedups
+            .iter()
+            .find(|(m, ..)| *m == Mechanism::Amo)
+            .unwrap();
+        assert!(amo.1 > 1.0, "AMO ticket lock must beat LL/SC: {}", amo.1);
+    }
+
+    #[test]
+    fn ext_generators_smoke() {
+        let locks = ext_locks(&[4], 2);
+        assert_eq!(locks[0].mcs_speedups.len(), 4);
+        assert!(locks[0].mcs_speedups.iter().all(|&(_, s)| s > 0.0));
+
+        let barriers = ext_barriers(&[8], 3, 1);
+        assert_eq!(barriers[0].entries.len(), 5);
+        let amo = barriers[0]
+            .entries
+            .iter()
+            .find(|(l, ..)| *l == "AMO central")
+            .unwrap();
+        assert!(amo.2 > 1.0, "AMO central beats the baseline");
+
+        let ktrees = ext_ktree(&[8], 3, 1);
+        assert!(!ktrees[0].ktrees.is_empty());
+        for &(b, depth, _, ratio) in &ktrees[0].ktrees {
+            assert!(depth >= 1, "b={b}");
+            assert!(ratio > 0.0);
+        }
+    }
+
+    #[test]
+    fn renderers_cover_extensions() {
+        use crate::render;
+        let locks = ext_locks(&[4], 2);
+        assert!(render::render_ext_locks(&locks).contains("MCS"));
+        let barriers = ext_barriers(&[8], 3, 1);
+        assert!(render::render_ext_barriers(&barriers).contains("dissem"));
+        let ktrees = ext_ktree(&[8], 3, 1);
+        assert!(render::render_ext_ktree(&ktrees).contains("flat"));
+        // CSV renderers emit headers and one line per cell.
+        let t2 = table2(&[4], 3, 1);
+        let csv = render::csv_table2(&t2);
+        assert!(csv.starts_with("table,procs,mech"));
+        assert_eq!(csv.lines().count(), 1 + 5);
+        let t4 = table4(&[4], 2);
+        assert_eq!(render::csv_table4(&t4).lines().count(), 1 + 10);
+    }
+
+    #[test]
+    fn figure7_small() {
+        let rows = figure7(&[8], 3);
+        let amo = rows[0]
+            .traffic
+            .iter()
+            .find(|(m, ..)| *m == Mechanism::Amo)
+            .unwrap();
+        assert!(amo.2 < 1.0, "AMO traffic must be below LL/SC: {}", amo.2);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Extension experiments (beyond the paper's tables; see EXPERIMENTS.md)
+// ---------------------------------------------------------------------
+
+/// Mechanisms that support the MCS lock (everything with swap/cas).
+pub const MCS_MECHS: [Mechanism; 4] = [
+    Mechanism::LlSc,
+    Mechanism::Atomic,
+    Mechanism::Mao,
+    Mechanism::Amo,
+];
+
+/// One row of the MCS-lock extension table.
+#[derive(Clone, Debug)]
+pub struct ExtLocksRow {
+    /// Processor count.
+    pub procs: u16,
+    /// LL/SC ticket-lock baseline time (the same denominator Table 4
+    /// uses).
+    pub base_cycles: f64,
+    /// MCS speedup over that baseline, per mechanism in [`MCS_MECHS`]
+    /// order.
+    pub mcs_speedups: Vec<(Mechanism, f64)>,
+}
+
+/// Extension: the MCS list-based queue lock across mechanisms,
+/// normalized like Table 4.
+pub fn ext_locks(sizes: &[u16], rounds: u32) -> Vec<ExtLocksRow> {
+    sizes
+        .iter()
+        .map(|&procs| {
+            let mk = |mech, kind| crate::runner::LockBench {
+                rounds,
+                ..crate::runner::LockBench::paper(mech, kind, procs)
+            };
+            let base = run_lock(mk(Mechanism::LlSc, LockKind::Ticket));
+            let mcs_speedups = MCS_MECHS
+                .iter()
+                .map(|&mech| {
+                    let r = run_lock(mk(mech, LockKind::Mcs));
+                    (
+                        mech,
+                        base.timing.total_cycles as f64 / r.timing.total_cycles as f64,
+                    )
+                })
+                .collect();
+            ExtLocksRow {
+                procs,
+                base_cycles: base.timing.total_cycles as f64,
+                mcs_speedups,
+            }
+        })
+        .collect()
+}
+
+/// One row of the barrier-algorithm extension table.
+#[derive(Clone, Debug)]
+pub struct ExtBarriersRow {
+    /// Processor count.
+    pub procs: u16,
+    /// (label, cycles/episode, speedup over centralized LL/SC).
+    pub entries: Vec<(&'static str, f64, f64)>,
+}
+
+/// Extension: dissemination barriers against the paper's algorithms,
+/// for the baseline and AMO mechanisms.
+pub fn ext_barriers(sizes: &[u16], episodes: u32, warmup: u32) -> Vec<ExtBarriersRow> {
+    sizes
+        .iter()
+        .map(|&procs| {
+            let mk = |mech| BarrierBench {
+                episodes,
+                warmup,
+                ..BarrierBench::paper(mech, procs)
+            };
+            let base = run_barrier(mk(Mechanism::LlSc));
+            let mut entries = vec![("LL/SC central", base.timing.avg_cycles, 1.0)];
+            let mut push = |label, r: crate::runner::BarrierResult| {
+                entries.push((
+                    label,
+                    r.timing.avg_cycles,
+                    base.timing.avg_cycles / r.timing.avg_cycles,
+                ));
+            };
+            push(
+                "LL/SC dissem",
+                run_barrier(mk(Mechanism::LlSc).with_dissemination()),
+            );
+            let (_, tree) = best_tree_barrier(mk(Mechanism::LlSc));
+            push("LL/SC tree*", tree);
+            push("AMO central", run_barrier(mk(Mechanism::Amo)));
+            push(
+                "AMO dissem",
+                run_barrier(mk(Mechanism::Amo).with_dissemination()),
+            );
+            ExtBarriersRow { procs, entries }
+        })
+        .collect()
+}
+
+/// One row of the k-level-tree extension study (the paper's future-work
+/// question).
+#[derive(Clone, Debug)]
+pub struct ExtKtreeRow {
+    /// Processor count.
+    pub procs: u16,
+    /// Flat AMO barrier cycles/episode.
+    pub flat_cycles: f64,
+    /// (branching, tree depth, cycles/episode, ratio flat/ktree — above
+    /// 1 means the deep tree *helps*).
+    pub ktrees: Vec<(u16, usize, f64, f64)>,
+}
+
+/// Extension: can deep AMO combining trees beat the flat AMO barrier at
+/// scale? (Paper Sec. 4.2.2: "part of our future work".)
+pub fn ext_ktree(sizes: &[u16], episodes: u32, warmup: u32) -> Vec<ExtKtreeRow> {
+    sizes
+        .iter()
+        .map(|&procs| {
+            let mk = || BarrierBench {
+                episodes,
+                warmup,
+                ..BarrierBench::paper(Mechanism::Amo, procs)
+            };
+            let flat = run_barrier(mk());
+            let ktrees = [2u16, 4, 8, 16]
+                .into_iter()
+                .filter(|&b| b < procs)
+                .map(|b| {
+                    let mut alloc = amo_sync::VarAlloc::new();
+                    let depth = amo_sync::KTreeSpec::build(
+                        &mut alloc,
+                        Mechanism::Amo,
+                        procs,
+                        1,
+                        b,
+                        procs / 2,
+                    )
+                    .depth();
+                    let r = run_barrier(mk().with_ktree(b));
+                    (
+                        b,
+                        depth,
+                        r.timing.avg_cycles,
+                        flat.timing.avg_cycles / r.timing.avg_cycles,
+                    )
+                })
+                .collect();
+            ExtKtreeRow {
+                procs,
+                flat_cycles: flat.timing.avg_cycles,
+                ktrees,
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,79 @@
+//! Barrier scaling study: every mechanism from 4 to 64 processors,
+//! centralized and (at 16+) through the best combining tree — a compact
+//! version of the paper's Tables 2 and 3.
+//!
+//! ```sh
+//! cargo run --release --example barrier_scaling
+//! ```
+
+use amo::prelude::*;
+use amo::workloads::runner::best_tree_barrier;
+
+fn main() {
+    let sizes = [4u16, 8, 16, 32, 64];
+    let episodes = 8;
+    let warmup = 2;
+
+    println!("centralized barriers — cycles per episode (speedup over LL/SC)\n");
+    print!("{:>5}", "CPUs");
+    for mech in Mechanism::ALL {
+        print!("{:>22}", mech.label());
+    }
+    println!();
+
+    for &procs in &sizes {
+        let mk = |mech| BarrierBench {
+            episodes,
+            warmup,
+            ..BarrierBench::paper(mech, procs)
+        };
+        let base = run_barrier(mk(Mechanism::LlSc));
+        print!("{procs:>5}");
+        for mech in Mechanism::ALL {
+            let r = if mech == Mechanism::LlSc {
+                base.clone()
+            } else {
+                run_barrier(mk(mech))
+            };
+            print!(
+                "{:>14.0} ({:>4.1}x)",
+                r.timing.avg_cycles,
+                base.timing.avg_cycles / r.timing.avg_cycles
+            );
+        }
+        println!();
+    }
+
+    println!("\ncombining-tree barriers (best branching factor in brackets)\n");
+    print!("{:>5}", "CPUs");
+    for mech in Mechanism::ALL {
+        print!("{:>22}", mech.label());
+    }
+    println!();
+    for &procs in &sizes {
+        if procs < 16 {
+            continue;
+        }
+        let mk = |mech| BarrierBench {
+            episodes,
+            warmup,
+            ..BarrierBench::paper(mech, procs)
+        };
+        let base = run_barrier(mk(Mechanism::LlSc));
+        print!("{procs:>5}");
+        for mech in Mechanism::ALL {
+            let (b, r) = best_tree_barrier(mk(mech));
+            print!(
+                "{:>11.0} [{b:>2}]({:>4.1}x)",
+                r.timing.avg_cycles,
+                base.timing.avg_cycles / r.timing.avg_cycles
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "\nExpected shapes (paper): AMO ≫ MAO > tree variants > ActMsg > Atomic > LL/SC,\n\
+         and flat AMO beats AMO+tree — the tree's extra fixed overheads don't pay off."
+    );
+}

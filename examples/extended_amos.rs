@@ -1,0 +1,273 @@
+//! The extended AMO instruction set in action: `amo.max`, `amo.min`,
+//! and `amo.cas` (this library's answer to the paper's "other simple
+//! atomic operations" future-work remark).
+//!
+//! Three scenarios on a 32-processor machine:
+//!
+//! 1. **Global max reduction** — every processor folds its local result
+//!    into one word. With `amo.max` the fold happens at the home memory
+//!    controller in one one-way message per processor; the conventional
+//!    coding is a compare-and-swap retry loop that bounces the cache
+//!    block around the machine.
+//! 2. **Leader election** — one `amo.cas` per processor; exactly one
+//!    sees the initial value and wins.
+//! 3. **Earliest-arrival min** — `amo.min` folding deterministic
+//!    "timestamps".
+//!
+//! ```sh
+//! cargo run --release --example extended_amos
+//! ```
+
+use amo::cpu::{Kernel, Op, Outcome};
+use amo::prelude::*;
+use amo::types::AmoKind;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Fold `candidate` into the global max with a single `amo.max`.
+struct AmoMax {
+    target: Addr,
+    candidate: Word,
+    compute: Cycle,
+    step: u32,
+}
+
+impl Kernel for AmoMax {
+    fn next(&mut self, _last: Option<Outcome>) -> Op {
+        self.step += 1;
+        match self.step {
+            1 => Op::Delay {
+                cycles: self.compute,
+            },
+            2 => Op::Amo {
+                kind: AmoKind::Max,
+                addr: self.target,
+                operand: self.candidate,
+                test: None,
+            },
+            _ => Op::Done,
+        }
+    }
+}
+
+/// The conventional coding: load the current max, and while our
+/// candidate is larger, try to install it with a processor-side CAS.
+/// Every attempt drags the block across the network in exclusive state.
+struct CasLoopMax {
+    target: Addr,
+    candidate: Word,
+    compute: Cycle,
+    seen: Option<Word>,
+    started: bool,
+}
+
+impl Kernel for CasLoopMax {
+    fn next(&mut self, last: Option<Outcome>) -> Op {
+        if !self.started {
+            self.started = true;
+            return Op::Delay {
+                cycles: self.compute,
+            };
+        }
+        match self.seen {
+            None => {
+                // First probe: an ordinary load of the current max.
+                if let Some(Outcome::Value(v)) = last {
+                    self.seen = Some(v);
+                    self.retry()
+                } else {
+                    Op::Load { addr: self.target }
+                }
+            }
+            Some(seen) => {
+                let old = last.expect("CAS outcome").value();
+                if old == seen || old >= self.candidate {
+                    Op::Done // our CAS landed, or someone larger beat us
+                } else {
+                    self.seen = Some(old);
+                    self.retry()
+                }
+            }
+        }
+    }
+}
+
+impl CasLoopMax {
+    fn retry(&mut self) -> Op {
+        let seen = self.seen.expect("probed");
+        if seen >= self.candidate {
+            return Op::Done;
+        }
+        Op::AtomicRmw {
+            kind: AmoKind::Cas { expected: seen },
+            addr: self.target,
+            operand: self.candidate,
+        }
+    }
+}
+
+/// One-shot leader election: CAS the flag from 0 to our id; whoever
+/// observes the initial 0 is the leader.
+struct Elect {
+    flag: Addr,
+    id: Word,
+    won: Rc<Cell<u32>>,
+    step: u32,
+}
+
+impl Kernel for Elect {
+    fn next(&mut self, last: Option<Outcome>) -> Op {
+        self.step += 1;
+        match self.step {
+            1 => Op::Amo {
+                kind: AmoKind::Cas { expected: 0 },
+                addr: self.flag,
+                operand: self.id,
+                test: None,
+            },
+            _ => {
+                if last.expect("CAS outcome").value() == 0 {
+                    self.won.set(self.won.get() + 1);
+                }
+                Op::Done
+            }
+        }
+    }
+}
+
+fn candidates(procs: u16) -> Vec<Word> {
+    // A scrambled but deterministic permutation of "local results".
+    (0..procs as Word).map(|p| (p * 37 + 11) % 97 + 1).collect()
+}
+
+fn main() {
+    let procs = 32u16;
+    let vals = candidates(procs);
+    let true_max = *vals.iter().max().unwrap();
+
+    // --- 1a: amo.max ---------------------------------------------------
+    let mut machine = Machine::new(SystemConfig::with_procs(procs));
+    let mut alloc = VarAlloc::new();
+    let gmax = alloc.word(NodeId(0));
+    for p in 0..procs {
+        machine.install_kernel(
+            ProcId(p),
+            Box::new(AmoMax {
+                target: gmax,
+                candidate: vals[p as usize],
+                compute: 200 + p as Cycle * 53,
+                step: 0,
+            }),
+            0,
+        );
+    }
+    let res = machine.run(10_000_000);
+    assert!(res.all_finished);
+    let amo_cycles = res.last_finish();
+    let amo_msgs = machine.stats().total_msgs();
+    assert_eq!(machine.memory(NodeId(0)).read_word(gmax), true_max);
+
+    // --- 1b: the CAS retry loop ----------------------------------------
+    let mut machine = Machine::new(SystemConfig::with_procs(procs));
+    let mut alloc = VarAlloc::new();
+    let gmax = alloc.word(NodeId(0));
+    for p in 0..procs {
+        machine.install_kernel(
+            ProcId(p),
+            Box::new(CasLoopMax {
+                target: gmax,
+                candidate: vals[p as usize],
+                compute: 200 + p as Cycle * 53,
+                seen: None,
+                started: false,
+            }),
+            0,
+        );
+    }
+    let res = machine.run(10_000_000);
+    assert!(res.all_finished);
+    let cas_cycles = res.last_finish();
+    let cas_msgs = machine.stats().total_msgs();
+    assert_eq!(machine.memory(NodeId(0)).read_word(gmax), true_max);
+
+    println!("global max over {procs} processors (true max {true_max}):");
+    println!("  amo.max   {amo_cycles:>8} cycles  {amo_msgs:>5} messages");
+    println!("  CAS loop  {cas_cycles:>8} cycles  {cas_msgs:>5} messages");
+    println!(
+        "  -> amo.max uses {:.1}x fewer messages\n",
+        cas_msgs as f64 / amo_msgs as f64
+    );
+
+    // --- 2: leader election with amo.cas -------------------------------
+    let mut machine = Machine::new(SystemConfig::with_procs(procs));
+    let mut alloc = VarAlloc::new();
+    let flag = alloc.word(NodeId(0));
+    let won = Rc::new(Cell::new(0u32));
+    for p in 0..procs {
+        machine.install_kernel(
+            ProcId(p),
+            Box::new(Elect {
+                flag,
+                id: p as Word + 100,
+                won: won.clone(),
+                step: 0,
+            }),
+            0,
+        );
+    }
+    let res = machine.run(10_000_000);
+    assert!(res.all_finished);
+    let leader = machine.memory(NodeId(0)).read_word(flag);
+    assert_eq!(won.get(), 1, "exactly one winner");
+    println!(
+        "leader election: processor {} won (1 of {procs})\n",
+        leader - 100
+    );
+
+    // --- 3: earliest arrival with amo.min ------------------------------
+    let mut machine = Machine::new(SystemConfig::with_procs(procs));
+    let mut alloc = VarAlloc::new();
+    let earliest = alloc.word(NodeId(0));
+    machine.init_word(earliest, Word::MAX);
+    let stamps: Vec<Word> = (0..procs as Word)
+        .map(|p| (p * 61 + 29) % 500 + 1)
+        .collect();
+    let true_min = *stamps.iter().min().unwrap();
+    for p in 0..procs {
+        machine.install_kernel(
+            ProcId(p),
+            Box::new(AmoMin {
+                target: earliest,
+                stamp: stamps[p as usize],
+                step: 0,
+            }),
+            0,
+        );
+    }
+    let res = machine.run(10_000_000);
+    assert!(res.all_finished);
+    assert_eq!(machine.memory(NodeId(0)).read_word(earliest), true_min);
+    println!("earliest arrival: amo.min folded {procs} stamps to {true_min}");
+}
+
+/// Fold a "timestamp" into the global minimum with a single `amo.min`.
+struct AmoMin {
+    target: Addr,
+    stamp: Word,
+    step: u32,
+}
+
+impl Kernel for AmoMin {
+    fn next(&mut self, _last: Option<Outcome>) -> Op {
+        self.step += 1;
+        match self.step {
+            1 => Op::Amo {
+                kind: AmoKind::Min,
+                addr: self.target,
+                operand: self.stamp,
+                test: None,
+            },
+            _ => Op::Done,
+        }
+    }
+}

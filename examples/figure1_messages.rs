@@ -1,0 +1,44 @@
+//! The paper's Figure 1, measured: a small-machine barrier needs ~18
+//! one-way messages per episode with LL/SC but only ~2 per processor
+//! with AMOs (one command + one reply, plus the update fanout).
+//!
+//! ```sh
+//! cargo run --release --example figure1_messages
+//! ```
+
+use amo::prelude::*;
+use amo::types::stats::ALL_MSG_CLASSES;
+
+fn run(mech: Mechanism) -> amo::prelude::BarrierResult {
+    run_barrier(BarrierBench {
+        episodes: 2,
+        warmup: 1,
+        max_skew: 200,
+        ..BarrierBench::paper(mech, 4)
+    })
+}
+
+fn main() {
+    println!("Figure 1 census: one warm barrier episode on a 4-processor machine\n");
+    for mech in [Mechanism::LlSc, Mechanism::Amo] {
+        let r = run(mech);
+        // Two episodes ran; report the steady-state half.
+        let per_episode = r.stats.total_msgs() / 2;
+        println!(
+            "{:>6}: ~{} one-way messages per barrier episode",
+            mech.label(),
+            per_episode
+        );
+        for c in ALL_MSG_CLASSES {
+            let n = r.stats.msgs[c.index()];
+            if n > 0 {
+                println!("         {:>12}: {:>4} (whole run)", c.label(), n);
+            }
+        }
+        println!();
+    }
+    println!(
+        "The AMO version sends one AmoReq + one AmoReply per processor and a\n\
+         word-update per sharing node at the end — the paper's 18-vs-6 picture."
+    );
+}

@@ -1,0 +1,57 @@
+//! Quickstart: run one AMO barrier against the LL/SC baseline and print
+//! what happened.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use amo::prelude::*;
+
+fn main() {
+    let procs = 16;
+    println!("== amo quickstart: {procs}-processor barrier ==\n");
+
+    let mk = |mech| BarrierBench {
+        episodes: 8,
+        warmup: 2,
+        ..BarrierBench::paper(mech, procs)
+    };
+
+    let llsc = run_barrier(mk(Mechanism::LlSc));
+    let amo = run_barrier(mk(Mechanism::Amo));
+
+    println!(
+        "LL/SC barrier: {:8.0} cycles/episode  ({:6.1} cycles/processor)",
+        llsc.timing.avg_cycles, llsc.timing.cycles_per_proc
+    );
+    println!(
+        "AMO   barrier: {:8.0} cycles/episode  ({:6.1} cycles/processor)",
+        amo.timing.avg_cycles, amo.timing.cycles_per_proc
+    );
+    println!(
+        "\nAMO speedup: {:.2}x",
+        llsc.timing.avg_cycles / amo.timing.avg_cycles
+    );
+
+    println!("\nWhy (machine-wide message counts for the whole run):");
+    println!(
+        "  LL/SC: {:6} messages, {:5} invalidations, {:4} SC failures, {:4} spin reloads",
+        llsc.stats.total_msgs(),
+        llsc.stats.invalidations_sent,
+        llsc.stats.sc_failures,
+        llsc.stats.spin_reloads
+    );
+    println!(
+        "  AMO:   {:6} messages, {:5} invalidations, {:4} delayed puts, {:4} word updates",
+        amo.stats.total_msgs(),
+        amo.stats.invalidations_sent,
+        amo.stats.puts,
+        amo.stats.word_updates_sent
+    );
+    println!(
+        "\nThe AMO barrier ships increments to the home AMU (2-cycle ops in \
+         its {}-word cache)\nand pushes one word update per sharing node when \
+         the count reaches the target —\nno invalidation storm, no reload storm.",
+        SystemConfig::default().amu.cache_words
+    );
+}

@@ -1,0 +1,108 @@
+//! The paper's Figure 1 claim, as a test: a conventional small-machine
+//! barrier costs several times more one-way messages than the AMO
+//! barrier (18 vs 6 for three processors in the paper's idealized
+//! picture; we assert the factor, not the absolute idealized counts).
+
+use amo::prelude::*;
+
+fn messages_per_episode(mech: Mechanism) -> f64 {
+    // Run a cold episode plus several warm ones; attribute the
+    // difference to the warm episodes.
+    let cold = run_barrier(BarrierBench {
+        episodes: 1,
+        warmup: 0,
+        max_skew: 200,
+        ..BarrierBench::paper(mech, 4)
+    });
+    let warm = run_barrier(BarrierBench {
+        episodes: 5,
+        warmup: 1,
+        max_skew: 200,
+        ..BarrierBench::paper(mech, 4)
+    });
+    (warm.stats.total_msgs() - cold.stats.total_msgs()) as f64 / 4.0
+}
+
+#[test]
+fn amo_barrier_needs_several_times_fewer_messages() {
+    let llsc = messages_per_episode(Mechanism::LlSc);
+    let amo = messages_per_episode(Mechanism::Amo);
+    assert!(
+        llsc >= 2.0 * amo,
+        "LL/SC should need at least 2x the messages: {llsc} vs {amo}"
+    );
+}
+
+#[test]
+fn amo_episode_messages_scale_linearly_with_procs() {
+    // ~1 command + 1 reply per processor, plus the update fanout: the
+    // per-processor message count is a small constant.
+    let run = |procs: u16| {
+        let cold = run_barrier(BarrierBench {
+            episodes: 1,
+            warmup: 0,
+            ..BarrierBench::paper(Mechanism::Amo, procs)
+        });
+        let warm = run_barrier(BarrierBench {
+            episodes: 5,
+            warmup: 1,
+            ..BarrierBench::paper(Mechanism::Amo, procs)
+        });
+        (warm.stats.total_msgs() - cold.stats.total_msgs()) as f64 / 4.0 / procs as f64
+    };
+    let at8 = run(8);
+    let at32 = run(32);
+    assert!(
+        (at8 - at32).abs() < 1.5,
+        "per-proc AMO messages should be ~constant: {at8} vs {at32}"
+    );
+    assert!(at32 < 5.0, "a handful of messages per processor: {at32}");
+}
+
+#[test]
+fn amo_barrier_sends_no_invalidations_llsc_sends_many() {
+    let mk = |mech| {
+        run_barrier(BarrierBench {
+            episodes: 4,
+            warmup: 1,
+            ..BarrierBench::paper(mech, 8)
+        })
+        .stats
+        .invalidations_sent
+    };
+    assert_eq!(mk(Mechanism::Amo), 0);
+    assert!(mk(Mechanism::LlSc) > 8);
+}
+
+#[test]
+fn warm_amo_episode_census_decomposes_exactly() {
+    // A warm AMO barrier episode on 4 processors (2 nodes) costs
+    // *precisely*: one AmoReq + one AmoReply per processor (8 messages)
+    // plus one word update per sharing node (2 messages). No requests,
+    // no data transfers, no invalidations — the paper's Figure 1(b)
+    // picture, pinned to the message class level.
+    use amo::types::stats::MsgClass;
+    let run = |episodes: u32| {
+        run_barrier(BarrierBench {
+            episodes,
+            warmup: 1,
+            max_skew: 200,
+            ..BarrierBench::paper(Mechanism::Amo, 4)
+        })
+        .stats
+        .clone()
+    };
+    let a = run(3);
+    let b = run(4);
+    let delta = |c: MsgClass| b.msgs[c.index()] - a.msgs[c.index()];
+    assert_eq!(delta(MsgClass::Amo), 8, "4 commands + 4 replies");
+    assert_eq!(
+        delta(MsgClass::WordUpdate),
+        2,
+        "one update per sharing node"
+    );
+    assert_eq!(delta(MsgClass::Request), 0);
+    assert_eq!(delta(MsgClass::Data), 0);
+    assert_eq!(delta(MsgClass::Inv), 0);
+    assert_eq!(b.total_msgs() - a.total_msgs(), 10);
+}

@@ -1,0 +1,281 @@
+//! Timing-model validation: the analogue of the paper's UVSIM
+//! calibration against a real Origin 3000 ("within 20%, most within
+//! 5%"). We have no Origin to compare with, so instead every primitive
+//! operation's end-to-end latency is pinned *exactly* against the
+//! analytic sum of its architectural components. These tests document
+//! the timing decomposition and catch any accidental change to it.
+//!
+//! Component model (all from `SystemConfig::default`, Table 1):
+//!
+//! * processor ↔ hub bus crossing: `bus_latency` each way;
+//! * fabric: `bytes/ni_bytes_per_cycle` serialization at egress and
+//!   ingress, plus `hops × hop_latency` in flight (local loopback: two
+//!   serializations, no hops);
+//! * directory service pipeline: `dir_occupancy_hub_cycles × hub_cycle`;
+//! * DRAM: `dram_latency`;
+//! * cache fill + read: `l2.hit_latency`; L1 hit: `l1.hit_latency`;
+//! * AMU: `op_hub_cycles × hub_cycle` compute, replies after compute.
+
+use amo::cpu::{Kernel, Op, Outcome};
+use amo::prelude::*;
+use amo::types::AmoKind;
+
+/// A kernel that runs one op after a fixed delay and records its own
+/// finish time via the machine's completion tracking.
+struct OneOp {
+    op: Op,
+    issued: bool,
+}
+
+impl Kernel for OneOp {
+    fn next(&mut self, _last: Option<Outcome>) -> Op {
+        if self.issued {
+            Op::Done
+        } else {
+            self.issued = true;
+            self.op
+        }
+    }
+}
+
+fn finish_of(op: Op, procs: u16) -> Cycle {
+    let mut m = Machine::new(SystemConfig::with_procs(procs));
+    m.install_kernel(ProcId(0), Box::new(OneOp { op, issued: false }), 0);
+    let res = m.run(10_000_000);
+    assert!(res.all_finished);
+    res.last_finish()
+}
+
+fn cfg() -> SystemConfig {
+    SystemConfig::default()
+}
+
+/// Control packets are 32 B; at 8 B/cycle that is 4 cycles per
+/// serialization stage.
+fn ser_ctl(c: &SystemConfig) -> Cycle {
+    32u64.div_ceil(c.network.ni_bytes_per_cycle)
+}
+
+/// Data packets are 32 B header + 128 B block.
+fn ser_data(c: &SystemConfig) -> Cycle {
+    160u64.div_ceil(c.network.ni_bytes_per_cycle)
+}
+
+fn dir_occ(c: &SystemConfig) -> Cycle {
+    c.dir_occupancy_hub_cycles * c.hub_cycle
+}
+
+#[test]
+fn remote_load_miss_decomposes_exactly() {
+    let c = cfg();
+    // Node 0 processor loads a word homed on node 1 (2 hops away).
+    let addr = Addr::on_node(NodeId(1), 0x10_000);
+    let hops = 2;
+    let expected = c.bus_latency                              // proc -> hub
+        + ser_ctl(&c) + hops * c.network.hop_latency + ser_ctl(&c) // GetS flight
+        + dir_occ(&c)                                         // directory service
+        + c.dram_latency                                      // block read
+        + ser_data(&c) + hops * c.network.hop_latency + ser_data(&c) // DataS flight
+        + c.bus_latency                                       // hub -> proc
+        + c.l2.hit_latency; // fill + read
+    assert_eq!(finish_of(Op::Load { addr }, 4), expected);
+}
+
+#[test]
+fn local_load_miss_skips_the_network() {
+    let c = cfg();
+    // Home is the requester's own node: loopback = two serializations
+    // through the hub crossbar, no hops.
+    let addr = Addr::on_node(NodeId(0), 0x10_000);
+    let expected = c.bus_latency
+        + 2 * ser_ctl(&c)           // loopback in
+        + dir_occ(&c)
+        + c.dram_latency
+        + 2 * ser_data(&c)          // loopback out
+        + c.bus_latency
+        + c.l2.hit_latency;
+    assert_eq!(finish_of(Op::Load { addr }, 4), expected);
+}
+
+#[test]
+fn cache_hits_cost_their_level_latencies() {
+    // Two loads: the second hits the L1 filled by the first.
+    struct TwoLoads {
+        addr: Addr,
+        n: u32,
+    }
+    impl Kernel for TwoLoads {
+        fn next(&mut self, _l: Option<Outcome>) -> Op {
+            self.n += 1;
+            match self.n {
+                1 | 2 => Op::Load { addr: self.addr },
+                _ => Op::Done,
+            }
+        }
+    }
+    let c = cfg();
+    let addr = Addr::on_node(NodeId(1), 0x10_000);
+    let mut m = Machine::new(SystemConfig::with_procs(4));
+    m.install_kernel(ProcId(0), Box::new(TwoLoads { addr, n: 0 }), 0);
+    let res = m.run(10_000_000);
+    assert!(res.all_finished);
+    let miss = finish_of(Op::Load { addr }, 4);
+    assert_eq!(
+        res.last_finish(),
+        miss + c.l1.hit_latency,
+        "second load is an L1 hit"
+    );
+}
+
+#[test]
+fn remote_amo_round_trip_decomposes_exactly() {
+    let c = cfg();
+    let addr = Addr::on_node(NodeId(1), 0x10_000);
+    let hops = 2;
+    // AmoReq (control) -> AMU miss -> fine get (directory, local) ->
+    // DRAM -> AMU compute -> AmoReply (control).
+    let expected = c.bus_latency
+        + ser_ctl(&c) + hops * c.network.hop_latency + ser_ctl(&c)  // AmoReq
+        + c.dram_latency                                            // fine-get block read
+        + c.amu.op_hub_cycles * c.hub_cycle                         // compute
+        + ser_ctl(&c) + hops * c.network.hop_latency + ser_ctl(&c)  // AmoReply
+        + c.bus_latency
+        + 1; // reply handling
+    assert_eq!(
+        finish_of(
+            Op::Amo {
+                kind: AmoKind::Inc,
+                addr,
+                operand: 0,
+                test: None
+            },
+            4
+        ),
+        expected
+    );
+}
+
+#[test]
+fn amu_cache_hit_skips_dram() {
+    // Two AMOs from the same processor: the second hits the AMU cache,
+    // saving exactly the DRAM latency.
+    struct TwoAmos {
+        addr: Addr,
+        n: u32,
+    }
+    impl Kernel for TwoAmos {
+        fn next(&mut self, _l: Option<Outcome>) -> Op {
+            self.n += 1;
+            match self.n {
+                1 | 2 => Op::Amo {
+                    kind: AmoKind::Inc,
+                    addr: self.addr,
+                    operand: 0,
+                    test: None,
+                },
+                _ => Op::Done,
+            }
+        }
+    }
+    let c = cfg();
+    let addr = Addr::on_node(NodeId(1), 0x10_000);
+    let one = finish_of(
+        Op::Amo {
+            kind: AmoKind::Inc,
+            addr,
+            operand: 0,
+            test: None,
+        },
+        4,
+    );
+    let mut m = Machine::new(SystemConfig::with_procs(4));
+    m.install_kernel(ProcId(0), Box::new(TwoAmos { addr, n: 0 }), 0);
+    let res = m.run(10_000_000);
+    assert!(res.all_finished);
+    let two = res.last_finish();
+    // The second AMO repeats everything except the DRAM access.
+    assert_eq!(two, one + (one - c.dram_latency));
+}
+
+#[test]
+fn mao_round_trip_matches_amo_without_coherence() {
+    // A MAO's first access also reads DRAM and computes in the AMU; its
+    // path is identical to the AMO's at this granularity.
+    let amo = finish_of(
+        Op::Amo {
+            kind: AmoKind::FetchAdd,
+            addr: Addr::on_node(NodeId(1), 0x10_000),
+            operand: 1,
+            test: None,
+        },
+        4,
+    );
+    let mao = finish_of(
+        Op::Mao {
+            kind: AmoKind::FetchAdd,
+            addr: Addr::on_node(NodeId(1), 0x8000_0000),
+            operand: 1,
+        },
+        4,
+    );
+    assert_eq!(mao, amo);
+}
+
+#[test]
+fn delay_and_mark_cost_what_they_say() {
+    assert_eq!(finish_of(Op::Delay { cycles: 1234 }, 4), 1234);
+    assert_eq!(finish_of(Op::Mark { id: 1 }, 4), 0, "marks are free");
+}
+
+#[test]
+fn store_conditional_pays_the_pair_overhead() {
+    struct LlScPair {
+        addr: Addr,
+        n: u32,
+    }
+    impl Kernel for LlScPair {
+        fn next(&mut self, _l: Option<Outcome>) -> Op {
+            self.n += 1;
+            match self.n {
+                1 => Op::LoadLinked { addr: self.addr },
+                2 => Op::StoreConditional {
+                    addr: self.addr,
+                    value: 1,
+                },
+                _ => Op::Done,
+            }
+        }
+    }
+    let c = cfg();
+    let addr = Addr::on_node(NodeId(1), 0x10_000);
+    let ll_only = finish_of(Op::LoadLinked { addr }, 4);
+    let mut m = Machine::new(SystemConfig::with_procs(4));
+    m.install_kernel(ProcId(0), Box::new(LlScPair { addr, n: 0 }), 0);
+    let res = m.run(10_000_000);
+    assert!(res.all_finished);
+    assert_eq!(
+        res.last_finish(),
+        ll_only + c.l1.hit_latency + c.llsc_pair_overhead,
+        "local SC = L1 write + library pair overhead"
+    );
+}
+
+#[test]
+fn hop_count_scales_flight_time() {
+    let c = cfg();
+    // 128 nodes: node 0 -> node 1 is 2 hops, node 0 -> node 127 is 6.
+    let near = finish_of(
+        Op::Load {
+            addr: Addr::on_node(NodeId(1), 0x10_000),
+        },
+        256,
+    );
+    let far = finish_of(
+        Op::Load {
+            addr: Addr::on_node(NodeId(127), 0x10_000),
+        },
+        256,
+    );
+    // Request + reply each gain 4 extra hops.
+    assert_eq!(far - near, 2 * 4 * c.network.hop_latency);
+}
