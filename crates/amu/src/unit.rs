@@ -225,30 +225,47 @@ impl Amu {
     /// Submit a command at time `now`. Returns false (and drops the
     /// command) if the dispatch queue is full.
     pub fn submit(&mut self, op: AmuOp, now: Cycle, stats: &mut Stats) -> (bool, Vec<AmuEffect>) {
+        let mut effects = Vec::new();
+        let ok = self.submit_into(op, now, stats, &mut effects);
+        (ok, effects)
+    }
+
+    /// Allocation-free form of [`Self::submit`]: appends to `effects`.
+    pub fn submit_into(
+        &mut self,
+        op: AmuOp,
+        now: Cycle,
+        stats: &mut Stats,
+        effects: &mut Vec<AmuEffect>,
+    ) -> bool {
         if self.queue.len() >= self.queue_cap {
-            return (false, Vec::new());
+            return false;
         }
         self.queue.push_back(op);
-        let mut effects = Vec::new();
         if matches!(self.state, State::Idle) {
-            self.try_start(now, stats, &mut effects);
+            self.try_start(now, stats, effects);
         }
-        (true, effects)
+        true
     }
 
     /// The function unit finished a computation (scheduled via
     /// [`AmuEffect::WakeAt`]); start the next queued command if any.
     pub fn advance(&mut self, now: Cycle, stats: &mut Stats) -> Vec<AmuEffect> {
         let mut effects = Vec::new();
+        self.advance_into(now, stats, &mut effects);
+        effects
+    }
+
+    /// Allocation-free form of [`Self::advance`]: appends to `effects`.
+    pub fn advance_into(&mut self, now: Cycle, stats: &mut Stats, effects: &mut Vec<AmuEffect>) {
         if let State::Busy(until) = self.state {
             if now >= until {
                 self.state = State::Idle;
             }
         }
         if matches!(self.state, State::Idle) {
-            self.try_start(now, stats, &mut effects);
+            self.try_start(now, stats, effects);
         }
-        effects
     }
 
     fn try_start(&mut self, now: Cycle, stats: &mut Stats, effects: &mut Vec<AmuEffect>) {
@@ -398,6 +415,20 @@ impl Amu {
         stats: &mut Stats,
     ) -> Vec<AmuEffect> {
         let mut effects = Vec::new();
+        self.fine_value_into(token, addr, value, now, stats, &mut effects);
+        effects
+    }
+
+    /// Allocation-free form of [`Self::fine_value`]: appends to `effects`.
+    pub fn fine_value_into(
+        &mut self,
+        token: u64,
+        addr: Addr,
+        value: Word,
+        now: Cycle,
+        stats: &mut Stats,
+        effects: &mut Vec<AmuEffect>,
+    ) {
         let State::Waiting { token: t, op } = self.state else {
             panic!("fine_value while not waiting");
         };
@@ -414,7 +445,7 @@ impl Amu {
             panic!("fine_value for a non-AMO op");
         };
         assert_eq!(addr, op_addr);
-        let idx = self.install(addr, value, stats, &mut effects);
+        let idx = self.install(addr, value, stats, effects);
         let old = value;
         let new = kind.apply(old, operand);
         let put = Self::should_put(kind, test, old, new);
@@ -432,7 +463,6 @@ impl Amu {
         });
         self.state = State::Busy(done);
         effects.push(AmuEffect::WakeAt { when: done });
-        effects
     }
 
     /// An uncached memory read completed (MAO / uncached-read miss path).
@@ -444,6 +474,19 @@ impl Amu {
         stats: &mut Stats,
     ) -> Vec<AmuEffect> {
         let mut effects = Vec::new();
+        self.mem_value_into(token, value, now, stats, &mut effects);
+        effects
+    }
+
+    /// Allocation-free form of [`Self::mem_value`]: appends to `effects`.
+    pub fn mem_value_into(
+        &mut self,
+        token: u64,
+        value: Word,
+        now: Cycle,
+        stats: &mut Stats,
+        effects: &mut Vec<AmuEffect>,
+    ) {
         let State::Waiting { token: t, op } = self.state else {
             panic!("mem_value while not waiting");
         };
@@ -457,7 +500,7 @@ impl Amu {
                 addr,
                 operand,
             } => {
-                let idx = self.install(addr, value, stats, &mut effects);
+                let idx = self.install(addr, value, stats, effects);
                 let old = value;
                 let new = kind.apply(old, operand);
                 self.cache[idx].value = new;
@@ -479,7 +522,6 @@ impl Amu {
         }
         self.state = State::Busy(done);
         effects.push(AmuEffect::WakeAt { when: done });
-        effects
     }
 
     /// The directory granted someone exclusive ownership of `block`: drop

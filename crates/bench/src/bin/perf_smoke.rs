@@ -1,0 +1,143 @@
+//! Engine performance smoke: measures simulator events/sec on the
+//! 64-processor LL/SC barrier workload for both future-event-list
+//! implementations (reference heap vs calendar queue), plus the
+//! wall-clock effect of the work-stealing sweep executor, and records
+//! the numbers to `BENCH_engine.json` so future PRs have a perf
+//! trajectory to beat.
+//!
+//! Usage: `cargo run --release -p amo-bench --bin perf_smoke [out.json]`
+
+use amo_sim::{Machine, QueueKind};
+use amo_sync::{BarrierKernel, BarrierSpec, Mechanism, VarAlloc};
+use amo_types::{NodeId, ProcId, SystemConfig};
+use std::time::Instant;
+
+const PROCS: u16 = 64;
+const REPS: usize = 7;
+
+/// Barrier episodes per run; `AMO_PERF_EPISODES` overrides. The default
+/// makes one run ~0.2s so single-core scheduling noise averages out.
+fn episodes() -> usize {
+    std::env::var("AMO_PERF_EPISODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000)
+}
+
+/// Seed-commit baseline (events/s), measured externally by building the
+/// seed revision and running the same workload (see README §Performance
+/// for the worktree recipe). When absent, the in-binary heap engine is
+/// the reference — it understates the PR's effect because it already
+/// benefits from the dispatch-path work (no payload clones, pooled
+/// effect buffers, Fx-hashed maps, flat link table).
+fn seed_baseline() -> Option<f64> {
+    std::env::var("AMO_SEED_EVENTS_PER_SEC")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
+/// One timed run of the benchmark workload; returns (events, seconds).
+fn barrier_run(kind: QueueKind) -> (u64, f64) {
+    let episodes = episodes();
+    let mut m = Machine::new_with_queue(SystemConfig::with_procs(PROCS), kind);
+    let mut alloc = VarAlloc::new();
+    let spec = BarrierSpec::build(
+        &mut alloc,
+        Mechanism::LlSc,
+        NodeId(0),
+        PROCS,
+        episodes as u32,
+    );
+    for p in 0..PROCS {
+        let work = vec![200; episodes];
+        m.install_kernel(ProcId(p), Box::new(BarrierKernel::new(spec, work)), 0);
+    }
+    let t0 = Instant::now();
+    let res = m.run(10_000_000_000);
+    let secs = t0.elapsed().as_secs_f64();
+    assert!(res.all_finished, "benchmark workload must complete");
+    (res.events, secs)
+}
+
+/// Best-of-N events/sec for one queue implementation.
+fn throughput(kind: QueueKind) -> (u64, f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut events = 0;
+    for _ in 0..REPS {
+        let (ev, secs) = barrier_run(kind);
+        events = ev;
+        best = best.min(secs);
+    }
+    (events, best, events as f64 / best)
+}
+
+/// A moderate table sweep, used to measure the executor's effect.
+fn sweep() -> f64 {
+    let t0 = Instant::now();
+    let t2 = amo_workloads::tables::table2(&[4, 8, 16, 32, 64], 5, 1);
+    let t4 = amo_workloads::tables::table4(&[4, 8, 16, 32], 4);
+    assert_eq!(t2.len(), 5);
+    assert_eq!(t4.len(), 4);
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".into());
+
+    let eps = episodes();
+    println!("engine throughput: {PROCS}-proc LL/SC barrier, {eps} episodes, best of {REPS}");
+    let (heap_events, heap_secs, heap_eps) = throughput(QueueKind::Heap);
+    println!("  heap queue (in-binary reference): {heap_eps:>12.0} events/s  ({heap_events} events, {heap_secs:.4}s)");
+    let (cal_events, cal_secs, cal_eps) = throughput(QueueKind::Calendar);
+    println!("  calendar queue:                   {cal_eps:>12.0} events/s  ({cal_events} events, {cal_secs:.4}s)");
+    assert_eq!(
+        heap_events, cal_events,
+        "queue implementations must dispatch identical event streams"
+    );
+    let seed = seed_baseline();
+    let baseline_eps = seed.unwrap_or(heap_eps);
+    let speedup = cal_eps / baseline_eps;
+    match seed {
+        Some(b) => {
+            println!("  seed engine (measured baseline):  {b:>12.0} events/s");
+            println!("  speedup vs seed engine: {speedup:.2}x");
+        }
+        None => println!("  speedup vs in-binary heap: {speedup:.2}x"),
+    }
+
+    // Sweep wall-clock: one worker vs the full pool. The env knob is
+    // read by the executor at each call.
+    std::env::set_var("AMO_SWEEP_THREADS", "1");
+    let serial_secs = sweep();
+    std::env::remove_var("AMO_SWEEP_THREADS");
+    let workers = amo_workloads::executor::sweep_workers();
+    let parallel_secs = sweep();
+    let sweep_speedup = serial_secs / parallel_secs;
+    println!(
+        "sweep (table2 + table4 subset): serial {serial_secs:.2}s, \
+         {workers} workers {parallel_secs:.2}s, speedup {sweep_speedup:.2}x"
+    );
+
+    let seed_field = match seed {
+        Some(b) => format!("\n  \"seed_events_per_sec\": {b:.0},"),
+        None => String::new(),
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"engine\",\n  \"workload\": \"llsc_barrier_{PROCS}procs_{eps}episodes\",\n  \
+         \"events\": {cal_events},{seed_field}\n  \
+         \"heap_events_per_sec\": {heap_eps:.0},\n  \
+         \"calendar_events_per_sec\": {cal_eps:.0},\n  \
+         \"sim_throughput_speedup\": {speedup:.3},\n  \
+         \"speedup_baseline\": \"{}\",\n  \
+         \"sweep\": {{\n    \"workload\": \"table2[4..64]x5ep + table4[4..32]x4r\",\n    \
+         \"serial_secs\": {serial_secs:.3},\n    \
+         \"parallel_secs\": {parallel_secs:.3},\n    \
+         \"workers\": {workers},\n    \
+         \"speedup\": {sweep_speedup:.3}\n  }}\n}}\n",
+        if seed.is_some() { "seed_commit" } else { "in_binary_heap" },
+    );
+    std::fs::write(&out_path, json).expect("write benchmark record");
+    println!("wrote {out_path}");
+}

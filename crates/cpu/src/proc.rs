@@ -4,11 +4,12 @@
 use crate::kernel::{Kernel, Op, Outcome};
 use amo_cache::{CacheHierarchy, Evicted, LineState, LlReservation, Probe};
 use amo_types::stats::OpClass;
+use amo_types::FxHashMap;
 use amo_types::{
     Addr, BlockAddr, Cycle, HandlerKind, InterventionKind, InterventionResp, NodeId, Payload,
     ProcId, ReqId, SpinPred, Stats, SystemConfig, Word,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Side effects the machine executes on the processor's behalf.
 #[derive(Clone, Debug, PartialEq)]
@@ -148,7 +149,7 @@ pub struct Processor {
     last_outcome: Option<Outcome>,
     next_req: u64,
     /// Outstanding injected (handler-published) stores: req → (addr, value).
-    injected: HashMap<ReqId, (Addr, Word)>,
+    injected: FxHashMap<ReqId, (Addr, Word)>,
     /// Blocks with an in-flight coherence request from this processor
     /// (MSHRs): a second request for the same block must merge, not issue.
     outstanding: std::collections::HashSet<u64>,
@@ -156,7 +157,7 @@ pub struct Processor {
     deferred_injected: Vec<(Addr, Word)>,
     /// Minimum-residence windows of freshly-filled blocks: probes for
     /// these blocks are deferred until the recorded cycle.
-    hold_until: HashMap<u64, Cycle>,
+    hold_until: FxHashMap<u64, Cycle>,
     /// The in-flight kernel op's latency-accounting class and issue time.
     pending_op: Option<(OpClass, Cycle)>,
     handler_queue: VecDeque<IncomingMsg>,
@@ -174,11 +175,11 @@ pub struct Processor {
     /// every spurious wake during busy time would schedule another).
     armed_wake: Cycle,
     /// At-most-once dedup: last served request per requester.
-    served: HashMap<ProcId, (ReqId, Word)>,
+    served: FxHashMap<ProcId, (ReqId, Word)>,
     /// Node-local active-message service counters.
     service_counters: Vec<Word>,
     /// Home-mediated lock state (ticket queue per lock index).
-    lock_srv: HashMap<u16, LockSrv>,
+    lock_srv: FxHashMap<u16, LockSrv>,
     finished_at: Option<Cycle>,
 }
 
@@ -195,10 +196,10 @@ impl Processor {
             kstate: KState::Finished,
             last_outcome: None,
             next_req: 0,
-            injected: HashMap::new(),
+            injected: FxHashMap::default(),
             outstanding: std::collections::HashSet::new(),
             deferred_injected: Vec::new(),
-            hold_until: HashMap::new(),
+            hold_until: FxHashMap::default(),
             pending_op: None,
             handler_queue: VecDeque::new(),
             running_handler: None,
@@ -206,9 +207,9 @@ impl Processor {
             busy_until: 0,
             handlers_since_yield: 0,
             armed_wake: 0,
-            served: HashMap::new(),
+            served: FxHashMap::default(),
             service_counters: Vec::new(),
-            lock_srv: HashMap::new(),
+            lock_srv: FxHashMap::default(),
             finished_at: None,
         }
     }
@@ -257,6 +258,12 @@ impl Processor {
     /// issue the next operation.
     pub fn step(&mut self, now: Cycle, stats: &mut Stats) -> Vec<ProcEffect> {
         let mut eff = Vec::new();
+        self.step_into(now, stats, &mut eff);
+        eff
+    }
+
+    /// Allocation-free form of [`Self::step`]: appends effects to `eff`.
+    pub fn step_into(&mut self, now: Cycle, stats: &mut Stats, eff: &mut Vec<ProcEffect>) {
         match self.kstate {
             KState::LocalOp { until } if now >= until => {
                 self.kstate = KState::Ready;
@@ -268,7 +275,7 @@ impl Processor {
             KState::Ready => {}
             // Waiting / Spinning / Finished / not-yet-due local ops:
             // nothing to do on a (possibly spurious) wake.
-            _ => return eff,
+            _ => return,
         }
         // Handler execution occupies the pipeline: postpone the issue.
         // Only one retry wake per busy horizon — without the dedup, a
@@ -283,15 +290,14 @@ impl Processor {
                     when: self.busy_until,
                 });
             }
-            return eff;
+            return;
         }
         let op = self
             .kernel
             .as_mut()
             .expect("step without a kernel")
             .next(self.last_outcome.take());
-        self.dispatch(op, now, stats, &mut eff);
-        eff
+        self.dispatch(op, now, stats, eff);
     }
 
     fn finish_local(
@@ -841,57 +847,65 @@ impl Processor {
     /// Handle a message delivered to this processor.
     pub fn handle(&mut self, payload: Payload, now: Cycle, stats: &mut Stats) -> Vec<ProcEffect> {
         let mut eff = Vec::new();
+        self.handle_into(payload, now, stats, &mut eff);
+        eff
+    }
+
+    /// Allocation-free form of [`Self::handle`]: appends effects to `eff`.
+    pub fn handle_into(
+        &mut self,
+        payload: Payload,
+        now: Cycle,
+        stats: &mut Stats,
+        eff: &mut Vec<ProcEffect>,
+    ) {
         // Forward-progress guarantee: probes for a freshly-acquired block
         // wait out its minimum-residence window.
         if let Payload::Inv { block } | Payload::Intervention { block, .. } = &payload {
             if let Some(&until) = self.hold_until.get(&block.0) {
                 if until > now {
-                    return vec![ProcEffect::Defer {
+                    eff.push(ProcEffect::Defer {
                         payload,
                         when: until,
-                    }];
+                    });
+                    return;
                 }
                 self.hold_until.remove(&block.0);
             }
         }
         match payload {
             Payload::DataS { req, block, data } => {
-                self.on_data_shared(req, block, data, now, stats, &mut eff)
+                self.on_data_shared(req, block, data, now, stats, eff)
             }
             Payload::DataX { req, block, data } => {
-                self.on_data_exclusive(req, block, data, now, stats, &mut eff)
+                self.on_data_exclusive(req, block, data, now, stats, eff)
             }
-            Payload::UpgradeAck { req, block } => {
-                self.on_upgrade_ack(req, block, now, stats, &mut eff)
-            }
-            Payload::Inv { block } => self.on_inv(block, now, stats, &mut eff),
+            Payload::UpgradeAck { req, block } => self.on_upgrade_ack(req, block, now, stats, eff),
+            Payload::Inv { block } => self.on_inv(block, now, stats, eff),
             Payload::Intervention { kind, block } => {
-                self.on_intervention(kind, block, now, stats, &mut eff)
+                self.on_intervention(kind, block, now, stats, eff)
             }
             Payload::AmoReply { req, old } => {
-                self.on_simple_reply(req, Outcome::Value(old), now, stats, &mut eff)
+                self.on_simple_reply(req, Outcome::Value(old), now, stats, eff)
             }
             Payload::MaoReply { req, old } => {
-                self.on_simple_reply(req, Outcome::Value(old), now, stats, &mut eff)
+                self.on_simple_reply(req, Outcome::Value(old), now, stats, eff)
             }
             Payload::UncachedReadReply { req, value } => {
-                self.on_simple_reply(req, Outcome::Value(value), now, stats, &mut eff)
+                self.on_simple_reply(req, Outcome::Value(value), now, stats, eff)
             }
             Payload::UncachedWriteAck { req } => {
-                self.on_simple_reply(req, Outcome::Stored, now, stats, &mut eff)
+                self.on_simple_reply(req, Outcome::Stored, now, stats, eff)
             }
-            Payload::ActMsgAck { req, result } => {
-                self.on_actmsg_ack(req, result, now, stats, &mut eff)
-            }
+            Payload::ActMsgAck { req, result } => self.on_actmsg_ack(req, result, now, stats, eff),
             Payload::ActiveMsg {
                 req,
                 requester,
                 handler,
                 ..
-            } => self.on_incoming_actmsg(req, requester, handler, now, stats, &mut eff),
+            } => self.on_incoming_actmsg(req, requester, handler, now, stats, eff),
             other => panic!("processor {} got unexpected payload {other:?}", self.id),
         }
-        eff
     }
 
     fn waiting_req(&self) -> Option<ReqId> {
@@ -1222,8 +1236,20 @@ impl Processor {
     /// A retransmission timer fired.
     pub fn timeout(&mut self, req: ReqId, now: Cycle, stats: &mut Stats) -> Vec<ProcEffect> {
         let mut eff = Vec::new();
+        self.timeout_into(req, now, stats, &mut eff);
+        eff
+    }
+
+    /// Allocation-free form of [`Self::timeout`]: appends effects to `eff`.
+    pub fn timeout_into(
+        &mut self,
+        req: ReqId,
+        now: Cycle,
+        stats: &mut Stats,
+        eff: &mut Vec<ProcEffect>,
+    ) {
         if self.waiting_req() != Some(req) {
-            return eff; // already completed
+            return; // already completed
         }
         let KState::Waiting {
             cont:
@@ -1235,7 +1261,7 @@ impl Processor {
             ..
         } = self.kstate
         else {
-            return eff;
+            return;
         };
         let attempt = attempt + 1;
         assert!(
@@ -1258,7 +1284,7 @@ impl Processor {
                 handler,
                 attempt,
             },
-            &mut eff,
+            eff,
         );
         eff.push(ProcEffect::TimeoutAt {
             req,
@@ -1272,7 +1298,6 @@ impl Processor {
                 attempt,
             },
         );
-        eff
     }
 
     /// Retransmission delay for the given attempt: exponential backoff
@@ -1368,6 +1393,12 @@ impl Processor {
     /// A handler finished executing: apply its semantics, ack, publish.
     pub fn handler_done(&mut self, now: Cycle, stats: &mut Stats) -> Vec<ProcEffect> {
         let mut eff = Vec::new();
+        self.handler_done_into(now, stats, &mut eff);
+        eff
+    }
+
+    /// Allocation-free form of [`Self::handler_done`]: appends to `eff`.
+    pub fn handler_done_into(&mut self, now: Cycle, stats: &mut Stats, eff: &mut Vec<ProcEffect>) {
         let msg = self
             .running_handler
             .take()
@@ -1395,7 +1426,7 @@ impl Processor {
                         req: msg.req,
                         result: old,
                     },
-                    &mut eff,
+                    eff,
                 );
                 if let Some(p) = publish {
                     let fire = p.when_count.is_none_or(|c| c == new);
@@ -1404,7 +1435,7 @@ impl Processor {
                             self.service_counters[idx] = 0;
                         }
                         let value = p.value.unwrap_or(new);
-                        self.start_injected_store(p.addr, value, now, stats, &mut eff);
+                        self.start_injected_store(p.addr, value, now, stats, eff);
                     }
                 }
             }
@@ -1433,7 +1464,7 @@ impl Processor {
                                 req: msg.req,
                                 result: t,
                             },
-                            &mut eff,
+                            eff,
                         );
                     } else {
                         // Defer the ack: it will be sent as the grant.
@@ -1453,7 +1484,7 @@ impl Processor {
                         req: msg.req,
                         result: serving,
                     },
-                    &mut eff,
+                    eff,
                 );
                 if let Some((w, wreq)) = granted {
                     self.served.insert(w, (wreq, serving));
@@ -1463,13 +1494,12 @@ impl Processor {
                             req: wreq,
                             result: serving,
                         },
-                        &mut eff,
+                        eff,
                     );
                 }
             }
         }
-        self.start_next_handler(now, stats, &mut eff);
-        eff
+        self.start_next_handler(now, stats, eff);
     }
 
     fn start_injected_store(
@@ -1532,6 +1562,19 @@ impl Processor {
         stats: &mut Stats,
     ) -> Vec<ProcEffect> {
         let mut eff = Vec::new();
+        self.word_update_into(addr, value, now, stats, &mut eff);
+        eff
+    }
+
+    /// Allocation-free form of [`Self::word_update`]: appends to `eff`.
+    pub fn word_update_into(
+        &mut self,
+        addr: Addr,
+        value: Word,
+        now: Cycle,
+        stats: &mut Stats,
+        eff: &mut Vec<ProcEffect>,
+    ) {
         self.caches.apply_word_update(addr, value);
         if let KState::Spinning { addr: sa, pred } = self.kstate {
             if sa == addr && pred.eval(value) {
@@ -1539,11 +1582,10 @@ impl Processor {
                     Outcome::SpinDone(value),
                     now + self.cfg.l1.hit_latency,
                     stats,
-                    &mut eff,
+                    eff,
                 );
             }
         }
-        eff
     }
 
     /// Home-mediated lock state snapshot: (next_ticket, now_serving,

@@ -1,10 +1,11 @@
 //! Directory state machine: states, transactions, actions.
 
+use amo_types::FxHashMap;
 use amo_types::{
     Addr, BlockAddr, BlockData, InterventionKind, InterventionResp, NodeId, Payload, ProcId,
     ProcSet, ReqId, Stats, Word,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Stable directory state of one block.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -190,7 +191,7 @@ impl Entry {
 pub struct Directory {
     node: NodeId,
     procs_per_node: u16,
-    entries: HashMap<u64, Entry>,
+    entries: FxHashMap<u64, Entry>,
 }
 
 impl Directory {
@@ -199,7 +200,7 @@ impl Directory {
         Directory {
             node,
             procs_per_node,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
         }
     }
 
@@ -215,24 +216,42 @@ impl Directory {
         req: DirRequest,
         stats: &mut Stats,
     ) -> Vec<DirAction> {
+        let mut actions = Vec::new();
+        self.request_into(block, req, stats, &mut actions);
+        actions
+    }
+
+    /// Allocation-free form of [`Self::request`]: appends to `actions`.
+    pub fn request_into(
+        &mut self,
+        block: BlockAddr,
+        req: DirRequest,
+        stats: &mut Stats,
+        actions: &mut Vec<DirAction>,
+    ) {
         debug_assert_eq!(block.home(), self.node, "request routed to wrong home");
         let entry = self.entry(block);
         if entry.txn.is_some() {
             entry.queue.push_back(req);
             stats.dir_queued += 1;
-            return Vec::new();
+            return;
         }
-        self.dispatch(block, req, stats)
+        self.dispatch(block, req, stats, actions);
     }
 
-    fn dispatch(&mut self, block: BlockAddr, req: DirRequest, stats: &mut Stats) -> Vec<DirAction> {
-        let mut actions = Vec::new();
+    fn dispatch(
+        &mut self,
+        block: BlockAddr,
+        req: DirRequest,
+        stats: &mut Stats,
+        actions: &mut Vec<DirAction>,
+    ) {
         match req {
             DirRequest::GetS { req, requester } => {
-                self.start_read(block, req, requester, stats, &mut actions);
+                self.start_read(block, req, requester, stats, actions);
             }
             DirRequest::GetX { req, requester } => {
-                self.start_write(block, req, requester, stats, &mut actions);
+                self.start_write(block, req, requester, stats, actions);
             }
             DirRequest::Upgrade { req, requester } => {
                 let entry = self.entry(block);
@@ -245,23 +264,22 @@ impl Directory {
                 // its stale copy; degrade to a full GetX so it refetches
                 // post-flush data.
                 if holds && !entry.amu_shared {
-                    self.start_upgrade(block, req, requester, stats, &mut actions);
+                    self.start_upgrade(block, req, requester, stats, actions);
                 } else {
                     // The requester lost its copy while the upgrade was in
                     // flight (or the block is AMU-shared): treat as a full
                     // GetX (it will get DataX and know its SC must fail if
                     // its reservation was lost).
-                    self.start_write(block, req, requester, stats, &mut actions);
+                    self.start_write(block, req, requester, stats, actions);
                 }
             }
             DirRequest::FineGet { token, addr } => {
-                self.start_fine_get(block, token, addr, stats, &mut actions);
+                self.start_fine_get(block, token, addr, stats, actions);
             }
             DirRequest::FinePut { addr, value } => {
-                self.do_fine_put(block, addr, value, stats, &mut actions);
+                self.do_fine_put(block, addr, value, stats, actions);
             }
         }
-        actions
     }
 
     fn start_read(
@@ -461,13 +479,24 @@ impl Directory {
     /// An invalidation acknowledgement arrived.
     pub fn inv_ack(&mut self, block: BlockAddr, from: ProcId, stats: &mut Stats) -> Vec<DirAction> {
         let mut actions = Vec::new();
+        self.inv_ack_into(block, from, stats, &mut actions);
+        actions
+    }
+
+    /// Allocation-free form of [`Self::inv_ack`]: appends to `actions`.
+    pub fn inv_ack_into(
+        &mut self,
+        block: BlockAddr,
+        from: ProcId,
+        stats: &mut Stats,
+        actions: &mut Vec<DirAction>,
+    ) {
         let entry = self.entry(block);
         entry.sharers.remove(from);
         let txn = entry.txn.as_mut().expect("inv-ack without transaction");
         assert!(txn.pending_acks > 0, "unexpected inv-ack");
         txn.pending_acks -= 1;
-        self.try_complete(block, stats, &mut actions);
-        actions
+        self.try_complete(block, stats, actions);
     }
 
     /// The (former) owner answered an intervention.
@@ -479,6 +508,19 @@ impl Directory {
         stats: &mut Stats,
     ) -> Vec<DirAction> {
         let mut actions = Vec::new();
+        self.intervention_reply_into(block, from, resp, stats, &mut actions);
+        actions
+    }
+
+    /// Allocation-free form of [`Self::intervention_reply`].
+    pub fn intervention_reply_into(
+        &mut self,
+        block: BlockAddr,
+        from: ProcId,
+        resp: InterventionResp,
+        stats: &mut Stats,
+        actions: &mut Vec<DirAction>,
+    ) {
         let entry = self.entry(block);
         let txn = entry
             .txn
@@ -513,8 +555,7 @@ impl Directory {
                 }
             }
         }
-        self.try_complete(block, stats, &mut actions);
-        actions
+        self.try_complete(block, stats, actions);
     }
 
     /// A writeback arrived from an owner eviction.
@@ -526,14 +567,27 @@ impl Directory {
         stats: &mut Stats,
     ) -> Vec<DirAction> {
         let mut actions = Vec::new();
+        self.writeback_into(block, from, data, stats, &mut actions);
+        actions
+    }
+
+    /// Allocation-free form of [`Self::writeback`]: appends to `actions`.
+    pub fn writeback_into(
+        &mut self,
+        block: BlockAddr,
+        from: ProcId,
+        data: BlockData,
+        stats: &mut Stats,
+        actions: &mut Vec<DirAction>,
+    ) {
         let entry = self.entry(block);
         if let Some(txn) = entry.txn.as_mut() {
             // The open transaction was waiting for exactly this data.
             txn.data = Some(data);
             txn.dirty_data = true;
             txn.waiting_writeback = false;
-            self.try_complete(block, stats, &mut actions);
-            return actions;
+            self.try_complete(block, stats, actions);
+            return;
         }
         // Standalone eviction.
         if entry.state == DirState::Exclusive(from) {
@@ -543,7 +597,6 @@ impl Directory {
             stats.dir_transactions += 1;
         }
         // Otherwise: stale writeback from a superseded owner — drop it.
-        actions
     }
 
     /// A DRAM read started by [`DirAction::ReadDram`] finished.
@@ -554,6 +607,18 @@ impl Directory {
         stats: &mut Stats,
     ) -> Vec<DirAction> {
         let mut actions = Vec::new();
+        self.dram_done_into(block, data, stats, &mut actions);
+        actions
+    }
+
+    /// Allocation-free form of [`Self::dram_done`]: appends to `actions`.
+    pub fn dram_done_into(
+        &mut self,
+        block: BlockAddr,
+        data: BlockData,
+        stats: &mut Stats,
+        actions: &mut Vec<DirAction>,
+    ) {
         let entry = self.entry(block);
         let txn = entry.txn.as_mut().expect("dram data without transaction");
         assert!(txn.mem_pending, "unexpected dram completion");
@@ -561,8 +626,7 @@ impl Directory {
         if txn.data.is_none() {
             txn.data = Some(data);
         }
-        self.try_complete(block, stats, &mut actions);
-        actions
+        self.try_complete(block, stats, actions);
     }
 
     /// The AMU finished the operation a fine-grained get fed; `put` is the
@@ -575,6 +639,18 @@ impl Directory {
         stats: &mut Stats,
     ) -> Vec<DirAction> {
         let mut actions = Vec::new();
+        self.fine_complete_into(block, put, stats, &mut actions);
+        actions
+    }
+
+    /// Allocation-free form of [`Self::fine_complete`]: appends to `actions`.
+    pub fn fine_complete_into(
+        &mut self,
+        block: BlockAddr,
+        put: Option<(Addr, Word)>,
+        stats: &mut Stats,
+        actions: &mut Vec<DirAction>,
+    ) {
         {
             let entry = self.entry(block);
             let txn = entry.txn.take().expect("fine_complete without transaction");
@@ -585,10 +661,9 @@ impl Directory {
             stats.dir_transactions += 1;
         }
         if let Some((addr, value)) = put {
-            self.do_fine_put(block, addr, value, stats, &mut actions);
+            self.do_fine_put(block, addr, value, stats, actions);
         }
-        self.pump(block, stats, &mut actions);
-        actions
+        self.pump(block, stats, actions);
     }
 
     fn try_complete(&mut self, block: BlockAddr, stats: &mut Stats, actions: &mut Vec<DirAction>) {
@@ -668,8 +743,7 @@ impl Directory {
             let Some(req) = entry.queue.pop_front() else {
                 return;
             };
-            let more = self.dispatch(block, req, stats);
-            actions.extend(more);
+            self.dispatch(block, req, stats, actions);
         }
     }
 

@@ -3,13 +3,13 @@
 //! Sparse: only words ever written occupy space; everything else reads as
 //! zero (the simulated workloads' variables start zero-initialized).
 
+use amo_types::FxHashMap;
 use amo_types::{Addr, BlockAddr, BlockData, Word};
-use std::collections::HashMap;
 
 /// Word-granular sparse memory for one home node.
 #[derive(Default)]
 pub struct MemoryStore {
-    words: HashMap<u64, Word>,
+    words: FxHashMap<u64, Word>,
 }
 
 impl MemoryStore {

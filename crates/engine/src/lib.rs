@@ -12,7 +12,7 @@
 
 pub mod queue;
 
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueKind};
 
 use amo_types::Cycle;
 

@@ -34,19 +34,30 @@ pub struct Fabric {
     cfg: NetworkConfig,
     ifaces: Vec<NodeIface>,
     per_node: Vec<NodeTraffic>,
-    /// Per-directed-link reservations (router-contention mode only).
-    link_free: std::collections::HashMap<u64, Cycle>,
+    /// Per-directed-link reservations, indexed by dense link id
+    /// (router-contention mode only; empty otherwise).
+    link_free: Vec<Cycle>,
+    /// Scratch buffer for path computation, reused across sends so the
+    /// contention path never allocates.
+    path_scratch: Vec<u32>,
 }
 
 impl Fabric {
     /// Build a fabric over `num_nodes` nodes with the given parameters.
     pub fn new(num_nodes: u16, cfg: NetworkConfig) -> Self {
+        let topo = Topology::new(num_nodes, cfg.router_radix);
+        let link_free = if cfg.model_router_contention {
+            vec![0; topo.num_links()]
+        } else {
+            Vec::new()
+        };
         Fabric {
-            topo: Topology::new(num_nodes, cfg.router_radix),
+            topo,
             cfg,
             ifaces: vec![NodeIface::default(); num_nodes as usize],
             per_node: vec![NodeTraffic::default(); num_nodes as usize],
-            link_free: std::collections::HashMap::new(),
+            link_free,
+            path_scratch: Vec::new(),
         }
     }
 
@@ -108,8 +119,10 @@ impl Fabric {
         // modelled (zero-load latency is identical either way).
         let arrive = if self.cfg.model_router_contention {
             let mut t = depart + ser;
-            for link in self.topo.path_links(src, dst) {
-                let free = self.link_free.entry(link).or_insert(0);
+            self.path_scratch.clear();
+            self.topo.path_links_into(src, dst, &mut self.path_scratch);
+            for &link in &self.path_scratch {
+                let free = &mut self.link_free[link as usize];
                 let start = t.max(*free);
                 *free = start + ser;
                 t = start + self.cfg.hop_latency;

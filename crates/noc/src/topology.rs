@@ -5,10 +5,15 @@ use amo_types::NodeId;
 /// A fat tree of routers with a fixed radix (children per router).
 /// Nodes attach to leaf routers in groups of `radix`; every level above
 /// groups `radix` routers under one parent.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Topology {
     num_nodes: u16,
     radix: usize,
+    /// Dense directed-link id space: `level_offsets[k]` is the first id
+    /// of level `k`'s links (level 0: node↔leaf-router, level k:
+    /// level-k entity↔its parent); the final element is the total link
+    /// count. Each entity owns two ids: up (`+1`) and down (`+0`).
+    level_offsets: Vec<u32>,
 }
 
 impl Topology {
@@ -16,7 +21,18 @@ impl Topology {
     pub fn new(num_nodes: u16, radix: usize) -> Self {
         assert!(num_nodes >= 1, "topology needs at least one node");
         assert!(radix >= 2, "router radix must be at least 2");
-        Topology { num_nodes, radix }
+        let mut level_offsets = vec![0u32];
+        let mut entities = num_nodes as usize;
+        while entities > 1 {
+            let prev = *level_offsets.last().expect("non-empty");
+            level_offsets.push(prev + 2 * entities as u32);
+            entities = entities.div_ceil(radix);
+        }
+        Topology {
+            num_nodes,
+            radix,
+            level_offsets,
+        }
     }
 
     /// Number of nodes attached to the tree.
@@ -66,38 +82,59 @@ impl Topology {
         hops
     }
 
-    /// The sequence of link identifiers a packet traverses from `src`
-    /// to `dst`, for router-contention modelling. Each link is a
-    /// `(level, router-or-node index, up/down)` triple encoded as a
-    /// unique `u64`. Same-node traffic takes no links.
-    pub fn path_links(&self, src: NodeId, dst: NodeId) -> Vec<u64> {
+    /// Total number of directed links in the tree. Link ids are dense in
+    /// `0..num_links()`, so a flat `Vec` can index per-link state.
+    pub fn num_links(&self) -> usize {
+        *self.level_offsets.last().expect("non-empty") as usize
+    }
+
+    /// Dense id of one directed link: `(level, entity index, up/down)`.
+    #[inline]
+    fn link_id(&self, level: usize, index: u64, up: bool) -> u32 {
+        self.level_offsets[level] + 2 * index as u32 + up as u32
+    }
+
+    /// The sequence of link identifiers a packet traverses from `src` to
+    /// `dst`, for router-contention modelling, appended to `out` in
+    /// traversal order. Ids are dense (`< num_links()`). Same-node
+    /// traffic takes no links. The caller owns `out` so the hot path can
+    /// reuse one scratch buffer instead of allocating per send.
+    pub fn path_links_into(&self, src: NodeId, dst: NodeId, out: &mut Vec<u32>) {
         if src == dst {
-            return Vec::new();
+            return;
         }
-        // Climb from both ends to the lowest common ancestor, collecting
-        // the up-links from the source side and down-links to the
-        // destination side.
-        let mut ups = Vec::new();
-        let mut downs = Vec::new();
-        let mut a = src.0 as u64;
-        let mut b = dst.0 as u64;
-        let mut level = 0u64;
-        // Level 0: node <-> leaf router links.
-        ups.push(encode_link(0, a, true));
-        downs.push(encode_link(0, b, false));
-        a /= self.radix as u64;
-        b /= self.radix as u64;
-        level += 1;
+        // Climb from both ends to the lowest common ancestor twice: once
+        // collecting up-links from the source side, once collecting
+        // down-links to the destination side (reversed in place into
+        // top-down traversal order). No allocation beyond `out` itself.
+        let radix = self.radix as u64;
+        let (mut a, mut b) = (src.0 as u64 / radix, dst.0 as u64 / radix);
+        let mut level = 1;
+        out.push(self.link_id(0, src.0 as u64, true));
         while a != b {
-            ups.push(encode_link(level, a, true));
-            downs.push(encode_link(level, b, false));
-            a /= self.radix as u64;
-            b /= self.radix as u64;
+            out.push(self.link_id(level, a, true));
+            a /= radix;
+            b /= radix;
             level += 1;
         }
-        downs.reverse();
-        ups.extend(downs);
-        ups
+        let downs_start = out.len();
+        let (mut a, mut b) = (src.0 as u64 / radix, dst.0 as u64 / radix);
+        let mut level = 1;
+        out.push(self.link_id(0, dst.0 as u64, false));
+        while a != b {
+            out.push(self.link_id(level, b, false));
+            a /= radix;
+            b /= radix;
+            level += 1;
+        }
+        out[downs_start..].reverse();
+    }
+
+    /// Allocating convenience wrapper around [`Self::path_links_into`].
+    pub fn path_links(&self, src: NodeId, dst: NodeId) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.path_links_into(src, dst, &mut out);
+        out
     }
 
     /// Largest one-way hop count in this topology (network diameter).
@@ -126,11 +163,6 @@ impl Topology {
         }
         total as f64 / (n * (n - 1)) as f64
     }
-}
-
-/// Encode one directed link (level, index, direction) as a unique id.
-fn encode_link(level: u64, index: u64, up: bool) -> u64 {
-    (level << 32) | (index << 1) | up as u64
 }
 
 #[cfg(test)]
@@ -202,19 +234,35 @@ mod tests {
         let t = Topology::new(16, 8);
         // 0->9 and 1->9 share the down-link into node 9 (and the
         // inter-router segment), but not their injection links.
-        let p0: std::collections::HashSet<u64> =
+        let p0: std::collections::HashSet<u32> =
             t.path_links(NodeId(0), NodeId(9)).into_iter().collect();
-        let p1: std::collections::HashSet<u64> =
+        let p1: std::collections::HashSet<u32> =
             t.path_links(NodeId(1), NodeId(9)).into_iter().collect();
         assert!(!p0.is_disjoint(&p1), "shared tail");
         assert!(p0 != p1, "distinct injection links");
         // Opposite directions over the same pair share nothing (links
         // are directed).
-        let fwd: std::collections::HashSet<u64> =
+        let fwd: std::collections::HashSet<u32> =
             t.path_links(NodeId(0), NodeId(9)).into_iter().collect();
-        let back: std::collections::HashSet<u64> =
+        let back: std::collections::HashSet<u32> =
             t.path_links(NodeId(9), NodeId(0)).into_iter().collect();
         assert!(fwd.is_disjoint(&back));
+    }
+
+    #[test]
+    fn link_ids_are_dense_and_distinct_along_a_path() {
+        let t = Topology::new(128, 8);
+        // 128 nodes + 16 leaf routers + 2 mid routers, two directed
+        // links each (the single root has no parent).
+        assert_eq!(t.num_links(), 2 * (128 + 16 + 2));
+        for (s, d) in [(0u16, 7u16), (0, 8), (0, 64), (3, 120), (127, 0)] {
+            let links = t.path_links(NodeId(s), NodeId(d));
+            let uniq: std::collections::HashSet<u32> = links.iter().copied().collect();
+            assert_eq!(uniq.len(), links.len(), "duplicate link on {s}->{d}");
+            for &l in &links {
+                assert!((l as usize) < t.num_links(), "id {l} out of range");
+            }
+        }
     }
 
     proptest! {

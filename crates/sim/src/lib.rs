@@ -23,4 +23,5 @@
 pub mod hub;
 pub mod machine;
 
+pub use amo_engine::QueueKind;
 pub use machine::{Machine, RunResult};

@@ -4,38 +4,72 @@ use crate::hub::Hub;
 use amo_amu::AmuEffect;
 use amo_cpu::{Kernel, ProcEffect, Processor};
 use amo_directory::{DirAction, DirRequest};
-use amo_engine::{Clock, EventQueue};
+use amo_engine::{Clock, EventQueue, QueueKind};
 use amo_noc::fabric::NodeTraffic;
 use amo_noc::Fabric;
 use amo_types::{
     Addr, BlockAddr, Cycle, NodeId, Payload, ProcId, ReqId, Stats, SystemConfig, Word,
 };
 
-/// Everything that can happen.
-#[derive(Clone, Debug)]
-enum Event {
-    /// Call `Processor::step`.
-    ProcWake(ProcId),
-    /// Call `Processor::handler_done`.
-    ProcHandlerDone(ProcId),
-    /// Call `Processor::timeout`.
-    ProcTimeout(ProcId, ReqId),
-    /// Apply a word update at a processor (bus latency included).
-    ProcWordUpdate(ProcId, Addr, Word),
-    /// A message arrived at a hub's network interface.
-    ToHub(NodeId, Payload),
-    /// A directory-bound message cleared the service pipeline.
-    DirProcess(NodeId, Payload),
-    /// A DRAM block read completed for the directory.
-    DramDone(NodeId, BlockAddr),
-    /// The AMU function unit becomes free.
-    AmuWake(NodeId),
-    /// An uncached memory word read completed for the AMU.
-    AmuMemValue(NodeId, u64, Addr),
-    /// An AMU reply is ready to inject into the fabric.
-    AmuSend(NodeId, ProcId, Payload),
-    /// A message is delivered to a processor (bus latency included).
-    ToProc(ProcId, Payload),
+/// Declares the event enum together with a fieldless mirror enum whose
+/// discriminants give every variant a dense index, so `Event::COUNT`,
+/// `Event::NAMES`, and `Event::index` all derive from the one variant
+/// list — adding a variant can never desynchronize the counters.
+macro_rules! define_events {
+    (
+        $(#[$em:meta])*
+        enum $ename:ident / $kname:ident {
+            $( $(#[$vm:meta])* $vname:ident ( $($vty:ty),* $(,)? ) ),+ $(,)?
+        }
+    ) => {
+        $(#[$em])*
+        enum $ename { $( $(#[$vm])* $vname ( $($vty),* ) ),+ }
+
+        #[derive(Clone, Copy)]
+        enum $kname { $( $vname ),+ }
+
+        impl $ename {
+            /// Number of event variants.
+            const COUNT: usize = [$( $kname::$vname ),+].len();
+            /// Variant names, in declaration order.
+            const NAMES: [&'static str; Self::COUNT] = [$( stringify!($vname) ),+];
+            /// Dense index of this event's variant.
+            #[inline]
+            fn index(&self) -> usize {
+                (match self { $( Self::$vname(..) => $kname::$vname ),+ }) as usize
+            }
+        }
+    };
+}
+
+define_events! {
+    /// Everything that can happen. Events are moved (never cloned) from
+    /// the queue through dispatch; payloads ride along by value.
+    #[derive(Debug)]
+    enum Event / EventKind {
+        /// Call `Processor::step`.
+        ProcWake(ProcId),
+        /// Call `Processor::handler_done`.
+        ProcHandlerDone(ProcId),
+        /// Call `Processor::timeout`.
+        ProcTimeout(ProcId, ReqId),
+        /// Apply a word update at a processor (bus latency included).
+        ProcWordUpdate(ProcId, Addr, Word),
+        /// A message arrived at a hub's network interface.
+        ToHub(NodeId, Payload),
+        /// A directory-bound message cleared the service pipeline.
+        DirProcess(NodeId, Payload),
+        /// A DRAM block read completed for the directory.
+        DramDone(NodeId, BlockAddr),
+        /// The AMU function unit becomes free.
+        AmuWake(NodeId),
+        /// An uncached memory word read completed for the AMU.
+        AmuMemValue(NodeId, u64, Addr),
+        /// An AMU reply is ready to inject into the fabric.
+        AmuSend(NodeId, ProcId, Payload),
+        /// A message is delivered to a processor (bus latency included).
+        ToProc(ProcId, Payload),
+    }
 }
 
 /// Result of [`Machine::run`].
@@ -108,12 +142,37 @@ pub struct Machine {
     finished: Vec<Option<Cycle>>,
     installed: Vec<bool>,
     trace: Option<Vec<String>>,
-    event_counts: [u64; 11],
+    event_counts: [u64; Event::COUNT],
+    /// Reusable effect buffers: the dispatch hot path hands one to each
+    /// component `*_into` call and returns it after draining, so steady
+    /// state event processing performs no heap allocation. Pools (not
+    /// single buffers) because effect processing nests: an AMU effect
+    /// can produce directory actions whose processing produces further
+    /// AMU effects while the outer buffer is still being drained.
+    proc_eff_pool: Vec<Vec<ProcEffect>>,
+    amu_eff_pool: Vec<Vec<AmuEffect>>,
+    dir_act_pool: Vec<Vec<DirAction>>,
+}
+
+/// Upper bound on concurrently pending events, from the config: every
+/// processor can hold its outstanding-miss limit in flight (each miss is
+/// at most one queued event at a time), plus per-node slack for AMU
+/// queues and update fanout.
+fn queue_capacity(cfg: &SystemConfig) -> usize {
+    cfg.num_procs as usize * cfg.max_outstanding_misses
+        + cfg.num_nodes() as usize * cfg.amu.queue_cap.min(64)
 }
 
 impl Machine {
     /// Build a machine per `cfg` (validated).
     pub fn new(cfg: SystemConfig) -> Self {
+        Self::new_with_queue(cfg, QueueKind::Calendar)
+    }
+
+    /// Build a machine with an explicit future-event-list implementation
+    /// (the heap variant exists for differential testing and perf
+    /// baselines; results are bit-identical either way).
+    pub fn new_with_queue(cfg: SystemConfig, kind: QueueKind) -> Self {
         cfg.validate();
         let nodes = cfg.num_nodes();
         Machine {
@@ -123,54 +182,28 @@ impl Machine {
                 .collect(),
             hubs: (0..nodes).map(|n| Hub::new(NodeId(n), &cfg)).collect(),
             clock: Clock::new(),
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity_and_kind(queue_capacity(&cfg), kind),
             stats: Stats::new(),
             marks: Vec::new(),
             finished: vec![None; cfg.num_procs as usize],
             installed: vec![false; cfg.num_procs as usize],
             trace: None,
-            event_counts: [0; 11],
+            event_counts: [0; Event::COUNT],
+            proc_eff_pool: Vec::new(),
+            amu_eff_pool: Vec::new(),
+            dir_act_pool: Vec::new(),
             cfg,
         }
     }
 
     /// Dispatched-event histogram, by `Event` variant order (diagnostic:
     /// spotting event storms).
-    pub fn event_histogram(&self) -> [(&'static str, u64); 11] {
-        const NAMES: [&str; 11] = [
-            "ProcWake",
-            "ProcHandlerDone",
-            "ProcTimeout",
-            "ProcWordUpdate",
-            "ToHub",
-            "DirProcess",
-            "DramDone",
-            "AmuWake",
-            "AmuMemValue",
-            "AmuSend",
-            "ToProc",
-        ];
-        let mut out = [("", 0); 11];
-        for i in 0..11 {
-            out[i] = (NAMES[i], self.event_counts[i]);
-        }
-        out
-    }
-
-    fn event_index(ev: &Event) -> usize {
-        match ev {
-            Event::ProcWake(..) => 0,
-            Event::ProcHandlerDone(..) => 1,
-            Event::ProcTimeout(..) => 2,
-            Event::ProcWordUpdate(..) => 3,
-            Event::ToHub(..) => 4,
-            Event::DirProcess(..) => 5,
-            Event::DramDone(..) => 6,
-            Event::AmuWake(..) => 7,
-            Event::AmuMemValue(..) => 8,
-            Event::AmuSend(..) => 9,
-            Event::ToProc(..) => 10,
-        }
+    pub fn event_histogram(&self) -> Vec<(&'static str, u64)> {
+        Event::NAMES
+            .iter()
+            .zip(self.event_counts)
+            .map(|(&name, count)| (name, count))
+            .collect()
     }
 
     /// Enable event tracing (debugging aid; every dispatched event is
@@ -260,7 +293,7 @@ impl Machine {
             if let Some(t) = self.trace.as_mut() {
                 t.push(format!("{when}: {ev:?}"));
             }
-            self.event_counts[Self::event_index(&ev)] += 1;
+            self.event_counts[ev.index()] += 1;
             self.dispatch(ev, when);
         }
         self.collect_cache_stats();
@@ -302,51 +335,75 @@ impl Machine {
     fn dispatch(&mut self, ev: Event, now: Cycle) {
         match ev {
             Event::ProcWake(p) => {
-                let eff = self.procs[p.index()].step(now, &mut self.stats);
-                self.run_proc_effects(p, eff, now);
+                let mut eff = self.proc_eff_pool.pop().unwrap_or_default();
+                self.procs[p.index()].step_into(now, &mut self.stats, &mut eff);
+                self.run_proc_effects(p, &mut eff, now);
+                self.proc_eff_pool.push(eff);
             }
             Event::ProcHandlerDone(p) => {
-                let eff = self.procs[p.index()].handler_done(now, &mut self.stats);
-                self.run_proc_effects(p, eff, now);
+                let mut eff = self.proc_eff_pool.pop().unwrap_or_default();
+                self.procs[p.index()].handler_done_into(now, &mut self.stats, &mut eff);
+                self.run_proc_effects(p, &mut eff, now);
+                self.proc_eff_pool.push(eff);
                 // The kernel may have been blocked behind the handler.
                 self.queue.schedule(now, Event::ProcWake(p));
             }
             Event::ProcTimeout(p, req) => {
-                let eff = self.procs[p.index()].timeout(req, now, &mut self.stats);
-                self.run_proc_effects(p, eff, now);
+                let mut eff = self.proc_eff_pool.pop().unwrap_or_default();
+                self.procs[p.index()].timeout_into(req, now, &mut self.stats, &mut eff);
+                self.run_proc_effects(p, &mut eff, now);
+                self.proc_eff_pool.push(eff);
             }
             Event::ProcWordUpdate(p, addr, value) => {
-                let eff = self.procs[p.index()].word_update(addr, value, now, &mut self.stats);
-                self.run_proc_effects(p, eff, now);
+                let mut eff = self.proc_eff_pool.pop().unwrap_or_default();
+                self.procs[p.index()].word_update_into(addr, value, now, &mut self.stats, &mut eff);
+                self.run_proc_effects(p, &mut eff, now);
+                self.proc_eff_pool.push(eff);
             }
             Event::ToHub(node, payload) => self.hub_receive(node, payload, now),
             Event::DirProcess(node, payload) => self.dir_process(node, payload, now),
             Event::DramDone(node, block) => {
                 let words = self.cfg.l2.line_words();
                 let data = self.hubs[node.index()].memory.read_block(block, words);
-                let actions =
-                    self.hubs[node.index()]
-                        .directory
-                        .dram_done(block, data, &mut self.stats);
-                self.run_dir_actions(node, actions, now);
+                let mut actions = self.dir_act_pool.pop().unwrap_or_default();
+                self.hubs[node.index()].directory.dram_done_into(
+                    block,
+                    data,
+                    &mut self.stats,
+                    &mut actions,
+                );
+                self.run_dir_actions(node, &mut actions, now);
+                self.dir_act_pool.push(actions);
             }
             Event::AmuWake(node) => {
-                let eff = self.hubs[node.index()].amu.advance(now, &mut self.stats);
-                self.run_amu_effects(node, eff, now);
+                let mut eff = self.amu_eff_pool.pop().unwrap_or_default();
+                self.hubs[node.index()]
+                    .amu
+                    .advance_into(now, &mut self.stats, &mut eff);
+                self.run_amu_effects(node, &mut eff, now);
+                self.amu_eff_pool.push(eff);
             }
             Event::AmuMemValue(node, token, addr) => {
                 let value = self.hubs[node.index()].memory.read_word(addr);
-                let eff = self.hubs[node.index()]
-                    .amu
-                    .mem_value(token, value, now, &mut self.stats);
-                self.run_amu_effects(node, eff, now);
+                let mut eff = self.amu_eff_pool.pop().unwrap_or_default();
+                self.hubs[node.index()].amu.mem_value_into(
+                    token,
+                    value,
+                    now,
+                    &mut self.stats,
+                    &mut eff,
+                );
+                self.run_amu_effects(node, &mut eff, now);
+                self.amu_eff_pool.push(eff);
             }
             Event::AmuSend(node, proc, payload) => {
                 self.send_to_proc(node, proc, payload, now);
             }
             Event::ToProc(p, payload) => {
-                let eff = self.procs[p.index()].handle(payload, now, &mut self.stats);
-                self.run_proc_effects(p, eff, now);
+                let mut eff = self.proc_eff_pool.pop().unwrap_or_default();
+                self.procs[p.index()].handle_into(payload, now, &mut self.stats, &mut eff);
+                self.run_proc_effects(p, &mut eff, now);
+                self.proc_eff_pool.push(eff);
             }
         }
     }
@@ -377,7 +434,8 @@ impl Machine {
                 operand,
                 test,
             } => {
-                let (ok, eff) = self.hubs[node.index()].amu.submit(
+                let mut eff = self.amu_eff_pool.pop().unwrap_or_default();
+                let ok = self.hubs[node.index()].amu.submit_into(
                     amo_amu::AmuOp::Amo {
                         req,
                         requester,
@@ -388,9 +446,11 @@ impl Machine {
                     },
                     now,
                     &mut self.stats,
+                    &mut eff,
                 );
                 assert!(ok, "AMU queue overflow at {node}");
-                self.run_amu_effects(node, eff, now);
+                self.run_amu_effects(node, &mut eff, now);
+                self.amu_eff_pool.push(eff);
             }
             Payload::MaoReq {
                 req,
@@ -399,7 +459,8 @@ impl Machine {
                 addr,
                 operand,
             } => {
-                let (ok, eff) = self.hubs[node.index()].amu.submit(
+                let mut eff = self.amu_eff_pool.pop().unwrap_or_default();
+                let ok = self.hubs[node.index()].amu.submit_into(
                     amo_amu::AmuOp::Mao {
                         req,
                         requester,
@@ -409,16 +470,19 @@ impl Machine {
                     },
                     now,
                     &mut self.stats,
+                    &mut eff,
                 );
                 assert!(ok, "AMU queue overflow at {node}");
-                self.run_amu_effects(node, eff, now);
+                self.run_amu_effects(node, &mut eff, now);
+                self.amu_eff_pool.push(eff);
             }
             Payload::UncachedRead {
                 req,
                 requester,
                 addr,
             } => {
-                let (ok, eff) = self.hubs[node.index()].amu.submit(
+                let mut eff = self.amu_eff_pool.pop().unwrap_or_default();
+                let ok = self.hubs[node.index()].amu.submit_into(
                     amo_amu::AmuOp::UncachedRead {
                         req,
                         requester,
@@ -426,9 +490,11 @@ impl Machine {
                     },
                     now,
                     &mut self.stats,
+                    &mut eff,
                 );
                 assert!(ok, "AMU queue overflow at {node}");
-                self.run_amu_effects(node, eff, now);
+                self.run_amu_effects(node, &mut eff, now);
+                self.amu_eff_pool.push(eff);
             }
             Payload::UncachedWrite {
                 req,
@@ -436,7 +502,8 @@ impl Machine {
                 addr,
                 value,
             } => {
-                let (ok, eff) = self.hubs[node.index()].amu.submit(
+                let mut eff = self.amu_eff_pool.pop().unwrap_or_default();
+                let ok = self.hubs[node.index()].amu.submit_into(
                     amo_amu::AmuOp::UncachedWrite {
                         req,
                         requester,
@@ -445,9 +512,11 @@ impl Machine {
                     },
                     now,
                     &mut self.stats,
+                    &mut eff,
                 );
                 assert!(ok, "AMU queue overflow at {node}");
-                self.run_amu_effects(node, eff, now);
+                self.run_amu_effects(node, &mut eff, now);
+                self.amu_eff_pool.push(eff);
             }
             // Processor-bound traffic crossing this hub.
             Payload::ActiveMsg { target_proc, .. } => {
@@ -481,50 +550,62 @@ impl Machine {
 
     /// A directory-bound message cleared the occupancy pipeline.
     fn dir_process(&mut self, node: NodeId, payload: Payload, now: Cycle) {
+        let mut actions = self.dir_act_pool.pop().unwrap_or_default();
         let hub = &mut self.hubs[node.index()];
-        let actions = match payload {
+        match payload {
             Payload::GetS {
                 req,
                 requester,
                 block,
-            } => hub
-                .directory
-                .request(block, DirRequest::GetS { req, requester }, &mut self.stats),
+            } => hub.directory.request_into(
+                block,
+                DirRequest::GetS { req, requester },
+                &mut self.stats,
+                &mut actions,
+            ),
             Payload::GetX {
                 req,
                 requester,
                 block,
-            } => hub
-                .directory
-                .request(block, DirRequest::GetX { req, requester }, &mut self.stats),
+            } => hub.directory.request_into(
+                block,
+                DirRequest::GetX { req, requester },
+                &mut self.stats,
+                &mut actions,
+            ),
             Payload::Upgrade {
                 req,
                 requester,
                 block,
-            } => hub.directory.request(
+            } => hub.directory.request_into(
                 block,
                 DirRequest::Upgrade { req, requester },
                 &mut self.stats,
+                &mut actions,
             ),
             Payload::Writeback {
                 requester,
                 block,
                 data,
-            } => hub
-                .directory
-                .writeback(block, requester, data, &mut self.stats),
-            Payload::InvAck { block, from } => hub.directory.inv_ack(block, from, &mut self.stats),
-            Payload::InterventionReply { block, from, resp } => {
+            } => {
                 hub.directory
-                    .intervention_reply(block, from, resp, &mut self.stats)
+                    .writeback_into(block, requester, data, &mut self.stats, &mut actions)
             }
+            Payload::InvAck { block, from } => {
+                hub.directory
+                    .inv_ack_into(block, from, &mut self.stats, &mut actions)
+            }
+            Payload::InterventionReply { block, from, resp } => hub
+                .directory
+                .intervention_reply_into(block, from, resp, &mut self.stats, &mut actions),
             other => panic!("directory got unexpected payload {other:?}"),
-        };
-        self.run_dir_actions(node, actions, now);
+        }
+        self.run_dir_actions(node, &mut actions, now);
+        self.dir_act_pool.push(actions);
     }
 
-    fn run_dir_actions(&mut self, node: NodeId, actions: Vec<DirAction>, now: Cycle) {
-        for action in actions {
+    fn run_dir_actions(&mut self, node: NodeId, actions: &mut Vec<DirAction>, now: Cycle) {
+        for action in actions.drain(..) {
             match action {
                 DirAction::ToProc { proc, payload } => {
                     self.send_to_proc(node, proc, payload, now);
@@ -559,21 +640,24 @@ impl Machine {
                     }
                 }
                 DirAction::FineValue { token, addr, value } => {
-                    let eff = self.hubs[node.index()].amu.fine_value(
+                    let mut eff = self.amu_eff_pool.pop().unwrap_or_default();
+                    self.hubs[node.index()].amu.fine_value_into(
                         token,
                         addr,
                         value,
                         now,
                         &mut self.stats,
+                        &mut eff,
                     );
-                    self.run_amu_effects(node, eff, now);
+                    self.run_amu_effects(node, &mut eff, now);
+                    self.amu_eff_pool.push(eff);
                 }
             }
         }
     }
 
-    fn run_amu_effects(&mut self, node: NodeId, effects: Vec<AmuEffect>, now: Cycle) {
-        for eff in effects {
+    fn run_amu_effects(&mut self, node: NodeId, effects: &mut Vec<AmuEffect>, now: Cycle) {
+        for eff in effects.drain(..) {
             match eff {
                 AmuEffect::ReplyAt {
                     when,
@@ -585,29 +669,38 @@ impl Machine {
                 }
                 AmuEffect::FineGet { token, addr } => {
                     let block = addr.block(self.cfg.l2.line_bytes);
-                    let actions = self.hubs[node.index()].directory.request(
+                    let mut actions = self.dir_act_pool.pop().unwrap_or_default();
+                    self.hubs[node.index()].directory.request_into(
                         block,
                         DirRequest::FineGet { token, addr },
                         &mut self.stats,
+                        &mut actions,
                     );
-                    self.run_dir_actions(node, actions, now);
+                    self.run_dir_actions(node, &mut actions, now);
+                    self.dir_act_pool.push(actions);
                 }
                 AmuEffect::FinePut { addr, value } => {
                     let block = addr.block(self.cfg.l2.line_bytes);
-                    let actions = self.hubs[node.index()].directory.request(
+                    let mut actions = self.dir_act_pool.pop().unwrap_or_default();
+                    self.hubs[node.index()].directory.request_into(
                         block,
                         DirRequest::FinePut { addr, value },
                         &mut self.stats,
+                        &mut actions,
                     );
-                    self.run_dir_actions(node, actions, now);
+                    self.run_dir_actions(node, &mut actions, now);
+                    self.dir_act_pool.push(actions);
                 }
                 AmuEffect::FineComplete { block, put } => {
-                    let actions = self.hubs[node.index()].directory.fine_complete(
+                    let mut actions = self.dir_act_pool.pop().unwrap_or_default();
+                    self.hubs[node.index()].directory.fine_complete_into(
                         block,
                         put,
                         &mut self.stats,
+                        &mut actions,
                     );
-                    self.run_dir_actions(node, actions, now);
+                    self.run_dir_actions(node, &mut actions, now);
+                    self.dir_act_pool.push(actions);
                 }
                 AmuEffect::ReadMemWord { token, addr } => {
                     let done = self.hubs[node.index()]
@@ -637,9 +730,9 @@ impl Machine {
             .schedule(arrival + self.cfg.bus_latency, Event::ToProc(proc, payload));
     }
 
-    fn run_proc_effects(&mut self, p: ProcId, effects: Vec<ProcEffect>, now: Cycle) {
+    fn run_proc_effects(&mut self, p: ProcId, effects: &mut Vec<ProcEffect>, now: Cycle) {
         let src = self.node_of(p);
-        for eff in effects {
+        for eff in effects.drain(..) {
             match eff {
                 ProcEffect::Send { dst, payload } => {
                     let t = now + self.cfg.bus_latency;
@@ -1046,5 +1139,54 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn calendar_and_heap_queues_give_identical_machines() {
+        // The engine swap must be invisible: every timing and every
+        // counter agrees between the calendar queue and the reference
+        // heap at the same seed/skew.
+        let run = |kind: QueueKind| {
+            let mut m = Machine::new_with_queue(SystemConfig::with_procs(8), kind);
+            let a = var(0, 0x600);
+            for p in 0..8u16 {
+                let (k, _) = Script::new(vec![
+                    Op::AtomicRmw {
+                        kind: AmoKind::FetchAdd,
+                        addr: a,
+                        operand: 1,
+                    },
+                    Op::Amo {
+                        kind: AmoKind::Inc,
+                        addr: var(1, 0x700),
+                        operand: 0,
+                        test: Some(8),
+                    },
+                    Op::SpinUntil {
+                        addr: var(1, 0x700),
+                        pred: SpinPred::Eq(8),
+                    },
+                ]);
+                m.install_kernel(ProcId(p), Box::new(k), (p as u64) * 37);
+            }
+            let res = m.run(10_000_000);
+            assert!(res.all_finished);
+            (
+                res.finished.clone(),
+                res.events,
+                m.stats().clone(),
+                m.event_histogram(),
+            )
+        };
+        let cal = run(QueueKind::Calendar);
+        let heap = run(QueueKind::Heap);
+        assert_eq!(cal.0, heap.0, "completion times differ");
+        assert_eq!(cal.1, heap.1, "event counts differ");
+        assert_eq!(cal.3, heap.3, "event histograms differ");
+        assert_eq!(
+            format!("{:?}", cal.2),
+            format!("{:?}", heap.2),
+            "stats differ"
+        );
     }
 }

@@ -1,0 +1,104 @@
+//! A fast, non-cryptographic hasher for the simulator's hot maps.
+//!
+//! The simulator keys its hot maps (memory words, directory entries,
+//! processor-side residence windows) by small integers — addresses and
+//! ids — where SipHash's DoS resistance buys nothing and costs ~10% of
+//! the event loop. This is the well-known Fx multiply-rotate hash
+//! (rustc's internal table hasher), implemented locally because the
+//! build is offline and must not add dependencies.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher; good dispersion for integer keys, one
+/// multiply per 8 bytes of input.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..10_000u64 {
+            m.insert(i * 8, i);
+        }
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(&(i * 8)), Some(&i));
+        }
+        assert_eq!(m.len(), 10_000);
+    }
+
+    #[test]
+    fn word_aligned_keys_disperse() {
+        // Cache-line-aligned addresses (the common key shape) must not
+        // collapse onto a few buckets.
+        let mut seen = FxHashSet::default();
+        for i in 0..1024u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i * 64);
+            seen.insert(h.finish() >> 54); // top 10 bits
+        }
+        assert!(seen.len() > 500, "poor dispersion: {}", seen.len());
+    }
+}

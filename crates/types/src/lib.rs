@@ -19,6 +19,7 @@
 pub mod addr;
 pub mod bitset;
 pub mod config;
+pub mod fxmap;
 pub mod ids;
 pub mod msg;
 pub mod stats;
@@ -26,6 +27,7 @@ pub mod stats;
 pub use addr::{Addr, BlockAddr};
 pub use bitset::ProcSet;
 pub use config::{ActMsgConfig, AmuConfig, CacheConfig, NetworkConfig, SystemConfig};
+pub use fxmap::{FxHashMap, FxHashSet, FxHasher};
 pub use ids::{NodeId, ProcId, ReqId};
 pub use msg::{
     AmoKind, BlockData, HandlerKind, InterventionKind, InterventionResp, Packet, Payload, Publish,

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod executor;
 pub mod measure;
 pub mod render;
 pub mod runner;

@@ -5,27 +5,22 @@
 //! authors' testbed — the claims to check are the *shapes*: orderings,
 //! approximate factors, and crossover points (see EXPERIMENTS.md).
 
-use crate::runner::{best_tree_barrier, run_barrier, run_lock, BarrierBench, LockBench, LockKind};
+use crate::executor::par_run;
+use crate::runner::{
+    best_tree_barrier, run_barrier, run_lock, BarrierBench, BarrierResult, LockBench, LockKind,
+};
 use amo_sync::Mechanism;
 
-/// Run one closure per input on its own OS thread and collect the
-/// results in order. Every simulation builds its own machine, so rows
-/// are embarrassingly parallel; this cuts a full paper-size
-/// regeneration by roughly the core count.
-fn par_map<I, O, F>(inputs: &[I], f: F) -> Vec<O>
+/// Run one simulator cell per spec on the work-stealing executor and
+/// return the results in spec order. Cell granularity (one simulator
+/// run, not one table row) is what lets a 256-processor cell's siblings
+/// spread across cores instead of serializing behind one row's thread.
+fn run_cells<S, O>(cells: &[S], run: impl Fn(&S) -> O + Sync) -> Vec<O>
 where
-    I: Copy + Send,
+    S: Sync,
     O: Send,
-    F: Fn(I) -> O + Sync,
 {
-    std::thread::scope(|s| {
-        let fref = &f;
-        let handles: Vec<_> = inputs.iter().map(|&i| s.spawn(move || fref(i))).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("row thread panicked"))
-            .collect()
-    })
+    par_run(cells.len(), |i| run(&cells[i]))
 }
 
 /// Processor counts used by the paper for non-tree experiments.
@@ -56,27 +51,40 @@ pub struct Table2Row {
 
 /// Generate Table 2 and Figure 5: centralized barriers.
 pub fn table2(sizes: &[u16], episodes: u32, warmup: u32) -> Vec<Table2Row> {
-    par_map(sizes, |procs| {
-        let mk = |mech| BarrierBench {
+    // One cell per (size, mechanism), LL/SC baseline first in each row.
+    let cells: Vec<(u16, Mechanism)> = sizes
+        .iter()
+        .flat_map(|&procs| {
+            std::iter::once((procs, Mechanism::LlSc))
+                .chain(TABLE_MECHS.iter().map(move |&m| (procs, m)))
+        })
+        .collect();
+    let results = run_cells(&cells, |&(procs, mech)| {
+        run_barrier(BarrierBench {
             episodes,
             warmup,
             ..BarrierBench::paper(mech, procs)
-        };
-        let base = run_barrier(mk(Mechanism::LlSc));
-        let mut speedups = Vec::new();
-        let mut cpp = vec![(Mechanism::LlSc, base.timing.cycles_per_proc)];
-        for mech in TABLE_MECHS {
-            let r = run_barrier(mk(mech));
-            speedups.push((mech, base.timing.avg_cycles / r.timing.avg_cycles));
-            cpp.push((mech, r.timing.cycles_per_proc));
-        }
-        Table2Row {
-            procs,
-            base_cycles: base.timing.avg_cycles,
-            speedups,
-            cycles_per_proc: cpp,
-        }
-    })
+        })
+    });
+    sizes
+        .iter()
+        .zip(results.chunks(1 + TABLE_MECHS.len()))
+        .map(|(&procs, row)| {
+            let base = &row[0];
+            let mut speedups = Vec::new();
+            let mut cpp = vec![(Mechanism::LlSc, base.timing.cycles_per_proc)];
+            for (&mech, r) in TABLE_MECHS.iter().zip(&row[1..]) {
+                speedups.push((mech, base.timing.avg_cycles / r.timing.avg_cycles));
+                cpp.push((mech, r.timing.cycles_per_proc));
+            }
+            Table2Row {
+                procs,
+                base_cycles: base.timing.avg_cycles,
+                speedups,
+                cycles_per_proc: cpp,
+            }
+        })
+        .collect()
 }
 
 /// One row of Table 3 (plus Figure 6 series).
@@ -107,33 +115,59 @@ pub const TREE_MECHS: [Mechanism; 5] = [
 
 /// Generate Table 3 and Figure 6: two-level combining-tree barriers.
 pub fn table3(sizes: &[u16], episodes: u32, warmup: u32) -> Vec<Table3Row> {
-    par_map(sizes, |procs| {
+    // Per size: flat LL/SC baseline, one tree search per mechanism,
+    // and the flat AMO barrier.
+    #[derive(Clone, Copy)]
+    enum Cell {
+        Base,
+        Tree(Mechanism),
+        AmoFlat,
+    }
+    let per_row: Vec<Cell> = std::iter::once(Cell::Base)
+        .chain(TREE_MECHS.map(Cell::Tree))
+        .chain(std::iter::once(Cell::AmoFlat))
+        .collect();
+    let cells: Vec<(u16, Cell)> = sizes
+        .iter()
+        .flat_map(|&procs| per_row.iter().map(move |&c| (procs, c)))
+        .collect();
+    let results: Vec<(u16, BarrierResult)> = run_cells(&cells, |&(procs, cell)| {
         let mk = |mech| BarrierBench {
             episodes,
             warmup,
             ..BarrierBench::paper(mech, procs)
         };
-        let base = run_barrier(mk(Mechanism::LlSc));
-        let mut tree_speedups = Vec::new();
-        let mut cpp = Vec::new();
-        for mech in TREE_MECHS {
-            let (branching, r) = best_tree_barrier(mk(mech));
-            tree_speedups.push((
-                mech,
-                branching,
-                base.timing.avg_cycles / r.timing.avg_cycles,
-            ));
-            cpp.push((mech, r.timing.cycles_per_proc));
+        match cell {
+            Cell::Base => (0, run_barrier(mk(Mechanism::LlSc))),
+            Cell::Tree(mech) => best_tree_barrier(mk(mech)),
+            Cell::AmoFlat => (0, run_barrier(mk(Mechanism::Amo))),
         }
-        let amo_flat = run_barrier(mk(Mechanism::Amo));
-        Table3Row {
-            procs,
-            base_cycles: base.timing.avg_cycles,
-            tree_speedups,
-            amo_flat_speedup: base.timing.avg_cycles / amo_flat.timing.avg_cycles,
-            cycles_per_proc: cpp,
-        }
-    })
+    });
+    sizes
+        .iter()
+        .zip(results.chunks(per_row.len()))
+        .map(|(&procs, row)| {
+            let base = &row[0].1;
+            let amo_flat = &row[per_row.len() - 1].1;
+            let mut tree_speedups = Vec::new();
+            let mut cpp = Vec::new();
+            for (&mech, (branching, r)) in TREE_MECHS.iter().zip(&row[1..]) {
+                tree_speedups.push((
+                    mech,
+                    *branching,
+                    base.timing.avg_cycles / r.timing.avg_cycles,
+                ));
+                cpp.push((mech, r.timing.cycles_per_proc));
+            }
+            Table3Row {
+                procs,
+                base_cycles: base.timing.avg_cycles,
+                tree_speedups,
+                amo_flat_speedup: base.timing.avg_cycles / amo_flat.timing.avg_cycles,
+                cycles_per_proc: cpp,
+            }
+        })
+        .collect()
 }
 
 /// One row of Table 4.
@@ -160,31 +194,41 @@ pub const LOCK_MECHS: [Mechanism; 5] = [
 
 /// Generate Table 4: ticket and array locks.
 pub fn table4(sizes: &[u16], rounds: u32) -> Vec<Table4Row> {
-    par_map(sizes, |procs| {
-        let mk = |mech, kind| LockBench {
+    // Per size: every (mechanism, kind) pair; the LL/SC ticket cell
+    // doubles as the row's baseline.
+    let per_row: Vec<(Mechanism, LockKind)> = LOCK_MECHS
+        .iter()
+        .flat_map(|&m| [(m, LockKind::Ticket), (m, LockKind::Array)])
+        .collect();
+    let cells: Vec<(u16, Mechanism, LockKind)> = sizes
+        .iter()
+        .flat_map(|&procs| per_row.iter().map(move |&(m, k)| (procs, m, k)))
+        .collect();
+    let results = run_cells(&cells, |&(procs, mech, kind)| {
+        run_lock(LockBench {
             rounds,
             ..LockBench::paper(mech, kind, procs)
-        };
-        let base = run_lock(mk(Mechanism::LlSc, LockKind::Ticket));
-        let speedups = LOCK_MECHS
-            .iter()
-            .map(|&mech| {
-                let t = if mech == Mechanism::LlSc {
-                    base.timing.total_cycles as f64
-                } else {
-                    run_lock(mk(mech, LockKind::Ticket)).timing.total_cycles as f64
-                };
-                let a = run_lock(mk(mech, LockKind::Array)).timing.total_cycles as f64;
-                let b = base.timing.total_cycles as f64;
-                (mech, b / t, b / a)
-            })
-            .collect();
-        Table4Row {
-            procs,
-            base_cycles: base.timing.total_cycles as f64,
-            speedups,
-        }
-    })
+        })
+        .timing
+        .total_cycles as f64
+    });
+    sizes
+        .iter()
+        .zip(results.chunks(per_row.len()))
+        .map(|(&procs, row)| {
+            let base = row[0];
+            let speedups = LOCK_MECHS
+                .iter()
+                .enumerate()
+                .map(|(i, &mech)| (mech, base / row[2 * i], base / row[2 * i + 1]))
+                .collect();
+            Table4Row {
+                procs,
+                base_cycles: base,
+                speedups,
+            }
+        })
+        .collect()
 }
 
 /// Figure 7: ticket-lock network traffic, normalized to LL/SC.
@@ -198,25 +242,31 @@ pub struct Figure7Row {
 
 /// Generate Figure 7 for the given sizes.
 pub fn figure7(sizes: &[u16], rounds: u32) -> Vec<Figure7Row> {
-    par_map(sizes, |procs| {
-        let mk = |mech| LockBench {
+    let cells: Vec<(u16, Mechanism)> = sizes
+        .iter()
+        .flat_map(|&procs| LOCK_MECHS.iter().map(move |&m| (procs, m)))
+        .collect();
+    let results = run_cells(&cells, |&(procs, mech)| {
+        run_lock(LockBench {
             rounds,
             ..LockBench::paper(mech, LockKind::Ticket, procs)
-        };
-        let base_bytes = run_lock(mk(Mechanism::LlSc)).stats.total_bytes();
-        let traffic = LOCK_MECHS
-            .iter()
-            .map(|&mech| {
-                let bytes = if mech == Mechanism::LlSc {
-                    base_bytes
-                } else {
-                    run_lock(mk(mech)).stats.total_bytes()
-                };
-                (mech, bytes, bytes as f64 / base_bytes as f64)
-            })
-            .collect();
-        Figure7Row { procs, traffic }
-    })
+        })
+        .stats
+        .total_bytes()
+    });
+    sizes
+        .iter()
+        .zip(results.chunks(LOCK_MECHS.len()))
+        .map(|(&procs, row)| {
+            let base_bytes = row[0];
+            let traffic = LOCK_MECHS
+                .iter()
+                .zip(row)
+                .map(|(&mech, &bytes)| (mech, bytes, bytes as f64 / base_bytes as f64))
+                .collect();
+            Figure7Row { procs, traffic }
+        })
+        .collect()
 }
 
 /// Figure 1 message census: one barrier episode on three processors,
@@ -365,27 +415,36 @@ pub struct ExtLocksRow {
 /// Extension: the MCS list-based queue lock across mechanisms,
 /// normalized like Table 4.
 pub fn ext_locks(sizes: &[u16], rounds: u32) -> Vec<ExtLocksRow> {
+    // Per size: the LL/SC ticket baseline, then one MCS run per
+    // mechanism.
+    let per_row: Vec<(Mechanism, LockKind)> = std::iter::once((Mechanism::LlSc, LockKind::Ticket))
+        .chain(MCS_MECHS.iter().map(|&m| (m, LockKind::Mcs)))
+        .collect();
+    let cells: Vec<(u16, Mechanism, LockKind)> = sizes
+        .iter()
+        .flat_map(|&procs| per_row.iter().map(move |&(m, k)| (procs, m, k)))
+        .collect();
+    let results = run_cells(&cells, |&(procs, mech, kind)| {
+        run_lock(LockBench {
+            rounds,
+            ..LockBench::paper(mech, kind, procs)
+        })
+        .timing
+        .total_cycles as f64
+    });
     sizes
         .iter()
-        .map(|&procs| {
-            let mk = |mech, kind| crate::runner::LockBench {
-                rounds,
-                ..crate::runner::LockBench::paper(mech, kind, procs)
-            };
-            let base = run_lock(mk(Mechanism::LlSc, LockKind::Ticket));
+        .zip(results.chunks(per_row.len()))
+        .map(|(&procs, row)| {
+            let base = row[0];
             let mcs_speedups = MCS_MECHS
                 .iter()
-                .map(|&mech| {
-                    let r = run_lock(mk(mech, LockKind::Mcs));
-                    (
-                        mech,
-                        base.timing.total_cycles as f64 / r.timing.total_cycles as f64,
-                    )
-                })
+                .zip(&row[1..])
+                .map(|(&mech, &cycles)| (mech, base / cycles))
                 .collect();
             ExtLocksRow {
                 procs,
-                base_cycles: base.timing.total_cycles as f64,
+                base_cycles: base,
                 mcs_speedups,
             }
         })
@@ -404,34 +463,43 @@ pub struct ExtBarriersRow {
 /// Extension: dissemination barriers against the paper's algorithms,
 /// for the baseline and AMO mechanisms.
 pub fn ext_barriers(sizes: &[u16], episodes: u32, warmup: u32) -> Vec<ExtBarriersRow> {
+    const LABELS: [&str; 5] = [
+        "LL/SC central",
+        "LL/SC dissem",
+        "LL/SC tree*",
+        "AMO central",
+        "AMO dissem",
+    ];
+    let cells: Vec<(u16, usize)> = sizes
+        .iter()
+        .flat_map(|&procs| (0..LABELS.len()).map(move |v| (procs, v)))
+        .collect();
+    let results = run_cells(&cells, |&(procs, variant)| {
+        let mk = |mech| BarrierBench {
+            episodes,
+            warmup,
+            ..BarrierBench::paper(mech, procs)
+        };
+        match variant {
+            0 => run_barrier(mk(Mechanism::LlSc)),
+            1 => run_barrier(mk(Mechanism::LlSc).with_dissemination()),
+            2 => best_tree_barrier(mk(Mechanism::LlSc)).1,
+            3 => run_barrier(mk(Mechanism::Amo)),
+            _ => run_barrier(mk(Mechanism::Amo).with_dissemination()),
+        }
+        .timing
+        .avg_cycles
+    });
     sizes
         .iter()
-        .map(|&procs| {
-            let mk = |mech| BarrierBench {
-                episodes,
-                warmup,
-                ..BarrierBench::paper(mech, procs)
-            };
-            let base = run_barrier(mk(Mechanism::LlSc));
-            let mut entries = vec![("LL/SC central", base.timing.avg_cycles, 1.0)];
-            let mut push = |label, r: crate::runner::BarrierResult| {
-                entries.push((
-                    label,
-                    r.timing.avg_cycles,
-                    base.timing.avg_cycles / r.timing.avg_cycles,
-                ));
-            };
-            push(
-                "LL/SC dissem",
-                run_barrier(mk(Mechanism::LlSc).with_dissemination()),
-            );
-            let (_, tree) = best_tree_barrier(mk(Mechanism::LlSc));
-            push("LL/SC tree*", tree);
-            push("AMO central", run_barrier(mk(Mechanism::Amo)));
-            push(
-                "AMO dissem",
-                run_barrier(mk(Mechanism::Amo).with_dissemination()),
-            );
+        .zip(results.chunks(LABELS.len()))
+        .map(|(&procs, row)| {
+            let base = row[0];
+            let entries = LABELS
+                .iter()
+                .zip(row)
+                .map(|(&label, &cycles)| (label, cycles, base / cycles))
+                .collect();
             ExtBarriersRow { procs, entries }
         })
         .collect()
@@ -453,19 +521,39 @@ pub struct ExtKtreeRow {
 /// Extension: can deep AMO combining trees beat the flat AMO barrier at
 /// scale? (Paper Sec. 4.2.2: "part of our future work".)
 pub fn ext_ktree(sizes: &[u16], episodes: u32, warmup: u32) -> Vec<ExtKtreeRow> {
+    // Rows have a variable cell count (branchings above the machine
+    // size are skipped), so cells carry branching 0 for the flat run
+    // and results are re-sliced by per-row counts.
+    let branchings = |procs: u16| [2u16, 4, 8, 16].into_iter().filter(move |&b| b < procs);
+    let cells: Vec<(u16, u16)> = sizes
+        .iter()
+        .flat_map(|&procs| {
+            std::iter::once((procs, 0)).chain(branchings(procs).map(move |b| (procs, b)))
+        })
+        .collect();
+    let results = run_cells(&cells, |&(procs, branching)| {
+        let mk = BarrierBench {
+            episodes,
+            warmup,
+            ..BarrierBench::paper(Mechanism::Amo, procs)
+        };
+        if branching == 0 {
+            run_barrier(mk).timing.avg_cycles
+        } else {
+            run_barrier(mk.with_ktree(branching)).timing.avg_cycles
+        }
+    });
+    let mut at = 0;
     sizes
         .iter()
         .map(|&procs| {
-            let mk = || BarrierBench {
-                episodes,
-                warmup,
-                ..BarrierBench::paper(Mechanism::Amo, procs)
-            };
-            let flat = run_barrier(mk());
-            let ktrees = [2u16, 4, 8, 16]
-                .into_iter()
-                .filter(|&b| b < procs)
-                .map(|b| {
+            let n = 1 + branchings(procs).count();
+            let row = &results[at..at + n];
+            at += n;
+            let flat_cycles = row[0];
+            let ktrees = branchings(procs)
+                .zip(&row[1..])
+                .map(|(b, &cycles)| {
                     let mut alloc = amo_sync::VarAlloc::new();
                     let depth = amo_sync::KTreeSpec::build(
                         &mut alloc,
@@ -476,18 +564,12 @@ pub fn ext_ktree(sizes: &[u16], episodes: u32, warmup: u32) -> Vec<ExtKtreeRow> 
                         procs / 2,
                     )
                     .depth();
-                    let r = run_barrier(mk().with_ktree(b));
-                    (
-                        b,
-                        depth,
-                        r.timing.avg_cycles,
-                        flat.timing.avg_cycles / r.timing.avg_cycles,
-                    )
+                    (b, depth, cycles, flat_cycles / cycles)
                 })
                 .collect();
             ExtKtreeRow {
                 procs,
-                flat_cycles: flat.timing.avg_cycles,
+                flat_cycles,
                 ktrees,
             }
         })

@@ -81,12 +81,17 @@ fn warm_amo_episode_census_decomposes_exactly() {
     // plus one word update per sharing node (2 messages). No requests,
     // no data transfers, no invalidations — the paper's Figure 1(b)
     // picture, pinned to the message class level.
+    //
+    // Arrival skew is pinned (max_skew: 1): under random skew a publish
+    // can race a late spinner's re-subscription and legitimately cost
+    // one extra word update, so exact counts only hold for controlled
+    // arrivals.
     use amo::types::stats::MsgClass;
     let run = |episodes: u32| {
         run_barrier(BarrierBench {
             episodes,
             warmup: 1,
-            max_skew: 200,
+            max_skew: 1,
             ..BarrierBench::paper(Mechanism::Amo, 4)
         })
         .stats
