@@ -548,6 +548,17 @@ impl Amu {
         self.cache.len()
     }
 
+    /// Operations waiting in the input queue, excluding the one in
+    /// flight (observability sampling).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether an operation is currently executing or waiting on memory.
+    pub fn in_flight(&self) -> bool {
+        !matches!(self.state, State::Idle)
+    }
+
     /// Current cached value of `addr`, if present (diagnostics/tests).
     pub fn peek(&self, addr: Addr) -> Option<Word> {
         self.cache.iter().find(|e| e.addr == addr).map(|e| e.value)

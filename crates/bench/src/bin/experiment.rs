@@ -12,9 +12,14 @@
 //!
 //! Exits nonzero with a usage message on malformed arguments.
 
+use amo_obs::{metrics_json, perfetto_json, validate_perfetto};
 use amo_sync::Mechanism;
 use amo_types::stats::{OpClass, OP_CLASSES};
-use amo_workloads::{run_barrier, run_lock, BarrierAlgo, BarrierBench, LockBench, LockKind};
+use amo_types::{Stats, SystemConfig};
+use amo_workloads::{
+    run_barrier_obs, run_lock_obs, BarrierAlgo, BarrierBench, LockBench, LockKind, ObsReport,
+    ObsSpec,
+};
 use std::process::exit;
 
 fn usage() -> ! {
@@ -23,7 +28,10 @@ fn usage() -> ! {
          \x20          [--episodes N] [--warmup N] [--algo central|tree:B|ktree:B|dissem] \\\n\
          \x20          [--skew CYC] [--seed N] [--csv]\n\
          \x20      experiment lock --mech <...> --kind <ticket|array|mcs> --procs N \\\n\
-         \x20          [--rounds N] [--cs CYC] [--think CYC] [--seed N] [--csv]"
+         \x20          [--rounds N] [--cs CYC] [--think CYC] [--seed N] [--csv]\n\
+         \x20observability (both subcommands):\n\
+         \x20          [--trace-out FILE.json] [--trace-cap N] \\\n\
+         \x20          [--metrics-json FILE.json] [--sample-interval CYC]"
     );
     exit(2);
 }
@@ -102,6 +110,62 @@ fn print_latencies(stats: &amo_types::Stats) {
     println!("{line}");
 }
 
+/// Parse the observability flags shared by both subcommands.
+fn parse_obs(args: &Args) -> ObsSpec {
+    let tracing = args.get("trace-out").is_some();
+    let sampling = args.get("metrics-json").is_some() || args.get("sample-interval").is_some();
+    ObsSpec {
+        trace_cap: if tracing {
+            num(args, "trace-cap", 1 << 20)
+        } else {
+            0
+        },
+        sample_interval: if sampling {
+            num(args, "sample-interval", 500)
+        } else {
+            0
+        },
+    }
+}
+
+/// Write the requested trace / metrics artefacts. The Perfetto file is
+/// re-validated after writing so a malformed export fails loudly here
+/// rather than in the viewer.
+fn emit_obs(
+    args: &Args,
+    cfg: &SystemConfig,
+    stats: &Stats,
+    obs: &ObsReport,
+    meta: &[(&str, String)],
+) {
+    if let Some(path) = args.get("trace-out") {
+        let buf = obs.trace.as_ref().expect("trace was requested");
+        let json = perfetto_json(buf, cfg.num_nodes(), cfg.procs_per_node);
+        std::fs::write(path, &json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+        match validate_perfetto(&json, Some(cfg.num_nodes())) {
+            Ok(s) => eprintln!(
+                "wrote {path}: {} events on {} tracks ({} dropped); open at ui.perfetto.dev",
+                s.events, s.tracks, buf.dropped
+            ),
+            Err(e) => {
+                eprintln!("{path}: invalid trace export: {e}");
+                exit(1);
+            }
+        }
+    }
+    if let Some(path) = args.get("metrics-json") {
+        let doc = metrics_json(stats, obs.timeseries.as_ref(), meta);
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+        eprintln!("wrote {path}");
+    }
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = raw.split_first() else {
@@ -129,7 +193,22 @@ fn main() {
                 seed: num(&args, "seed", 0xA40_5EEDu64),
                 config: None,
             };
-            let r = run_barrier(bench);
+            let obs = parse_obs(&args);
+            let r = run_barrier_obs(bench, obs);
+            let cfg = SystemConfig::with_procs(procs);
+            emit_obs(
+                &args,
+                &cfg,
+                &r.stats,
+                &r.obs,
+                &[
+                    ("workload", "barrier".into()),
+                    ("mech", mech.label().into()),
+                    ("procs", procs.to_string()),
+                    ("algo", format!("{:?}", bench.algo)),
+                    ("episodes", bench.episodes.to_string()),
+                ],
+            );
             if csv {
                 println!("kind,mech,procs,algo,avg_cycles,cycles_per_proc,msgs,bytes",);
                 println!(
@@ -176,7 +255,22 @@ fn main() {
                 check_exclusion: true,
                 config: None,
             };
-            let r = run_lock(bench);
+            let obs = parse_obs(&args);
+            let r = run_lock_obs(bench, obs);
+            let cfg = SystemConfig::with_procs(procs);
+            emit_obs(
+                &args,
+                &cfg,
+                &r.stats,
+                &r.obs,
+                &[
+                    ("workload", "lock".into()),
+                    ("mech", mech.label().into()),
+                    ("kind", format!("{kind:?}")),
+                    ("procs", procs.to_string()),
+                    ("rounds", bench.rounds.to_string()),
+                ],
+            );
             if csv {
                 println!("kind,mech,lock,procs,total_cycles,cycles_per_acq,msgs,bytes");
                 println!(

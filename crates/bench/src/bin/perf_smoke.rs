@@ -6,6 +6,12 @@
 //! trajectory to beat.
 //!
 //! Usage: `cargo run --release -p amo-bench --bin perf_smoke [out.json]`
+//!
+//! Regression guard: set `AMO_PERF_BASELINE=path/to/BENCH_engine.json`
+//! (typically the committed record) and the run exits nonzero if the
+//! calendar-queue throughput falls more than `AMO_PERF_TOLERANCE`
+//! (default 0.05 = 5%) below the recorded number. This is what keeps
+//! the `NopTracer` instrumentation hooks honest about being free.
 
 use amo_sim::{Machine, QueueKind};
 use amo_sync::{BarrierKernel, BarrierSpec, Mechanism, VarAlloc};
@@ -34,6 +40,26 @@ fn seed_baseline() -> Option<f64> {
     std::env::var("AMO_SEED_EVENTS_PER_SEC")
         .ok()
         .and_then(|v| v.parse().ok())
+}
+
+/// Committed-record regression guard: `AMO_PERF_BASELINE` names a prior
+/// `BENCH_engine.json`; returns its calendar events/s and the allowed
+/// fractional slowdown (`AMO_PERF_TOLERANCE`, default 5%).
+fn committed_baseline() -> Option<(f64, f64)> {
+    let path = std::env::var("AMO_PERF_BASELINE").ok()?;
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("AMO_PERF_BASELINE={path}: {e}"));
+    let doc = amo_obs::Json::parse(&text)
+        .unwrap_or_else(|e| panic!("AMO_PERF_BASELINE={path}: bad JSON: {e}"));
+    let eps = doc
+        .get("calendar_events_per_sec")
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| panic!("AMO_PERF_BASELINE={path}: no calendar_events_per_sec"));
+    let tol = std::env::var("AMO_PERF_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05);
+    Some((eps, tol))
 }
 
 /// One timed run of the benchmark workload; returns (events, seconds).
@@ -96,6 +122,19 @@ fn main() {
         heap_events, cal_events,
         "queue implementations must dispatch identical event streams"
     );
+    if let Some((base_eps, tol)) = committed_baseline() {
+        let floor = base_eps * (1.0 - tol);
+        let verdict = if cal_eps >= floor { "ok" } else { "REGRESSION" };
+        println!(
+            "  committed baseline:               {base_eps:>12.0} events/s              (floor {floor:.0} at {:.0}% tolerance) ... {verdict}",
+            tol * 100.0
+        );
+        assert!(
+            cal_eps >= floor,
+            "calendar throughput {cal_eps:.0} events/s is more than {:.0}% below              the committed baseline {base_eps:.0} events/s",
+            tol * 100.0
+        );
+    }
     let seed = seed_baseline();
     let baseline_eps = seed.unwrap_or(heap_eps);
     let speedup = cal_eps / baseline_eps;

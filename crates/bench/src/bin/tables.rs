@@ -5,11 +5,69 @@
 //! cargo run --release -p amo-bench --bin tables -- table2  # one artefact
 //! cargo run --release -p amo-bench --bin tables -- --quick # smoke sizes
 //! ```
+//!
+//! `--trace-out FILE` / `--metrics-json FILE` additionally run one
+//! representative traced AMO barrier (the largest profile size) and
+//! write its Perfetto trace / metrics report.
 
 use amo_bench::Profile;
+use amo_obs::{metrics_json, perfetto_json, validate_perfetto};
+use amo_sync::Mechanism;
+use amo_types::SystemConfig;
 use amo_workloads::render;
 use amo_workloads::tables;
+use amo_workloads::{run_barrier_obs, BarrierBench, ObsSpec};
 use std::time::Instant;
+
+/// `--name FILE` flag lookup in the positional argument list.
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+/// Run one traced AMO barrier at the profile's largest size and write
+/// the requested artefacts (the same exporters `experiment` uses).
+fn emit_representative_obs(profile: &Profile, trace_out: Option<&str>, metrics_out: Option<&str>) {
+    let procs = *profile.sizes.last().expect("profile has sizes");
+    let bench = BarrierBench {
+        episodes: profile.episodes,
+        warmup: profile.warmup,
+        ..BarrierBench::paper(Mechanism::Amo, procs)
+    };
+    let r = run_barrier_obs(
+        bench,
+        ObsSpec {
+            trace_cap: if trace_out.is_some() { 1 << 20 } else { 0 },
+            sample_interval: if metrics_out.is_some() { 500 } else { 0 },
+        },
+    );
+    let cfg = SystemConfig::with_procs(procs);
+    if let Some(path) = trace_out {
+        let buf = r.obs.trace.as_ref().expect("trace requested");
+        let json = perfetto_json(buf, cfg.num_nodes(), cfg.procs_per_node);
+        std::fs::write(path, &json).expect("write trace file");
+        let summary = validate_perfetto(&json, Some(cfg.num_nodes())).expect("trace export valid");
+        eprintln!(
+            "wrote {path}: {} events on {} tracks (AMO barrier, {procs} CPUs)",
+            summary.events, summary.tracks
+        );
+    }
+    if let Some(path) = metrics_out {
+        let doc = metrics_json(
+            &r.stats,
+            r.obs.timeseries.as_ref(),
+            &[
+                ("workload", "barrier".into()),
+                ("mech", "amo".into()),
+                ("procs", procs.to_string()),
+            ],
+        );
+        std::fs::write(path, &doc).expect("write metrics file");
+        eprintln!("wrote {path}");
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,10 +78,14 @@ fn main() {
     } else {
         Profile::paper()
     };
+    let trace_out = flag_value(&args, "--trace-out");
+    let metrics_out = flag_value(&args, "--metrics-json");
+    let file_args = [trace_out, metrics_out];
     let wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(|s| s.as_str())
+        .filter(|a| !file_args.contains(&Some(a)))
         .collect();
     let want = |name: &str| wanted.is_empty() || wanted.iter().any(|w| *w == name || *w == "all");
 
@@ -116,6 +178,10 @@ fn main() {
             .map(|&mech| amo_workloads::app::signal_latency(mech, pairs, profile.rounds))
             .collect();
         println!("{}", render::render_signal(pairs, &results));
+    }
+
+    if trace_out.is_some() || metrics_out.is_some() {
+        emit_representative_obs(&profile, trace_out, metrics_out);
     }
 
     if want("ext-selfsched") {

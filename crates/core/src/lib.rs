@@ -27,6 +27,7 @@
 //! | layer | crate | contents |
 //! |---|---|---|
 //! | experiments | [`workloads`] | runners, sweeps, table/figure generators |
+//! | observability | [`obs`] | event tracing, Perfetto export, occupancy time series |
 //! | algorithms | [`sync`] | barriers (centralized, combining tree), ticket & array locks |
 //! | machine | [`sim`] | the `Machine`: hubs, fabric, event loop |
 //! | processor | [`cpu`] | kernels, memory ops, LL/SC, spinning, handlers |
@@ -48,6 +49,7 @@ pub use amo_directory as directory;
 pub use amo_dram as dram;
 pub use amo_engine as engine;
 pub use amo_noc as noc;
+pub use amo_obs as obs;
 pub use amo_sim as sim;
 pub use amo_sync as sync;
 pub use amo_types as types;
@@ -63,8 +65,8 @@ pub mod prelude {
     };
     pub use amo_types::{Addr, Cycle, NodeId, ProcId, SystemConfig, Word};
     pub use amo_workloads::{
-        run_barrier, run_lock, BarrierAlgo, BarrierBench, BarrierResult, LockBench, LockKind,
-        LockResult,
+        run_barrier, run_barrier_obs, run_lock, run_lock_obs, BarrierAlgo, BarrierBench,
+        BarrierResult, LockBench, LockKind, LockResult, ObsReport, ObsSpec,
     };
 }
 

@@ -52,6 +52,18 @@ pub enum ProcEffect {
         /// Cycle at which the kernel passed the marker.
         when: Cycle,
     },
+    /// A kernel operation's completion span, for tracing. Emitted only
+    /// when [`Processor::set_op_tracing`] enabled it (the machine turns
+    /// it on when a real tracer is attached), because completion times
+    /// are known here and nowhere else.
+    OpDone {
+        /// Latency-accounting class of the operation.
+        class: OpClass,
+        /// Issue cycle.
+        start: Cycle,
+        /// Completion cycle.
+        end: Cycle,
+    },
     /// Re-deliver this payload to the same processor at `when`: a probe
     /// arrived inside a freshly-filled block's minimum-residence window
     /// (the LL/SC forward-progress guarantee).
@@ -160,6 +172,9 @@ pub struct Processor {
     hold_until: FxHashMap<u64, Cycle>,
     /// The in-flight kernel op's latency-accounting class and issue time.
     pending_op: Option<(OpClass, Cycle)>,
+    /// Emit [`ProcEffect::OpDone`] spans on op completion (off unless a
+    /// tracer is attached, so the untraced path pays nothing).
+    trace_ops: bool,
     handler_queue: VecDeque<IncomingMsg>,
     running_handler: Option<IncomingMsg>,
     /// Current handler window: the processor is occupied by handler
@@ -201,6 +216,7 @@ impl Processor {
             deferred_injected: Vec::new(),
             hold_until: FxHashMap::default(),
             pending_op: None,
+            trace_ops: false,
             handler_queue: VecDeque::new(),
             running_handler: None,
             busy_from: 0,
@@ -227,6 +243,18 @@ impl Processor {
     /// Completion time of the kernel, if it finished.
     pub fn finished_at(&self) -> Option<Cycle> {
         self.finished_at
+    }
+
+    /// Emit [`ProcEffect::OpDone`] spans for completed kernel operations
+    /// (tracing support; off by default).
+    pub fn set_op_tracing(&mut self, on: bool) {
+        self.trace_ops = on;
+    }
+
+    /// In-flight coherence requests from this processor (occupied MSHRs;
+    /// observability sampling).
+    pub fn outstanding_misses(&self) -> usize {
+        self.outstanding.len()
     }
 
     /// Read-only view of the cache hierarchy (tests/diagnostics).
@@ -309,6 +337,13 @@ impl Processor {
     ) {
         if let Some((class, started)) = self.pending_op.take() {
             stats.record_op(class, when.saturating_sub(started));
+            if self.trace_ops {
+                eff.push(ProcEffect::OpDone {
+                    class,
+                    start: started,
+                    end: when,
+                });
+            }
         }
         self.last_outcome = Some(outcome);
         self.kstate = KState::LocalOp { until: when };

@@ -766,6 +766,17 @@ impl Directory {
     pub fn queue_len(&self, block: BlockAddr) -> usize {
         self.entries.get(&block.0).map_or(0, |e| e.queue.len())
     }
+
+    /// Total requests queued across every block of this directory
+    /// (observability sampling).
+    pub fn queued_requests(&self) -> usize {
+        self.entries.values().map(|e| e.queue.len()).sum()
+    }
+
+    /// Protocol transactions currently open at this directory.
+    pub fn open_transactions(&self) -> usize {
+        self.entries.values().filter(|e| e.txn.is_some()).count()
+    }
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //! while accounting traffic.
 
 use crate::topology::Topology;
-use amo_types::{Cycle, NetworkConfig, NodeId, Payload, Stats};
+use amo_types::{Cycle, MsgEndpoint, NetworkConfig, NodeId, Payload, Stats};
 
 /// Per-node network-interface state: when the egress and ingress links
 /// next become free.
@@ -77,19 +77,24 @@ impl Fabric {
     /// Local messages (`src == dst`) skip the network entirely — they loop
     /// back inside the hub after one serialization delay — but are still
     /// counted (with zero hops) so message censuses match the paper's
-    /// "one-way message" accounting.
+    /// "one-way message" accounting. `far_end` says whether the transfer
+    /// has a processor endpoint (request from / delivery to a local CPU)
+    /// or is hub-to-hub; the fabric cannot tell these apart on its own,
+    /// and [`Stats`] splits node-local counts by it (`intra_node_msgs`
+    /// vs `loopback_msgs`).
     pub fn send(
         &mut self,
         now: Cycle,
         src: NodeId,
         dst: NodeId,
         payload: &Payload,
+        far_end: MsgEndpoint,
         stats: &mut Stats,
     ) -> Cycle {
         let bytes = payload.size_bytes(&self.cfg);
         let ser = self.serialize(bytes);
         let hops = self.topo.hops(src, dst);
-        stats.record_msg(payload.class(), bytes, hops);
+        stats.record_msg(payload.class(), bytes, hops, src, dst, far_end);
         let t = &mut self.per_node[src.index()];
         t.sent_msgs += 1;
         t.sent_bytes += bytes;
@@ -144,6 +149,18 @@ impl Fabric {
     pub fn node_traffic(&self, node: NodeId) -> NodeTraffic {
         self.per_node[node.index()]
     }
+
+    /// Cycles until `node`'s egress link is free (0 when idle) — the
+    /// observability sampler's view of outbound congestion.
+    pub fn egress_backlog(&self, node: NodeId, now: Cycle) -> Cycle {
+        self.ifaces[node.index()].egress_free.saturating_sub(now)
+    }
+
+    /// Cycles until `node`'s ingress link is free (0 when idle); under a
+    /// sync storm this is the home-node serialization queue.
+    pub fn ingress_backlog(&self, node: NodeId, now: Cycle) -> Cycle {
+        self.ifaces[node.index()].ingress_free.saturating_sub(now)
+    }
 }
 
 #[cfg(test)]
@@ -169,7 +186,14 @@ mod tests {
         let mut s = Stats::new();
         // 32B control packet at 8 B/cycle = 4 cycles serialization.
         // 2 hops between neighbours under one leaf router.
-        let t = f.send(1000, NodeId(0), NodeId(1), &gets(), &mut s);
+        let t = f.send(
+            1000,
+            NodeId(0),
+            NodeId(1),
+            &gets(),
+            MsgEndpoint::Proc,
+            &mut s,
+        );
         assert_eq!(t, 1000 + 4 + 2 * 100 + 4);
         assert_eq!(s.hops, 2);
         assert_eq!(s.total_bytes(), 32);
@@ -180,9 +204,17 @@ mod tests {
         let mut f = fabric(4);
         let mut s = Stats::new();
         // Crossbar in + out: two 4-cycle serializations, no hops.
-        let t = f.send(500, NodeId(2), NodeId(2), &gets(), &mut s);
+        let t = f.send(
+            500,
+            NodeId(2),
+            NodeId(2),
+            &gets(),
+            MsgEndpoint::Proc,
+            &mut s,
+        );
         assert_eq!(t, 508);
-        assert_eq!(s.local_msgs, 1);
+        assert_eq!(s.intra_node_msgs, 1);
+        assert_eq!(s.local_msgs(), 1);
         assert_eq!(s.hops, 0);
     }
 
@@ -197,8 +229,8 @@ mod tests {
             block: BlockAddr(0),
             data: amo_types::BlockData::zeroed(16),
         };
-        let t1 = f.send(0, NodeId(2), NodeId(2), &data, &mut s);
-        let t2 = f.send(0, NodeId(2), NodeId(2), &gets(), &mut s);
+        let t1 = f.send(0, NodeId(2), NodeId(2), &data, MsgEndpoint::Hub, &mut s);
+        let t2 = f.send(0, NodeId(2), NodeId(2), &gets(), MsgEndpoint::Hub, &mut s);
         assert!(
             t2 > t1,
             "control message must not overtake data: {t1} vs {t2}"
@@ -211,8 +243,8 @@ mod tests {
         let mut s = Stats::new();
         // Two different sources target node 0 at the same cycle; the
         // second delivery must queue behind the first at node 0's ingress.
-        let t1 = f.send(0, NodeId(1), NodeId(0), &gets(), &mut s);
-        let t2 = f.send(0, NodeId(2), NodeId(0), &gets(), &mut s);
+        let t1 = f.send(0, NodeId(1), NodeId(0), &gets(), MsgEndpoint::Proc, &mut s);
+        let t2 = f.send(0, NodeId(2), NodeId(0), &gets(), MsgEndpoint::Proc, &mut s);
         assert_eq!(t1, 4 + 200 + 4);
         assert_eq!(t2, t1 + 4, "second packet serializes behind the first");
     }
@@ -221,8 +253,8 @@ mod tests {
     fn egress_contention_serializes_departures() {
         let mut f = fabric(16);
         let mut s = Stats::new();
-        let t1 = f.send(0, NodeId(0), NodeId(1), &gets(), &mut s);
-        let t2 = f.send(0, NodeId(0), NodeId(2), &gets(), &mut s);
+        let t1 = f.send(0, NodeId(0), NodeId(1), &gets(), MsgEndpoint::Proc, &mut s);
+        let t2 = f.send(0, NodeId(0), NodeId(2), &gets(), MsgEndpoint::Proc, &mut s);
         assert_eq!(
             t2,
             t1 + 4,
@@ -234,8 +266,8 @@ mod tests {
     fn per_node_traffic_accounting() {
         let mut f = fabric(4);
         let mut s = Stats::new();
-        f.send(0, NodeId(0), NodeId(3), &gets(), &mut s);
-        f.send(0, NodeId(0), NodeId(3), &gets(), &mut s);
+        f.send(0, NodeId(0), NodeId(3), &gets(), MsgEndpoint::Proc, &mut s);
+        f.send(0, NodeId(0), NodeId(3), &gets(), MsgEndpoint::Proc, &mut s);
         let t0 = f.node_traffic(NodeId(0));
         let t3 = f.node_traffic(NodeId(3));
         assert_eq!(t0.sent_msgs, 2);
@@ -252,8 +284,8 @@ mod tests {
         let mut modeled = Fabric::new(16, cfg);
         let mut s = Stats::new();
         assert_eq!(
-            plain.send(0, NodeId(0), NodeId(9), &gets(), &mut s),
-            modeled.send(0, NodeId(0), NodeId(9), &gets(), &mut s),
+            plain.send(0, NodeId(0), NodeId(9), &gets(), MsgEndpoint::Proc, &mut s),
+            modeled.send(0, NodeId(0), NodeId(9), &gets(), MsgEndpoint::Proc, &mut s),
         );
     }
 
@@ -267,10 +299,10 @@ mod tests {
         // the source's injection and uplink: the second is delayed on
         // the shared segment beyond pure egress serialization.
         let mut plain = Fabric::new(16, SystemConfig::default().network);
-        let p1 = plain.send(0, NodeId(0), NodeId(9), &gets(), &mut s);
-        let p2 = plain.send(0, NodeId(0), NodeId(10), &gets(), &mut s);
-        let c1 = f.send(0, NodeId(0), NodeId(9), &gets(), &mut s);
-        let c2 = f.send(0, NodeId(0), NodeId(10), &gets(), &mut s);
+        let p1 = plain.send(0, NodeId(0), NodeId(9), &gets(), MsgEndpoint::Proc, &mut s);
+        let p2 = plain.send(0, NodeId(0), NodeId(10), &gets(), MsgEndpoint::Proc, &mut s);
+        let c1 = f.send(0, NodeId(0), NodeId(9), &gets(), MsgEndpoint::Proc, &mut s);
+        let c2 = f.send(0, NodeId(0), NodeId(10), &gets(), MsgEndpoint::Proc, &mut s);
         assert_eq!(p1, c1, "first packet sees zero load either way");
         assert!(c2 >= p2, "link contention can only add delay: {p2} vs {c2}");
     }
@@ -285,7 +317,7 @@ mod tests {
             data: amo_types::BlockData::zeroed(16),
         };
         // 160 B / 8 B-per-cycle = 20-cycle serialization each end.
-        let t = f.send(0, NodeId(0), NodeId(1), &data, &mut s);
+        let t = f.send(0, NodeId(0), NodeId(1), &data, MsgEndpoint::Proc, &mut s);
         assert_eq!(t, 20 + 200 + 20);
     }
 }

@@ -1,0 +1,41 @@
+//! Observability for the `amo-rs` simulator: cycle-stamped event traces,
+//! Perfetto export, interval time series, and machine-readable metrics
+//! reports.
+//!
+//! The design contract is **zero overhead when disabled**: every
+//! instrumentation hook in the simulator is guarded by
+//! `if T::ENABLED { ... }` where `T` is a [`Tracer`] implementation and
+//! `ENABLED` is an associated `const`. With the zero-sized [`NopTracer`]
+//! the guard is a compile-time `false`, so the entire hook — including
+//! construction of the [`TraceEvent`] — is dead code the optimizer
+//! removes; the PR-1 hot path stays byte-identical in spirit (verified by
+//! the `perf_smoke` guard in CI). With [`RingTracer`] events land in a
+//! fixed-capacity ring, so a trillion-cycle run still has bounded memory
+//! and keeps the *most recent* window, with a count of what it dropped.
+//!
+//! Exports:
+//! * [`perfetto::perfetto_json`] — Chrome/Perfetto trace-event JSON, one
+//!   process per node, one track per component (directory, AMU, NoC, each
+//!   processor). Open in <https://ui.perfetto.dev>.
+//! * [`perfetto::text_dump`] — compact grep-able text form.
+//! * [`timeseries::TimeSeries`] — interval samples of queue depths and
+//!   link backlogs, with an ASCII timeline renderer.
+//! * [`report::metrics_json`] — one JSON document combining `Stats` and
+//!   the time series, for `--metrics-json`.
+//! * [`jsonv::Json`] — a small JSON value parser used by tests and CI to
+//!   validate everything this crate emits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod jsonv;
+pub mod perfetto;
+pub mod report;
+pub mod timeseries;
+pub mod tracer;
+
+pub use jsonv::Json;
+pub use perfetto::{perfetto_json, text_dump, validate_perfetto, PerfettoSummary};
+pub use report::metrics_json;
+pub use timeseries::{Metric, NodeSample, Tick, TimeSeries};
+pub use tracer::{NopTracer, RingTracer, TraceBuf, TraceEvent, TraceKind, Tracer};

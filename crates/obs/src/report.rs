@@ -1,0 +1,103 @@
+//! The combined metrics report emitted by `--metrics-json`.
+
+use crate::timeseries::TimeSeries;
+use amo_types::{JsonWriter, Stats};
+
+/// Render one run's metrics as a single JSON document:
+/// `{"schema": "amo-metrics-v1", "meta": {...}, "stats": <Stats JSON>,
+/// "timeseries": {...} | null}`.
+///
+/// `meta` carries free-form run identification (workload, sizes, seeds)
+/// as string pairs.
+pub fn metrics_json(stats: &Stats, series: Option<&TimeSeries>, meta: &[(&str, String)]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.kv_str("schema", "amo-metrics-v1");
+    w.key("meta");
+    w.begin_obj();
+    for (k, v) in meta {
+        w.kv_str(k, v);
+    }
+    w.end_obj();
+    w.key("stats");
+    stats.write_json(&mut w);
+    w.key("timeseries");
+    match series {
+        Some(ts) => ts.write_json(&mut w),
+        None => w.raw_val("null"),
+    }
+    w.end_obj();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsonv::Json;
+    use crate::timeseries::{NodeSample, Tick};
+    use amo_types::stats::{MsgClass, MsgEndpoint, OpClass};
+    use amo_types::NodeId;
+
+    #[test]
+    fn report_combines_stats_and_series() {
+        let mut stats = Stats::new();
+        stats.record_msg(
+            MsgClass::Amo,
+            32,
+            2,
+            NodeId(0),
+            NodeId(1),
+            MsgEndpoint::Proc,
+        );
+        stats.record_op(OpClass::Amo, 420);
+        let mut ts = TimeSeries::new(500, 1);
+        ts.push(Tick {
+            when: 500,
+            events_queued: 4,
+            per_node: vec![NodeSample {
+                dir_queue: 2,
+                ..Default::default()
+            }],
+        });
+        let doc = metrics_json(&stats, Some(&ts), &[("workload", "unit-test".into())]);
+        let v = Json::parse(&doc).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("amo-metrics-v1"));
+        assert_eq!(
+            v.get("meta").unwrap().get("workload").unwrap().as_str(),
+            Some("unit-test")
+        );
+        let stats_v = v.get("stats").unwrap();
+        assert_eq!(
+            stats_v.get("schema").unwrap().as_str(),
+            Some("amo-stats-v1")
+        );
+        assert_eq!(
+            stats_v
+                .get("derived")
+                .unwrap()
+                .get("op_latency")
+                .unwrap()
+                .get("amo")
+                .unwrap()
+                .get("p50")
+                .unwrap()
+                .as_u64(),
+            Some(420)
+        );
+        let ticks = v
+            .get("timeseries")
+            .unwrap()
+            .get("ticks")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(ticks.len(), 1);
+    }
+
+    #[test]
+    fn report_without_series_is_null() {
+        let doc = metrics_json(&Stats::new(), None, &[]);
+        let v = Json::parse(&doc).unwrap();
+        assert_eq!(v.get("timeseries"), Some(&Json::Null));
+    }
+}

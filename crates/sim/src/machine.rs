@@ -7,8 +7,11 @@ use amo_directory::{DirAction, DirRequest};
 use amo_engine::{Clock, EventQueue, QueueKind};
 use amo_noc::fabric::NodeTraffic;
 use amo_noc::Fabric;
+use amo_obs::timeseries::{NodeSample, Tick, TimeSeries};
+use amo_obs::{NopTracer, TraceBuf, TraceEvent, TraceKind, Tracer};
 use amo_types::{
-    Addr, BlockAddr, Cycle, NodeId, Payload, ProcId, ReqId, Stats, SystemConfig, Word,
+    Addr, BlockAddr, Cycle, MsgClass, MsgEndpoint, NodeId, Payload, ProcId, ReqId, Stats,
+    SystemConfig, Word,
 };
 
 /// Declares the event enum together with a fieldless mirror enum whose
@@ -130,7 +133,7 @@ impl RunResult {
 /// assert!(result.all_finished);
 /// assert!(m.stats().total_msgs() > 0);
 /// ```
-pub struct Machine {
+pub struct Machine<T: Tracer = NopTracer> {
     cfg: SystemConfig,
     clock: Clock,
     queue: EventQueue<Event>,
@@ -152,6 +155,17 @@ pub struct Machine {
     proc_eff_pool: Vec<Vec<ProcEffect>>,
     amu_eff_pool: Vec<Vec<AmuEffect>>,
     dir_act_pool: Vec<Vec<DirAction>>,
+    /// The instrumentation switch. With the default [`NopTracer`] every
+    /// hook (`if T::ENABLED { ... }`) is compile-time dead code; see
+    /// `amo-obs` for the contract. [`Machine::with_tracer`] swaps in a
+    /// recording implementation.
+    tracer: T,
+    /// Time-series sampling cadence; 0 until enabled.
+    sample_interval: Cycle,
+    /// Next sampling boundary (`Cycle::MAX` = sampling off, so the run
+    /// loop's check is a single always-false compare by default).
+    next_sample: Cycle,
+    timeseries: Option<TimeSeries>,
 }
 
 /// Upper bound on concurrently pending events, from the config: every
@@ -173,13 +187,29 @@ impl Machine {
     /// (the heap variant exists for differential testing and perf
     /// baselines; results are bit-identical either way).
     pub fn new_with_queue(cfg: SystemConfig, kind: QueueKind) -> Self {
+        Machine::with_tracer(cfg, kind, NopTracer)
+    }
+}
+
+impl<T: Tracer> Machine<T> {
+    /// Build a machine that records a cycle-stamped event trace through
+    /// `tracer` (e.g. `amo_obs::RingTracer`). Processor op-span emission
+    /// is switched on here so issue→completion spans reach the trace;
+    /// the plain constructors leave it off.
+    pub fn with_tracer(cfg: SystemConfig, kind: QueueKind, tracer: T) -> Self {
         cfg.validate();
         let nodes = cfg.num_nodes();
+        let mut procs: Vec<Processor> = (0..cfg.num_procs)
+            .map(|i| Processor::new(ProcId(i), cfg))
+            .collect();
+        if T::ENABLED {
+            for p in &mut procs {
+                p.set_op_tracing(true);
+            }
+        }
         Machine {
             fabric: Fabric::new(nodes, cfg.network),
-            procs: (0..cfg.num_procs)
-                .map(|i| Processor::new(ProcId(i), cfg))
-                .collect(),
+            procs,
             hubs: (0..nodes).map(|n| Hub::new(NodeId(n), &cfg)).collect(),
             clock: Clock::new(),
             queue: EventQueue::with_capacity_and_kind(queue_capacity(&cfg), kind),
@@ -192,8 +222,77 @@ impl Machine {
             proc_eff_pool: Vec::new(),
             amu_eff_pool: Vec::new(),
             dir_act_pool: Vec::new(),
+            tracer,
+            sample_interval: 0,
+            next_sample: Cycle::MAX,
+            timeseries: None,
             cfg,
         }
+    }
+
+    /// Mutable access to the attached tracer (e.g. to read drop counts).
+    pub fn tracer_mut(&mut self) -> &mut T {
+        &mut self.tracer
+    }
+
+    /// Drain the recorded event trace, if the tracer keeps one (`None`
+    /// for [`NopTracer`]).
+    pub fn take_trace_buf(&mut self) -> Option<TraceBuf> {
+        self.tracer.take_buf()
+    }
+
+    /// Sample per-node occupancy (directory queue, AMU queue, link
+    /// backlogs, outstanding misses) every `interval` cycles during
+    /// [`run`](Self::run). The sampler piggybacks on event dispatch: the
+    /// first event at or past a boundary takes the sample, so a quiet
+    /// stretch of simulated time yields one catch-up tick stamped at the
+    /// latest boundary. Works with any tracer, including `NopTracer`.
+    pub fn enable_sampling(&mut self, interval: Cycle) {
+        assert!(interval > 0, "sampling interval must be positive");
+        self.sample_interval = interval;
+        self.next_sample = interval;
+        self.timeseries = Some(TimeSeries::new(interval, self.cfg.num_nodes() as usize));
+    }
+
+    /// The sampled time series so far, if sampling was enabled.
+    pub fn timeseries(&self) -> Option<&TimeSeries> {
+        self.timeseries.as_ref()
+    }
+
+    /// Take ownership of the sampled time series (disables further
+    /// sampling).
+    pub fn take_timeseries(&mut self) -> Option<TimeSeries> {
+        self.next_sample = Cycle::MAX;
+        self.timeseries.take()
+    }
+
+    fn sample_now(&mut self, when: Cycle) {
+        let interval = self.sample_interval;
+        let boundary = (when / interval) * interval;
+        let mut per_node = Vec::with_capacity(self.hubs.len());
+        for (n, hub) in self.hubs.iter().enumerate() {
+            let node = NodeId(n as u16);
+            let misses: usize = node
+                .procs(self.cfg.procs_per_node)
+                .map(|p| self.procs[p.index()].outstanding_misses())
+                .sum();
+            per_node.push(NodeSample {
+                dir_queue: hub.directory.queued_requests() as u32,
+                amu_queue: hub.amu.queue_len() as u32,
+                egress_backlog: self.fabric.egress_backlog(node, when).min(u32::MAX as u64) as u32,
+                ingress_backlog: self.fabric.ingress_backlog(node, when).min(u32::MAX as u64)
+                    as u32,
+                outstanding_misses: misses as u32,
+            });
+        }
+        if let Some(ts) = self.timeseries.as_mut() {
+            ts.push(Tick {
+                when: boundary,
+                events_queued: self.queue.len() as u64,
+                per_node,
+            });
+        }
+        self.next_sample = boundary + interval;
     }
 
     /// Dispatched-event histogram, by `Event` variant order (diagnostic:
@@ -289,6 +388,9 @@ impl Machine {
                 break;
             }
             self.clock.advance_to(when);
+            if when >= self.next_sample {
+                self.sample_now(when);
+            }
             events += 1;
             if let Some(t) = self.trace.as_mut() {
                 t.push(format!("{when}: {ev:?}"));
@@ -333,6 +435,38 @@ impl Machine {
     }
 
     fn dispatch(&mut self, ev: Event, now: Cycle) {
+        if !T::ENABLED {
+            return self.dispatch_inner(ev, now);
+        }
+        // Directory transactions retire deep inside the dispatch of the
+        // node-bearing events below; `record_op`-style hooks can't see
+        // them, so detect retirement by the stats delta and stamp an
+        // instant (with the node's remaining open-transaction count).
+        let ev_node = match &ev {
+            Event::ToHub(n, _)
+            | Event::DirProcess(n, _)
+            | Event::DramDone(n, _)
+            | Event::AmuWake(n)
+            | Event::AmuMemValue(n, _, _)
+            | Event::AmuSend(n, _, _) => Some(*n),
+            _ => None,
+        };
+        let txn_before = self.stats.dir_transactions;
+        self.dispatch_inner(ev, now);
+        if let Some(node) = ev_node {
+            let retired = self.stats.dir_transactions - txn_before;
+            if retired > 0 {
+                let open = self.hubs[node.index()].directory.open_transactions() as u64;
+                for _ in 0..retired {
+                    self.tracer.record(
+                        TraceEvent::instant(TraceKind::DirTxnEnd, node.0, now).args(open, 0),
+                    );
+                }
+            }
+        }
+    }
+
+    fn dispatch_inner(&mut self, ev: Event, now: Cycle) {
         match ev {
             Event::ProcWake(p) => {
                 let mut eff = self.proc_eff_pool.pop().unwrap_or_default();
@@ -355,12 +489,27 @@ impl Machine {
                 self.proc_eff_pool.push(eff);
             }
             Event::ProcWordUpdate(p, addr, value) => {
+                if T::ENABLED {
+                    self.tracer.record(
+                        TraceEvent::instant(TraceKind::ProcRecv, self.node_of(p).0, now)
+                            .on_proc(p.0)
+                            .class(MsgClass::WordUpdate.index()),
+                    );
+                }
                 let mut eff = self.proc_eff_pool.pop().unwrap_or_default();
                 self.procs[p.index()].word_update_into(addr, value, now, &mut self.stats, &mut eff);
                 self.run_proc_effects(p, &mut eff, now);
                 self.proc_eff_pool.push(eff);
             }
-            Event::ToHub(node, payload) => self.hub_receive(node, payload, now),
+            Event::ToHub(node, payload) => {
+                if T::ENABLED {
+                    self.tracer.record(
+                        TraceEvent::instant(TraceKind::MsgRecv, node.0, now)
+                            .class(payload.class().index()),
+                    );
+                }
+                self.hub_receive(node, payload, now)
+            }
             Event::DirProcess(node, payload) => self.dir_process(node, payload, now),
             Event::DramDone(node, block) => {
                 let words = self.cfg.l2.line_words();
@@ -400,6 +549,13 @@ impl Machine {
                 self.send_to_proc(node, proc, payload, now);
             }
             Event::ToProc(p, payload) => {
+                if T::ENABLED {
+                    self.tracer.record(
+                        TraceEvent::instant(TraceKind::ProcRecv, self.node_of(p).0, now)
+                            .on_proc(p.0)
+                            .class(payload.class().index()),
+                    );
+                }
                 let mut eff = self.proc_eff_pool.pop().unwrap_or_default();
                 self.procs[p.index()].handle_into(payload, now, &mut self.stats, &mut eff);
                 self.run_proc_effects(p, &mut eff, now);
@@ -422,6 +578,12 @@ impl Machine {
                 let hub = &mut self.hubs[node.index()];
                 let start = now.max(hub.dir_free);
                 hub.dir_free = start + occ;
+                if T::ENABLED {
+                    self.tracer.record(
+                        TraceEvent::span(TraceKind::DirService, node.0, start, start + occ)
+                            .class(payload.class().index()),
+                    );
+                }
                 self.queue
                     .schedule(start + occ, Event::DirProcess(node, payload));
             }
@@ -616,7 +778,21 @@ impl Machine {
                     value,
                 } => {
                     let payload = Payload::WordUpdate { addr, value };
-                    let arrival = self.fabric.send(now, node, dst, &payload, &mut self.stats);
+                    let arrival = self.fabric.send(
+                        now,
+                        node,
+                        dst,
+                        &payload,
+                        MsgEndpoint::Hub,
+                        &mut self.stats,
+                    );
+                    if T::ENABLED {
+                        self.tracer.record(
+                            TraceEvent::span(TraceKind::MsgSend, node.0, now, arrival)
+                                .class(payload.class().index())
+                                .args(dst.0 as u64, payload.size_bytes(&self.cfg.network)),
+                        );
+                    }
                     self.queue.schedule(arrival, Event::ToHub(dst, payload));
                 }
                 DirAction::ReadDram { block } => {
@@ -664,6 +840,15 @@ impl Machine {
                     proc,
                     payload,
                 } => {
+                    if T::ENABLED {
+                        let depth = self.hubs[node.index()].amu.queue_len() as u64;
+                        self.tracer.record(
+                            TraceEvent::span(TraceKind::AmuOp, node.0, now, when)
+                                .on_proc(proc.0)
+                                .class(payload.class().index())
+                                .args(depth, 0),
+                        );
+                    }
                     self.queue
                         .schedule(when, Event::AmuSend(node, proc, payload));
                 }
@@ -725,7 +910,16 @@ impl Machine {
     /// then the bus.
     fn send_to_proc(&mut self, from: NodeId, proc: ProcId, payload: Payload, now: Cycle) {
         let dst = self.node_of(proc);
-        let arrival = self.fabric.send(now, from, dst, &payload, &mut self.stats);
+        let arrival =
+            self.fabric
+                .send(now, from, dst, &payload, MsgEndpoint::Proc, &mut self.stats);
+        if T::ENABLED {
+            self.tracer.record(
+                TraceEvent::span(TraceKind::MsgSend, from.0, now, arrival)
+                    .class(payload.class().index())
+                    .args(dst.0 as u64, payload.size_bytes(&self.cfg.network)),
+            );
+        }
         self.queue
             .schedule(arrival + self.cfg.bus_latency, Event::ToProc(proc, payload));
     }
@@ -736,7 +930,17 @@ impl Machine {
             match eff {
                 ProcEffect::Send { dst, payload } => {
                     let t = now + self.cfg.bus_latency;
-                    let arrival = self.fabric.send(t, src, dst, &payload, &mut self.stats);
+                    let arrival =
+                        self.fabric
+                            .send(t, src, dst, &payload, MsgEndpoint::Proc, &mut self.stats);
+                    if T::ENABLED {
+                        self.tracer.record(
+                            TraceEvent::span(TraceKind::MsgSend, src.0, t, arrival)
+                                .on_proc(p.0)
+                                .class(payload.class().index())
+                                .args(dst.0 as u64, payload.size_bytes(&self.cfg.network)),
+                        );
+                    }
                     self.queue.schedule(arrival, Event::ToHub(dst, payload));
                 }
                 ProcEffect::Wake { when } => {
@@ -749,13 +953,37 @@ impl Machine {
                     self.queue.schedule(when, Event::ProcTimeout(p, req));
                 }
                 ProcEffect::Finished { when } => {
+                    if T::ENABLED {
+                        self.tracer.record(
+                            TraceEvent::instant(TraceKind::KernelDone, src.0, when).on_proc(p.0),
+                        );
+                    }
                     self.finished[p.index()] = Some(when);
                 }
                 ProcEffect::Mark { id, when } => {
+                    if T::ENABLED {
+                        self.tracer.record(
+                            TraceEvent::instant(TraceKind::Mark, src.0, when)
+                                .on_proc(p.0)
+                                .args(id as u64, 0),
+                        );
+                    }
                     self.marks.push((p, id, when));
                 }
                 ProcEffect::Defer { payload, when } => {
                     self.queue.schedule(when, Event::ToProc(p, payload));
+                }
+                ProcEffect::OpDone { class, start, end } => {
+                    // Only emitted when op tracing is on (see
+                    // `with_tracer`), but keep the arm unconditional so
+                    // the match stays exhaustive.
+                    if T::ENABLED {
+                        self.tracer.record(
+                            TraceEvent::span(TraceKind::OpComplete, src.0, start, end)
+                                .on_proc(p.0)
+                                .class(class.index()),
+                        );
+                    }
                 }
             }
         }
@@ -802,6 +1030,64 @@ mod tests {
             self.at += 1;
             op
         }
+    }
+
+    #[test]
+    fn traced_run_records_events_and_samples() {
+        use amo_obs::{RingTracer, TraceKind};
+        let mut m = Machine::with_tracer(
+            SystemConfig::with_procs(4),
+            QueueKind::Calendar,
+            RingTracer::new(1 << 16),
+        );
+        m.enable_sampling(100);
+        let a = var(1, 0x100);
+        let (w, _) = Script::new(vec![Op::Store { addr: a, value: 7 }]);
+        m.install_kernel(ProcId(0), Box::new(w), 0);
+        let (r, _) = Script::new(vec![Op::Delay { cycles: 2_000 }, Op::Load { addr: a }]);
+        m.install_kernel(ProcId(3), Box::new(r), 0);
+        let res = m.run(1_000_000);
+        assert!(res.all_finished);
+        let buf = m.take_trace_buf().expect("ring tracer keeps a buffer");
+        assert_eq!(buf.dropped, 0);
+        let kinds: Vec<TraceKind> = buf.events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&TraceKind::MsgSend));
+        assert!(kinds.contains(&TraceKind::MsgRecv));
+        assert!(kinds.contains(&TraceKind::DirService));
+        assert!(kinds.contains(&TraceKind::DirTxnEnd));
+        assert!(kinds.contains(&TraceKind::OpComplete));
+        assert!(kinds.contains(&TraceKind::KernelDone));
+        let ts = m.take_timeseries().expect("sampling was enabled");
+        assert!(!ts.ticks.is_empty());
+        assert!(ts.ticks.windows(2).all(|w| w[0].when < w[1].when));
+    }
+
+    #[test]
+    fn traced_and_plain_runs_produce_identical_stats() {
+        use amo_obs::RingTracer;
+        fn drive<T: amo_obs::Tracer>(mut m: Machine<T>) -> (Cycle, String) {
+            for p in 0..8u16 {
+                let a = var(p % 2, 0x40 * (p as u64 + 1));
+                let (k, _) = Script::new(vec![
+                    Op::Store {
+                        addr: a,
+                        value: p as u64,
+                    };
+                    3
+                ]);
+                m.install_kernel(ProcId(p), Box::new(k), 0);
+            }
+            let res = m.run(1_000_000);
+            assert!(res.all_finished);
+            (res.end, format!("{:?}", m.stats()))
+        }
+        let plain = drive(Machine::new(SystemConfig::with_procs(8)));
+        let traced = drive(Machine::with_tracer(
+            SystemConfig::with_procs(8),
+            QueueKind::Calendar,
+            RingTracer::new(1 << 12),
+        ));
+        assert_eq!(plain, traced, "tracing must not perturb timing");
     }
 
     #[test]

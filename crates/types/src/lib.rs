@@ -20,7 +20,9 @@ pub mod addr;
 pub mod bitset;
 pub mod config;
 pub mod fxmap;
+pub mod histogram;
 pub mod ids;
+pub mod json;
 pub mod msg;
 pub mod stats;
 
@@ -28,12 +30,14 @@ pub use addr::{Addr, BlockAddr};
 pub use bitset::ProcSet;
 pub use config::{ActMsgConfig, AmuConfig, CacheConfig, NetworkConfig, SystemConfig};
 pub use fxmap::{FxHashMap, FxHashSet, FxHasher};
+pub use histogram::{LatHist, LAT_BUCKETS};
 pub use ids::{NodeId, ProcId, ReqId};
+pub use json::JsonWriter;
 pub use msg::{
     AmoKind, BlockData, HandlerKind, InterventionKind, InterventionResp, Packet, Payload, Publish,
     SpinPred,
 };
-pub use stats::{MsgClass, Stats};
+pub use stats::{MsgClass, MsgEndpoint, OpClass, Stats};
 
 /// Simulation time, measured in CPU clock cycles (the paper's processors
 /// run at 2 GHz; every latency in [`SystemConfig`] is expressed in these

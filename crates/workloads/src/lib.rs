@@ -20,6 +20,6 @@ pub mod tables;
 
 pub use measure::{BarrierMeasurement, LockMeasurement};
 pub use runner::{
-    run_barrier, run_lock, BarrierAlgo, BarrierBench, BarrierResult, LockBench, LockKind,
-    LockResult,
+    run_barrier, run_barrier_obs, run_lock, run_lock_obs, BarrierAlgo, BarrierBench, BarrierResult,
+    LockBench, LockKind, LockResult, ObsReport, ObsSpec,
 };

@@ -1,7 +1,8 @@
 //! Build machines, install kernels, run, and collect results.
 
 use crate::measure::{barrier_measurement, lock_measurement, BarrierMeasurement, LockMeasurement};
-use amo_sim::Machine;
+use amo_obs::{RingTracer, TimeSeries, TraceBuf, Tracer};
+use amo_sim::{Machine, QueueKind};
 use amo_sync::lock::ExclusionCheck;
 use amo_sync::{
     ArrayLockKernel, ArrayLockSpec, BarrierKernel, BarrierSpec, BarrierStyle, DisseminationKernel,
@@ -16,6 +17,34 @@ use std::rc::Rc;
 
 /// Safety limit for any single simulation (a run that hits it is a bug).
 const MAX_CYCLES: Cycle = 40_000_000_000;
+
+/// What to observe during a run. The default observes nothing and takes
+/// the zero-overhead `NopTracer` path.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ObsSpec {
+    /// Event-trace ring capacity; 0 disables tracing entirely (the
+    /// machine is built with the compile-time-disabled tracer).
+    pub trace_cap: usize,
+    /// Occupancy sampling interval in cycles; 0 disables sampling.
+    pub sample_interval: Cycle,
+}
+
+impl ObsSpec {
+    /// True if anything at all is being observed.
+    pub fn any(self) -> bool {
+        self.trace_cap > 0 || self.sample_interval > 0
+    }
+}
+
+/// What a run observed (both fields `None` under the default
+/// [`ObsSpec`]).
+#[derive(Clone, Default, Debug)]
+pub struct ObsReport {
+    /// Drained event trace, if tracing was enabled.
+    pub trace: Option<TraceBuf>,
+    /// Occupancy time series, if sampling was enabled.
+    pub timeseries: Option<TimeSeries>,
+}
 
 /// Which barrier algorithm a [`BarrierBench`] runs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -103,6 +132,8 @@ pub struct BarrierResult {
     pub timing: BarrierMeasurement,
     /// Machine-wide statistics for the whole run.
     pub stats: Stats,
+    /// Trace / time-series captured per the run's [`ObsSpec`].
+    pub obs: ObsReport,
 }
 
 fn skew_plan(rng: &mut StdRng, episodes: u32, max_skew: Cycle) -> Vec<Cycle> {
@@ -113,6 +144,13 @@ fn skew_plan(rng: &mut StdRng, episodes: u32, max_skew: Cycle) -> Vec<Cycle> {
 
 /// Run one barrier benchmark to completion.
 pub fn run_barrier(bench: BarrierBench) -> BarrierResult {
+    run_barrier_obs(bench, ObsSpec::default())
+}
+
+/// Run one barrier benchmark, optionally tracing and sampling. A zero
+/// `trace_cap` keeps the `NopTracer` machine so the hot path is
+/// identical to [`run_barrier`].
+pub fn run_barrier_obs(bench: BarrierBench, obs: ObsSpec) -> BarrierResult {
     let cfg = bench
         .config
         .unwrap_or_else(|| SystemConfig::with_procs(bench.procs));
@@ -120,8 +158,25 @@ pub fn run_barrier(bench: BarrierBench) -> BarrierResult {
         cfg.num_procs, bench.procs,
         "config override must match procs"
     );
+    if obs.trace_cap > 0 {
+        let machine =
+            Machine::with_tracer(cfg, QueueKind::Calendar, RingTracer::new(obs.trace_cap));
+        run_barrier_on(bench, cfg, machine, obs)
+    } else {
+        run_barrier_on(bench, cfg, Machine::new(cfg), obs)
+    }
+}
+
+fn run_barrier_on<T: Tracer>(
+    bench: BarrierBench,
+    cfg: SystemConfig,
+    mut machine: Machine<T>,
+    obs: ObsSpec,
+) -> BarrierResult {
+    if obs.sample_interval > 0 {
+        machine.enable_sampling(obs.sample_interval);
+    }
     let nodes = cfg.num_nodes();
-    let mut machine = Machine::new(cfg);
     let mut alloc = VarAlloc::new();
     let mut rng = StdRng::seed_from_u64(bench.seed ^ (bench.procs as u64) << 32);
 
@@ -214,10 +269,15 @@ pub fn run_barrier(bench: BarrierBench) -> BarrierResult {
         machine.stall_report()
     );
     let timing = barrier_measurement(machine.marks(), bench.procs, bench.episodes, bench.warmup);
+    let stats = machine.stats().clone();
     BarrierResult {
         bench,
         timing,
-        stats: machine.stats().clone(),
+        stats,
+        obs: ObsReport {
+            trace: machine.take_trace_buf(),
+            timeseries: machine.take_timeseries(),
+        },
     }
 }
 
@@ -312,10 +372,17 @@ pub struct LockResult {
     pub stats: Stats,
     /// Mutual-exclusion violations observed (must be zero).
     pub violations: u64,
+    /// Trace / time-series captured per the run's [`ObsSpec`].
+    pub obs: ObsReport,
 }
 
 /// Run one lock benchmark to completion.
 pub fn run_lock(bench: LockBench) -> LockResult {
+    run_lock_obs(bench, ObsSpec::default())
+}
+
+/// Run one lock benchmark, optionally tracing and sampling.
+pub fn run_lock_obs(bench: LockBench, obs: ObsSpec) -> LockResult {
     let cfg = bench
         .config
         .unwrap_or_else(|| SystemConfig::with_procs(bench.procs));
@@ -323,7 +390,24 @@ pub fn run_lock(bench: LockBench) -> LockResult {
         cfg.num_procs, bench.procs,
         "config override must match procs"
     );
-    let mut machine = Machine::new(cfg);
+    if obs.trace_cap > 0 {
+        let machine =
+            Machine::with_tracer(cfg, QueueKind::Calendar, RingTracer::new(obs.trace_cap));
+        run_lock_on(bench, cfg, machine, obs)
+    } else {
+        run_lock_on(bench, cfg, Machine::new(cfg), obs)
+    }
+}
+
+fn run_lock_on<T: Tracer>(
+    bench: LockBench,
+    cfg: SystemConfig,
+    mut machine: Machine<T>,
+    obs: ObsSpec,
+) -> LockResult {
+    if obs.sample_interval > 0 {
+        machine.enable_sampling(obs.sample_interval);
+    }
     let mut alloc = VarAlloc::new();
     let mut rng = StdRng::seed_from_u64(bench.seed ^ (bench.procs as u64) << 32);
     let check = bench.check_exclusion.then(|| ExclusionCheck {
@@ -427,11 +511,16 @@ pub fn run_lock(bench: LockBench) -> LockResult {
         bench.mech, bench.kind
     );
     let timing = lock_measurement(machine.marks(), bench.procs, bench.rounds);
+    let stats = machine.stats().clone();
     LockResult {
         bench,
         timing,
-        stats: machine.stats().clone(),
+        stats,
         violations,
+        obs: ObsReport {
+            trace: machine.take_trace_buf(),
+            timeseries: machine.take_timeseries(),
+        },
     }
 }
 
@@ -474,6 +563,33 @@ mod tests {
             assert_eq!(r.timing.acquisitions, 12);
             assert_eq!(r.violations, 0);
         }
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_captures_data() {
+        let b = BarrierBench {
+            episodes: 4,
+            warmup: 1,
+            ..BarrierBench::paper(Mechanism::Amo, 8)
+        };
+        let plain = run_barrier(b);
+        let observed = run_barrier_obs(
+            b,
+            ObsSpec {
+                trace_cap: 1 << 16,
+                sample_interval: 200,
+            },
+        );
+        assert_eq!(
+            plain.timing.per_episode, observed.timing.per_episode,
+            "observation must not perturb timing"
+        );
+        assert_eq!(plain.stats.total_msgs(), observed.stats.total_msgs());
+        let trace = observed.obs.trace.expect("trace requested");
+        assert!(!trace.events.is_empty());
+        let ts = observed.obs.timeseries.expect("sampling requested");
+        assert!(!ts.ticks.is_empty());
+        assert!(plain.obs.trace.is_none() && plain.obs.timeseries.is_none());
     }
 
     #[test]

@@ -110,4 +110,21 @@ fn warm_amo_episode_census_decomposes_exactly() {
     assert_eq!(delta(MsgClass::Data), 0);
     assert_eq!(delta(MsgClass::Inv), 0);
     assert_eq!(b.total_msgs() - a.total_msgs(), 10);
+
+    // Locality census for the same warm episode. 4 processors span 2
+    // nodes with the barrier homed on node 0, so of the 10 messages:
+    //  - node 0's two processors each send an AmoReq and get a reply
+    //    without crossing the network: 4 intra-node messages;
+    //  - the put's update fanout includes the home node itself: 1
+    //    hub-internal loopback message;
+    //  - node 1's two processors' requests/replies plus its word update
+    //    cross the fabric: 5 network messages.
+    assert_eq!(b.intra_node_msgs - a.intra_node_msgs, 4);
+    assert_eq!(b.loopback_msgs - a.loopback_msgs, 1);
+    assert_eq!(b.network_msgs() - a.network_msgs(), 5);
+    assert_eq!(
+        b.network_msgs() + b.loopback_msgs + b.intra_node_msgs,
+        b.total_msgs(),
+        "every message is network, loopback, or intra-node"
+    );
 }
