@@ -26,4 +26,4 @@
 
 pub mod unit;
 
-pub use unit::{Amu, AmuEffect, AmuOp};
+pub use unit::{Amu, AmuEffect, AmuError, AmuOp};

@@ -115,6 +115,57 @@ pub enum AmuEffect {
     },
 }
 
+/// A protocol violation observed by the AMU: the hub fed it a value it
+/// was not waiting for. These used to be `panic!`s; they are now typed
+/// so a poisoned run can report instead of aborting the process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AmuError {
+    /// A fine-get or memory value arrived while the AMU was idle/busy.
+    NotWaiting {
+        /// Token the stray value carried.
+        token: u64,
+    },
+    /// The delivered token does not match the outstanding one.
+    TokenMismatch {
+        /// Token the AMU is waiting on.
+        expected: u64,
+        /// Token that arrived.
+        got: u64,
+    },
+    /// The value kind does not fit the waiting operation (e.g. a
+    /// fine-get result for a MAO).
+    WrongOp {
+        /// Token of the waiting operation.
+        token: u64,
+    },
+    /// A fine-get result named a different address than the waiting AMO.
+    AddrMismatch {
+        /// Address the waiting operation targets.
+        expected: Addr,
+        /// Address the value claims.
+        got: Addr,
+    },
+}
+
+impl std::fmt::Display for AmuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AmuError::NotWaiting { token } => {
+                write!(f, "value with token {token} arrived while not waiting")
+            }
+            AmuError::TokenMismatch { expected, got } => {
+                write!(f, "token mismatch: waiting on {expected}, got {got}")
+            }
+            AmuError::WrongOp { token } => {
+                write!(f, "value kind does not match waiting op (token {token})")
+            }
+            AmuError::AddrMismatch { expected, got } => {
+                write!(f, "address mismatch: waiting on {expected:?}, got {got:?}")
+            }
+        }
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 struct CacheEntry {
     addr: Addr,
@@ -413,10 +464,10 @@ impl Amu {
         value: Word,
         now: Cycle,
         stats: &mut Stats,
-    ) -> Vec<AmuEffect> {
+    ) -> Result<Vec<AmuEffect>, AmuError> {
         let mut effects = Vec::new();
-        self.fine_value_into(token, addr, value, now, stats, &mut effects);
-        effects
+        self.fine_value_into(token, addr, value, now, stats, &mut effects)?;
+        Ok(effects)
     }
 
     /// Allocation-free form of [`Self::fine_value`]: appends to `effects`.
@@ -428,11 +479,16 @@ impl Amu {
         now: Cycle,
         stats: &mut Stats,
         effects: &mut Vec<AmuEffect>,
-    ) {
+    ) -> Result<(), AmuError> {
         let State::Waiting { token: t, op } = self.state else {
-            panic!("fine_value while not waiting");
+            return Err(AmuError::NotWaiting { token });
         };
-        assert_eq!(t, token, "fine token mismatch");
+        if t != token {
+            return Err(AmuError::TokenMismatch {
+                expected: t,
+                got: token,
+            });
+        }
         let AmuOp::Amo {
             req,
             requester,
@@ -442,9 +498,14 @@ impl Amu {
             test,
         } = op
         else {
-            panic!("fine_value for a non-AMO op");
+            return Err(AmuError::WrongOp { token });
         };
-        assert_eq!(addr, op_addr);
+        if addr != op_addr {
+            return Err(AmuError::AddrMismatch {
+                expected: op_addr,
+                got: addr,
+            });
+        }
         let idx = self.install(addr, value, stats, effects);
         let old = value;
         let new = kind.apply(old, operand);
@@ -463,6 +524,7 @@ impl Amu {
         });
         self.state = State::Busy(done);
         effects.push(AmuEffect::WakeAt { when: done });
+        Ok(())
     }
 
     /// An uncached memory read completed (MAO / uncached-read miss path).
@@ -472,10 +534,10 @@ impl Amu {
         value: Word,
         now: Cycle,
         stats: &mut Stats,
-    ) -> Vec<AmuEffect> {
+    ) -> Result<Vec<AmuEffect>, AmuError> {
         let mut effects = Vec::new();
-        self.mem_value_into(token, value, now, stats, &mut effects);
-        effects
+        self.mem_value_into(token, value, now, stats, &mut effects)?;
+        Ok(effects)
     }
 
     /// Allocation-free form of [`Self::mem_value`]: appends to `effects`.
@@ -486,11 +548,16 @@ impl Amu {
         now: Cycle,
         stats: &mut Stats,
         effects: &mut Vec<AmuEffect>,
-    ) {
+    ) -> Result<(), AmuError> {
         let State::Waiting { token: t, op } = self.state else {
-            panic!("mem_value while not waiting");
+            return Err(AmuError::NotWaiting { token });
         };
-        assert_eq!(t, token, "mem token mismatch");
+        if t != token {
+            return Err(AmuError::TokenMismatch {
+                expected: t,
+                got: token,
+            });
+        }
         let done = now + self.op_latency;
         match op {
             AmuOp::Mao {
@@ -518,10 +585,11 @@ impl Amu {
                     payload: Payload::UncachedReadReply { req, value },
                 });
             }
-            other => panic!("mem_value for unexpected op {other:?}"),
+            _ => return Err(AmuError::WrongOp { token }),
         }
         self.state = State::Busy(done);
         effects.push(AmuEffect::WakeAt { when: done });
+        Ok(())
     }
 
     /// The directory granted someone exclusive ownership of `block`: drop
@@ -604,7 +672,7 @@ mod tests {
             }]
         );
         // Directory returns 0; inc → 1, test=3 not reached: no put.
-        let eff = a.fine_value(0, w(0), 0, 200, &mut s);
+        let eff = a.fine_value(0, w(0), 0, 200, &mut s).unwrap();
         assert!(eff
             .iter()
             .any(|e| matches!(e, AmuEffect::FineComplete { put: None, .. })));
@@ -638,7 +706,7 @@ mod tests {
     fn test_value_triggers_put_exactly_at_target() {
         let (mut a, mut s) = amu();
         a.submit(amo_inc(1, 0, w(0), Some(3)), 0, &mut s);
-        a.fine_value(0, w(0), 0, 10, &mut s); // -> 1
+        a.fine_value(0, w(0), 0, 10, &mut s).unwrap(); // -> 1
         a.advance(18, &mut s);
         let (_, eff) = a.submit(amo_inc(2, 1, w(0), Some(3)), 20, &mut s); // -> 2
         assert!(!eff.iter().any(|e| matches!(e, AmuEffect::FinePut { .. })));
@@ -663,7 +731,7 @@ mod tests {
             test: None,
         };
         a.submit(op, 0, &mut s);
-        let eff = a.fine_value(0, w(1), 10, 50, &mut s);
+        let eff = a.fine_value(0, w(1), 10, 50, &mut s).unwrap();
         assert!(eff.iter().any(|e| matches!(
             e,
             AmuEffect::FineComplete {
@@ -678,8 +746,8 @@ mod tests {
         let (mut a, mut s) = amu();
         // Prime the cache.
         a.submit(amo_inc(1, 0, w(0), None), 0, &mut s);
-        a.fine_value(0, w(0), 0, 10, &mut s); // busy until 18
-                                              // Two more arrive while busy: queued.
+        a.fine_value(0, w(0), 0, 10, &mut s).unwrap(); // busy until 18
+                                                       // Two more arrive while busy: queued.
         let (_, eff) = a.submit(amo_inc(2, 1, w(0), None), 12, &mut s);
         assert!(eff.is_empty());
         let (_, eff) = a.submit(amo_inc(3, 2, w(0), None), 13, &mut s);
@@ -724,7 +792,7 @@ mod tests {
                 addr: w(2)
             }]
         );
-        let eff = a.mem_value(0, 7, 20, &mut s);
+        let eff = a.mem_value(0, 7, 20, &mut s).unwrap();
         assert!(eff.contains(&AmuEffect::WriteMemWord {
             addr: w(2),
             value: 8
@@ -759,7 +827,7 @@ mod tests {
                 addr: w(3)
             }]
         );
-        let eff = a.mem_value(0, 42, 10, &mut s);
+        let eff = a.mem_value(0, 42, 10, &mut s).unwrap();
         assert!(eff.iter().any(|e| matches!(
             e,
             AmuEffect::ReplyAt {
@@ -785,7 +853,7 @@ mod tests {
             0,
             &mut s,
         );
-        a.mem_value(0, 0, 10, &mut s); // value now 1
+        a.mem_value(0, 0, 10, &mut s).unwrap(); // value now 1
         a.advance(18, &mut s);
         let (_, eff) = a.submit(
             AmuOp::UncachedRead {
@@ -809,7 +877,7 @@ mod tests {
     fn flush_returns_dirty_words_and_drops_block() {
         let (mut a, mut s) = amu();
         a.submit(amo_inc(1, 0, w(0), None), 0, &mut s);
-        a.fine_value(0, w(0), 5, 10, &mut s); // 6, dirty (no test)
+        a.fine_value(0, w(0), 5, 10, &mut s).unwrap(); // 6, dirty (no test)
         let flushed = a.flush_block(w(0).block(128));
         assert_eq!(flushed, vec![(w(0), 6)]);
         assert_eq!(a.cached_words(), 0);
@@ -827,7 +895,7 @@ mod tests {
             20,
             &mut s,
         );
-        a.fine_value(1, w(1), 0, 30, &mut s); // put issued → clean
+        a.fine_value(1, w(1), 0, 30, &mut s).unwrap(); // put issued → clean
         let flushed = a.flush_block(w(1).block(128));
         assert!(flushed.is_empty());
     }
@@ -841,7 +909,7 @@ mod tests {
             // Each word in a different block so flushes don't interfere.
             let addr = Addr::on_node(NodeId(0), 0x10000 + i * 256);
             a.submit(amo_inc(i, 0, addr, None), t, &mut s);
-            let eff = a.fine_value(i, addr, 0, t + 10, &mut s);
+            let eff = a.fine_value(i, addr, 0, t + 10, &mut s).unwrap();
             assert!(!eff.iter().any(|e| matches!(e, AmuEffect::FinePut { .. })));
             t += 100;
             a.advance(t, &mut s);
@@ -850,13 +918,50 @@ mod tests {
         // A ninth word evicts the LRU (the first).
         let ninth = Addr::on_node(NodeId(0), 0x20000);
         a.submit(amo_inc(99, 0, ninth, None), t, &mut s);
-        let eff = a.fine_value(8, ninth, 0, t + 10, &mut s);
+        let eff = a.fine_value(8, ninth, 0, t + 10, &mut s).unwrap();
         let first = Addr::on_node(NodeId(0), 0x10000);
         assert!(eff.contains(&AmuEffect::FinePut {
             addr: first,
             value: 1
         }));
         assert_eq!(s.amu_evictions, 1);
+    }
+
+    #[test]
+    fn stray_values_report_typed_errors() {
+        let (mut a, mut s) = amu();
+        // Idle AMU: any value is a protocol violation, not a panic.
+        assert_eq!(
+            a.fine_value(0, w(0), 0, 10, &mut s).unwrap_err(),
+            AmuError::NotWaiting { token: 0 }
+        );
+        assert_eq!(
+            a.mem_value(3, 0, 10, &mut s).unwrap_err(),
+            AmuError::NotWaiting { token: 3 }
+        );
+        // Waiting on a fine get (token 0): wrong token / kind / address.
+        a.submit(amo_inc(1, 0, w(0), None), 0, &mut s);
+        assert_eq!(
+            a.fine_value(9, w(0), 0, 10, &mut s).unwrap_err(),
+            AmuError::TokenMismatch {
+                expected: 0,
+                got: 9
+            }
+        );
+        assert_eq!(
+            a.mem_value(0, 0, 10, &mut s).unwrap_err(),
+            AmuError::WrongOp { token: 0 }
+        );
+        assert_eq!(
+            a.fine_value(0, w(5), 0, 10, &mut s).unwrap_err(),
+            AmuError::AddrMismatch {
+                expected: w(0),
+                got: w(5)
+            }
+        );
+        // The AMU is still intact: the correct value completes the op.
+        let eff = a.fine_value(0, w(0), 0, 20, &mut s).unwrap();
+        assert!(eff.iter().any(|e| matches!(e, AmuEffect::ReplyAt { .. })));
     }
 
     #[test]

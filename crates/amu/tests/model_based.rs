@@ -51,7 +51,10 @@ fn drive_amo(
         match e {
             AmuEffect::FineGet { token, addr } => {
                 let value = memory.get(&addr.0).copied().unwrap_or(0);
-                effects.extend(amu.fine_value(token, addr, value, *now + 10, stats));
+                effects.extend(
+                    amu.fine_value(token, addr, value, *now + 10, stats)
+                        .unwrap(),
+                );
             }
             AmuEffect::FinePut { addr, value } | AmuEffect::WriteMemWord { addr, value } => {
                 memory.insert(addr.0, value);
@@ -136,7 +139,7 @@ proptest! {
             while let Some(e) = effects.pop() {
                 match e {
                     AmuEffect::FineGet { token, addr } => {
-                        effects.extend(amu.fine_value(token, addr, 0, now + 5, &mut stats));
+                        effects.extend(amu.fine_value(token, addr, 0, now + 5, &mut stats).unwrap());
                     }
                     AmuEffect::FinePut { value, .. } => {
                         puts += 1;

@@ -1,0 +1,133 @@
+//! Chaos harness: drives the AMO barrier through a lossy, jittery,
+//! brown-out-ridden fabric with the progress watchdog armed, and
+//! reports exactly what the fault subsystem did. Every output line is
+//! derived from simulated state only — no wall clock — so CI runs the
+//! same seed twice and diffs the output byte-for-byte to prove the
+//! fault injection is deterministic.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p amo-bench --bin chaos -- \
+//!     [--procs N] [--rate PPM] [--seed S] [--watchdog CYCLES] \
+//!     [--jitter MAX] [--brownout] [--episodes N] [--quick] [--unrecoverable]
+//! ```
+//!
+//! `--unrecoverable` corrupts every traversal and slashes the replay
+//! budget so the very first remote packet exhausts it: the expected
+//! outcome is a **typed** `SimError` (printed, exit 0), never a panic.
+//! Without it, the barrier must complete despite the injected faults
+//! (exit 0) — any abort is exit 1.
+
+use amo_sim::Machine;
+use amo_sync::{BarrierKernel, BarrierSpec, Mechanism, VarAlloc};
+use amo_types::{Cycle, NodeId, ProcId, SystemConfig};
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    flag_value(args, name)
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("bad value for {name}: {v}"))
+        })
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let unrecoverable = args.iter().any(|a| a == "--unrecoverable");
+    let procs: u16 = parse(&args, "--procs", 64);
+    let rate: u32 = parse(&args, "--rate", 20_000);
+    let seed: u64 = parse(&args, "--seed", 0xC4A0_5EED);
+    let watchdog: Cycle = parse(&args, "--watchdog", 10_000_000);
+    let jitter: Cycle = parse(&args, "--jitter", 8);
+    let episodes: u32 = parse(&args, "--episodes", if quick { 4 } else { 10 });
+
+    let mut cfg = SystemConfig::with_procs(procs);
+    cfg.faults.seed = seed;
+    cfg.faults.link_error_ppm = rate;
+    cfg.faults.jitter_max = jitter;
+    if args.iter().any(|a| a == "--brownout") {
+        cfg.faults.amu_brownout_period = 20_000;
+        cfg.faults.amu_brownout_len = 2_000;
+    }
+    if unrecoverable {
+        cfg.faults.link_error_ppm = 1_000_000;
+        cfg.faults.max_link_retries = 1;
+    }
+
+    println!(
+        "chaos: procs={procs} rate_ppm={} seed={seed:#x} watchdog={watchdog} \
+         jitter={jitter} episodes={episodes} unrecoverable={unrecoverable}",
+        cfg.faults.link_error_ppm
+    );
+
+    let mut m = Machine::new(cfg);
+    m.enable_watchdog(watchdog);
+    let mut alloc = VarAlloc::new();
+    let spec = BarrierSpec::build(&mut alloc, Mechanism::Amo, NodeId(0), procs, episodes);
+    for p in 0..procs {
+        // Deterministic per-processor arrival skew, no RNG dependency.
+        let work: Vec<Cycle> = (0..episodes)
+            .map(|e| 100 + (p as Cycle * 37 + e as Cycle * 13) % 800)
+            .collect();
+        m.install_kernel(ProcId(p), Box::new(BarrierKernel::new(spec, work)), 0);
+    }
+
+    let res = m.run(40_000_000_000);
+    let s = m.stats();
+    for (name, value) in [
+        ("end", res.end),
+        ("events", res.events),
+        ("link_crc_errors", s.link_crc_errors),
+        ("link_retransmissions", s.link_retransmissions),
+        ("link_replay_cycles", s.link_replay_cycles),
+        ("link_jitter_cycles", s.link_jitter_cycles),
+        ("amu_nacks", s.amu_nacks),
+        ("amu_brownout_nacks", s.amu_brownout_nacks),
+        ("amu_nack_retries", s.amu_nack_retries),
+        ("actmsg_retransmissions", s.actmsg_retransmissions),
+    ] {
+        println!("{name}={value}");
+    }
+
+    match res.error {
+        None => {
+            println!(
+                "result=ok all_finished={} last_finish={}",
+                res.all_finished,
+                res.finished
+                    .iter()
+                    .map(|f| f.unwrap_or(0))
+                    .max()
+                    .unwrap_or(0)
+            );
+            if unrecoverable {
+                eprintln!("expected an unrecoverable fault, but the run completed");
+                std::process::exit(1);
+            }
+        }
+        Some(err) => {
+            println!("result=error kind={:?} at={}", err.kind, err.at);
+            println!("error: {err}");
+            for (n, d) in err.bundle.queue_depths.iter().enumerate() {
+                println!(
+                    "node{n}: dir_queue={} amu_queue={} outstanding_misses={}",
+                    d.dir_queue, d.amu_queue, d.outstanding_misses
+                );
+            }
+            print!("{}", err.bundle.stall_report);
+            if !unrecoverable {
+                eprintln!("unexpected abort in a recoverable configuration");
+                std::process::exit(1);
+            }
+        }
+    }
+}

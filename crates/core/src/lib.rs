@@ -32,7 +32,8 @@
 //! | machine | [`sim`] | the `Machine`: hubs, fabric, event loop |
 //! | processor | [`cpu`] | kernels, memory ops, LL/SC, spinning, handlers |
 //! | home node | [`directory`], [`amu`], [`dram`] | coherence protocol, AMU, memory |
-//! | fabric | [`noc`] | fat-tree topology and endpoint serialization |
+//! | fabric | [`noc`] | fat-tree topology, endpoint serialization, link-level replay |
+//! | robustness | [`faults`] | deterministic fault plans: link errors, jitter, AMU brown-outs |
 //! | substrate | [`types`], [`engine`], [`cache`] | vocabulary, events, caches |
 //!
 //! The architectural parameters default to the paper's Table 1
@@ -48,6 +49,7 @@ pub use amo_cpu as cpu;
 pub use amo_directory as directory;
 pub use amo_dram as dram;
 pub use amo_engine as engine;
+pub use amo_faults as faults;
 pub use amo_noc as noc;
 pub use amo_obs as obs;
 pub use amo_sim as sim;
@@ -57,13 +59,13 @@ pub use amo_workloads as workloads;
 
 /// The names almost every user of this library needs.
 pub mod prelude {
-    pub use amo_sim::{Machine, RunResult};
+    pub use amo_sim::{Machine, RunResult, SimError, SimErrorKind};
     pub use amo_sync::{
         ArrayLockKernel, ArrayLockSpec, BarrierKernel, BarrierSpec, BarrierStyle,
         DisseminationKernel, DisseminationSpec, KTreeKernel, KTreeSpec, McsLockKernel, McsLockSpec,
         Mechanism, TicketLockKernel, TicketLockSpec, TreeBarrierKernel, TreeBarrierSpec, VarAlloc,
     };
-    pub use amo_types::{Addr, Cycle, NodeId, ProcId, SystemConfig, Word};
+    pub use amo_types::{Addr, Cycle, FaultConfig, NodeId, ProcId, SystemConfig, Word};
     pub use amo_workloads::{
         run_barrier, run_barrier_obs, run_lock, run_lock_obs, BarrierAlgo, BarrierBench,
         BarrierResult, LockBench, LockKind, LockResult, ObsReport, ObsSpec,

@@ -73,6 +73,33 @@ pub enum ProcEffect {
         /// Earliest re-delivery time.
         when: Cycle,
     },
+    /// The processor hit an unrecoverable condition (retry budget
+    /// exhausted). The machine converts this into a typed `SimError`
+    /// instead of the old `assert!` process abort.
+    Fault {
+        /// What went wrong.
+        kind: ProcFault,
+        /// Cycle at which the fault was detected.
+        when: Cycle,
+    },
+}
+
+/// Unrecoverable processor-side conditions, reported via
+/// [`ProcEffect::Fault`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcFault {
+    /// An active message exhausted its retransmission budget
+    /// (`ActMsgConfig::max_retries`).
+    ActMsgStarved {
+        /// Retries attempted before giving up.
+        attempts: u32,
+    },
+    /// An AMO/MAO was NACKed by the home AMU more than
+    /// `AmuConfig::max_retries` times.
+    AmuStarved {
+        /// Retries attempted before giving up.
+        attempts: u32,
+    },
 }
 
 /// What to do when the reply for an outstanding kernel request arrives.
@@ -97,10 +124,29 @@ enum Cont {
         addr: Addr,
         operand: Word,
     },
-    Amo,
-    Mao,
-    UncachedLoad,
-    UncachedStore,
+    Amo {
+        kind: amo_types::AmoKind,
+        addr: Addr,
+        operand: Word,
+        test: Option<Word>,
+        /// NACK-driven resend count (0 = first send).
+        attempt: u32,
+    },
+    Mao {
+        kind: amo_types::AmoKind,
+        addr: Addr,
+        operand: Word,
+        attempt: u32,
+    },
+    UncachedLoad {
+        addr: Addr,
+        attempt: u32,
+    },
+    UncachedStore {
+        addr: Addr,
+        value: Word,
+        attempt: u32,
+    },
     ActMsg {
         home: NodeId,
         handler: HandlerKind,
@@ -670,7 +716,16 @@ impl Processor {
                     },
                     eff,
                 );
-                self.wait(req, Cont::Amo);
+                self.wait(
+                    req,
+                    Cont::Amo {
+                        kind,
+                        addr,
+                        operand,
+                        test,
+                        attempt: 0,
+                    },
+                );
             }
             Op::Mao {
                 kind,
@@ -689,7 +744,15 @@ impl Processor {
                     },
                     eff,
                 );
-                self.wait(req, Cont::Mao);
+                self.wait(
+                    req,
+                    Cont::Mao {
+                        kind,
+                        addr,
+                        operand,
+                        attempt: 0,
+                    },
+                );
             }
             Op::UncachedLoad { addr } => {
                 let req = self.alloc_req();
@@ -702,7 +765,7 @@ impl Processor {
                     },
                     eff,
                 );
-                self.wait(req, Cont::UncachedLoad);
+                self.wait(req, Cont::UncachedLoad { addr, attempt: 0 });
             }
             Op::UncachedStore { addr, value } => {
                 let req = self.alloc_req();
@@ -716,7 +779,14 @@ impl Processor {
                     },
                     eff,
                 );
-                self.wait(req, Cont::UncachedStore);
+                self.wait(
+                    req,
+                    Cont::UncachedStore {
+                        addr,
+                        value,
+                        attempt: 0,
+                    },
+                );
             }
             Op::ActiveMsg { home, handler } => {
                 let req = self.alloc_req();
@@ -933,6 +1003,7 @@ impl Processor {
                 self.on_simple_reply(req, Outcome::Stored, now, stats, eff)
             }
             Payload::ActMsgAck { req, result } => self.on_actmsg_ack(req, result, now, stats, eff),
+            Payload::AmuNack { req, .. } => self.on_amu_nack(req, now, stats, eff),
             Payload::ActiveMsg {
                 req,
                 requester,
@@ -1268,6 +1339,77 @@ impl Processor {
         }
     }
 
+    /// The home AMU refused this request (full dispatch queue or
+    /// brown-out). Back off and rearm the retry timer; the resend happens
+    /// when it fires (see [`Self::timeout`]). A NACK for anything other
+    /// than the outstanding request is stale and dropped.
+    fn on_amu_nack(
+        &mut self,
+        req: ReqId,
+        now: Cycle,
+        _stats: &mut Stats,
+        eff: &mut Vec<ProcEffect>,
+    ) {
+        if self.waiting_req() != Some(req) {
+            return;
+        }
+        let KState::Waiting { cont, .. } = self.kstate else {
+            unreachable!()
+        };
+        let attempt = match cont {
+            Cont::Amo { attempt, .. }
+            | Cont::Mao { attempt, .. }
+            | Cont::UncachedLoad { attempt, .. }
+            | Cont::UncachedStore { attempt, .. } => attempt + 1,
+            _ => return, // stale NACK for a continuation that cannot retry
+        };
+        if attempt > self.cfg.amu.max_retries {
+            eff.push(ProcEffect::Fault {
+                kind: ProcFault::AmuStarved { attempts: attempt },
+                when: now,
+            });
+            return;
+        }
+        let cont = match cont {
+            Cont::Amo {
+                kind,
+                addr,
+                operand,
+                test,
+                ..
+            } => Cont::Amo {
+                kind,
+                addr,
+                operand,
+                test,
+                attempt,
+            },
+            Cont::Mao {
+                kind,
+                addr,
+                operand,
+                ..
+            } => Cont::Mao {
+                kind,
+                addr,
+                operand,
+                attempt,
+            },
+            Cont::UncachedLoad { addr, .. } => Cont::UncachedLoad { addr, attempt },
+            Cont::UncachedStore { addr, value, .. } => Cont::UncachedStore {
+                addr,
+                value,
+                attempt,
+            },
+            _ => unreachable!(),
+        };
+        self.wait(req, cont);
+        eff.push(ProcEffect::TimeoutAt {
+            req,
+            when: now + Self::retry_delay(req, attempt, self.cfg.amu.nack_backoff),
+        });
+    }
+
     /// A retransmission timer fired.
     pub fn timeout(&mut self, req: ReqId, now: Cycle, stats: &mut Stats) -> Vec<ProcEffect> {
         let mut eff = Vec::new();
@@ -1286,53 +1428,122 @@ impl Processor {
         if self.waiting_req() != Some(req) {
             return; // already completed
         }
-        let KState::Waiting {
-            cont:
-                Cont::ActMsg {
-                    home,
-                    handler,
-                    attempt,
-                },
-            ..
-        } = self.kstate
-        else {
+        let KState::Waiting { cont, .. } = self.kstate else {
             return;
         };
-        let attempt = attempt + 1;
-        assert!(
-            attempt <= self.cfg.actmsg.max_retries,
-            "active message starved: {} retries from {}",
-            attempt,
-            self.id
-        );
-        stats.actmsg_retransmissions += 1;
-        let target_proc = home
-            .procs(self.cfg.procs_per_node)
-            .next()
-            .expect("node has processors");
-        self.send_home(
-            home,
-            Payload::ActiveMsg {
-                req,
-                requester: self.id,
-                target_proc,
-                handler,
-                attempt,
-            },
-            eff,
-        );
-        eff.push(ProcEffect::TimeoutAt {
-            req,
-            when: now + Self::retry_delay(req, attempt, self.cfg.actmsg.timeout),
-        });
-        self.wait(
-            req,
+        match cont {
             Cont::ActMsg {
                 home,
                 handler,
                 attempt,
-            },
-        );
+            } => {
+                let attempt = attempt + 1;
+                if attempt > self.cfg.actmsg.max_retries {
+                    eff.push(ProcEffect::Fault {
+                        kind: ProcFault::ActMsgStarved { attempts: attempt },
+                        when: now,
+                    });
+                    return;
+                }
+                stats.actmsg_retransmissions += 1;
+                let target_proc = home
+                    .procs(self.cfg.procs_per_node)
+                    .next()
+                    .expect("node has processors");
+                self.send_home(
+                    home,
+                    Payload::ActiveMsg {
+                        req,
+                        requester: self.id,
+                        target_proc,
+                        handler,
+                        attempt,
+                    },
+                    eff,
+                );
+                eff.push(ProcEffect::TimeoutAt {
+                    req,
+                    when: now + Self::retry_delay(req, attempt, self.cfg.actmsg.timeout),
+                });
+                self.wait(
+                    req,
+                    Cont::ActMsg {
+                        home,
+                        handler,
+                        attempt,
+                    },
+                );
+            }
+            // AMU-NACK backoff expired: resend the original request with
+            // the same tag (the AMU replies once; late duplicates are
+            // impossible because a NACKed request was never queued).
+            Cont::Amo {
+                kind,
+                addr,
+                operand,
+                test,
+                ..
+            } => {
+                stats.amu_nack_retries += 1;
+                self.send_home(
+                    addr.home(),
+                    Payload::AmoReq {
+                        req,
+                        requester: self.id,
+                        kind,
+                        addr,
+                        operand,
+                        test,
+                    },
+                    eff,
+                );
+            }
+            Cont::Mao {
+                kind,
+                addr,
+                operand,
+                ..
+            } => {
+                stats.amu_nack_retries += 1;
+                self.send_home(
+                    addr.home(),
+                    Payload::MaoReq {
+                        req,
+                        requester: self.id,
+                        kind,
+                        addr,
+                        operand,
+                    },
+                    eff,
+                );
+            }
+            Cont::UncachedLoad { addr, .. } => {
+                stats.amu_nack_retries += 1;
+                self.send_home(
+                    addr.home(),
+                    Payload::UncachedRead {
+                        req,
+                        requester: self.id,
+                        addr,
+                    },
+                    eff,
+                );
+            }
+            Cont::UncachedStore { addr, value, .. } => {
+                stats.amu_nack_retries += 1;
+                self.send_home(
+                    addr.home(),
+                    Payload::UncachedWrite {
+                        req,
+                        requester: self.id,
+                        addr,
+                        value,
+                    },
+                    eff,
+                );
+            }
+            _ => {}
+        }
     }
 
     /// Retransmission delay for the given attempt: exponential backoff
@@ -1342,7 +1553,7 @@ impl Processor {
     /// jitter, lock-step retry bursts repeat the same collision pattern
     /// forever in a deterministic simulation.
     fn retry_delay(req: ReqId, attempt: u32, timeout: Cycle) -> Cycle {
-        let backoff = timeout << attempt.min(2);
+        let backoff = timeout << attempt.min(4);
         let mut x = req.0 ^ ((attempt as u64) << 24) ^ 0x9e37_79b9_7f4a_7c15;
         x ^= x >> 30;
         x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -2156,6 +2367,36 @@ mod tests {
         // Ack resolves it; later timers are ignored.
         p.handle(Payload::ActMsgAck { req, result: 5 }, 9000, &mut s);
         assert!(p.timeout(req, 12000, &mut s).is_empty());
+    }
+
+    #[test]
+    fn retry_backoff_schedule_is_pinned() {
+        // Figure 5 baseline re-validation: the retransmission backoff
+        // doubles per attempt up to 16x the base timeout, plus a
+        // deterministic per-request jitter below half the backoff. The
+        // exact schedule is pinned so a change to the backoff policy
+        // (which shifts every baseline's retransmission counts) cannot
+        // land silently.
+        let req = ReqId((3 << 48) | 1);
+        let delays: Vec<Cycle> = (0..7)
+            .map(|a| Processor::retry_delay(req, a, 1_000))
+            .collect();
+        assert_eq!(
+            delays,
+            vec![1_428, 2_419, 5_530, 11_413, 21_965, 16_964, 18_079]
+        );
+        for (a, &d) in delays.iter().enumerate() {
+            let backoff = 1_000u64 << (a as u32).min(4);
+            assert!(
+                d >= backoff && d < backoff + backoff / 2,
+                "attempt {a}: {d}"
+            );
+        }
+        // Jitter decorrelates distinct requests at the same attempt.
+        assert_ne!(
+            Processor::retry_delay(ReqId((3 << 48) | 2), 1, 1_000),
+            Processor::retry_delay(req, 1, 1_000),
+        );
     }
 
     #[test]

@@ -1,8 +1,37 @@
 //! The fabric: turns (source, destination, message) into a delivery time
 //! while accounting traffic.
+//!
+//! # Link-level fault recovery
+//!
+//! Real NUMALink-class interconnects detect transient wire errors with a
+//! per-packet CRC and recover by replaying the packet from the sender's
+//! replay buffer. With a [`FaultPlan`] attached (see
+//! [`Fabric::with_faults`]), each remote transmission consults the plan:
+//! a corrupted attempt costs one extra serialization plus an
+//! exponentially backed-off replay delay, then the replay itself is
+//! re-checked, up to the plan's retry budget. Exhausting the budget
+//! marks the fabric failed ([`Fabric::take_failure`]) — the machine
+//! surfaces that as a typed error instead of delivering the packet.
+//! The zero-rate plan skips this path entirely, adding exactly zero
+//! cycles, so an unfaulted configuration is timing-identical to a
+//! machine built without fault support.
 
 use crate::topology::Topology;
+use amo_faults::FaultPlan;
 use amo_types::{Cycle, MsgEndpoint, NetworkConfig, NodeId, Payload, Stats};
+
+/// An unrecoverable link fault: one packet exhausted its replay budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkFailure {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Replay attempts consumed before giving up.
+    pub attempts: u32,
+    /// Cycle at which the packet first departed.
+    pub at: Cycle,
+}
 
 /// Per-node network-interface state: when the egress and ingress links
 /// next become free.
@@ -40,11 +69,24 @@ pub struct Fabric {
     /// Scratch buffer for path computation, reused across sends so the
     /// contention path never allocates.
     path_scratch: Vec<u32>,
+    /// Fault oracle for link errors and jitter.
+    faults: FaultPlan,
+    /// Remote-transmission sequence number; part of each fault-plan key.
+    fault_seq: u64,
+    /// First unrecoverable link fault, if one occurred.
+    pending_failure: Option<LinkFailure>,
 }
 
 impl Fabric {
-    /// Build a fabric over `num_nodes` nodes with the given parameters.
+    /// Build a fabric over `num_nodes` nodes with the given parameters
+    /// and no fault injection.
     pub fn new(num_nodes: u16, cfg: NetworkConfig) -> Self {
+        Self::with_faults(num_nodes, cfg, FaultPlan::none())
+    }
+
+    /// Build a fabric whose remote transmissions consult `faults` for
+    /// CRC errors and delay jitter.
+    pub fn with_faults(num_nodes: u16, cfg: NetworkConfig, faults: FaultPlan) -> Self {
         let topo = Topology::new(num_nodes, cfg.router_radix);
         let link_free = if cfg.model_router_contention {
             vec![0; topo.num_links()]
@@ -58,6 +100,9 @@ impl Fabric {
             per_node: vec![NodeTraffic::default(); num_nodes as usize],
             link_free,
             path_scratch: Vec::new(),
+            faults,
+            fault_seq: 0,
+            pending_failure: None,
         }
     }
 
@@ -114,16 +159,51 @@ impl Fabric {
             return deliver;
         }
 
-        // Egress: wait for the source link, then occupy it.
+        // Link-level faults: delay jitter plus CRC-error replay with
+        // exponential backoff. Gated on the plan so the zero-rate case
+        // adds exactly zero cycles (fault-free timing is bit-identical
+        // to a fabric built without a plan).
+        let mut extra: Cycle = 0;
+        if self.faults.link_faults_enabled() {
+            self.fault_seq += 1;
+            let seq = self.fault_seq;
+            let jitter = self.faults.jitter(src.0, dst.0, seq);
+            stats.link_jitter_cycles += jitter;
+            extra += jitter;
+            let mut attempt = 0u32;
+            while self.faults.corrupts(src.0, dst.0, now, seq, attempt) {
+                stats.link_crc_errors += 1;
+                if attempt >= self.faults.max_link_retries() {
+                    // Replay budget exhausted: the packet is undeliverable.
+                    // Record the first such failure; the machine aborts
+                    // with a typed error before acting on the delivery.
+                    self.pending_failure.get_or_insert(LinkFailure {
+                        src,
+                        dst,
+                        attempts: attempt,
+                        at: now,
+                    });
+                    break;
+                }
+                let cost = ser + self.faults.replay_backoff(attempt);
+                stats.link_retransmissions += 1;
+                stats.link_replay_cycles += cost;
+                extra += cost;
+                attempt += 1;
+            }
+        }
+
+        // Egress: wait for the source link, then occupy it (replays hold
+        // the sender's replay buffer and link for the whole recovery).
         let egress = &mut self.ifaces[src.index()];
         let depart = now.max(egress.egress_free);
-        egress.egress_free = depart + ser;
+        egress.egress_free = depart + ser + extra;
 
         // Flight time through the tree: pure pipeline latency, or
         // per-link wormhole reservations when router contention is
         // modelled (zero-load latency is identical either way).
         let arrive = if self.cfg.model_router_contention {
-            let mut t = depart + ser;
+            let mut t = depart + ser + extra;
             self.path_scratch.clear();
             self.topo.path_links_into(src, dst, &mut self.path_scratch);
             for &link in &self.path_scratch {
@@ -134,7 +214,7 @@ impl Fabric {
             }
             t
         } else {
-            depart + ser + hops * self.cfg.hop_latency
+            depart + ser + extra + hops * self.cfg.hop_latency
         };
 
         // Ingress: the destination link delivers one packet at a time;
@@ -160,6 +240,19 @@ impl Fabric {
     /// sync storm this is the home-node serialization queue.
     pub fn ingress_backlog(&self, node: NodeId, now: Cycle) -> Cycle {
         self.ifaces[node.index()].ingress_free.saturating_sub(now)
+    }
+
+    /// True if some packet has exhausted its link-replay budget. Checked
+    /// by the machine after every dispatched event; kept `#[inline]` and
+    /// branch-predictable so the fault-free hot path pays one load.
+    #[inline]
+    pub fn has_failure(&self) -> bool {
+        self.pending_failure.is_some()
+    }
+
+    /// Consume the recorded unrecoverable link fault, if any.
+    pub fn take_failure(&mut self) -> Option<LinkFailure> {
+        self.pending_failure.take()
     }
 }
 
@@ -305,6 +398,130 @@ mod tests {
         let c2 = f.send(0, NodeId(0), NodeId(10), &gets(), MsgEndpoint::Proc, &mut s);
         assert_eq!(p1, c1, "first packet sees zero load either way");
         assert!(c2 >= p2, "link contention can only add delay: {p2} vs {c2}");
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_is_timing_identical() {
+        let cfg = SystemConfig::default();
+        let mut plain = Fabric::new(8, cfg.network);
+        let mut faulted = Fabric::with_faults(8, cfg.network, FaultPlan::new(cfg.faults));
+        let mut s1 = Stats::new();
+        let mut s2 = Stats::new();
+        for i in 0..50u64 {
+            let src = NodeId((i % 8) as u16);
+            let dst = NodeId(((i + 3) % 8) as u16);
+            let a = plain.send(i * 13, src, dst, &gets(), MsgEndpoint::Proc, &mut s1);
+            let b = faulted.send(i * 13, src, dst, &gets(), MsgEndpoint::Proc, &mut s2);
+            assert_eq!(a, b, "send {i}: zero-rate plan must add zero cycles");
+        }
+        assert_eq!(s1.to_json(), s2.to_json());
+        assert_eq!(s2.link_crc_errors, 0);
+        assert_eq!(s2.link_jitter_cycles, 0);
+    }
+
+    #[test]
+    fn link_errors_delay_and_are_counted() {
+        let mut fc = amo_types::FaultConfig::none();
+        fc.link_error_ppm = 300_000; // 30%: plenty of hits in 200 sends
+        fc.seed = 5;
+        let mut f = Fabric::with_faults(16, SystemConfig::default().network, FaultPlan::new(fc));
+        let mut s = Stats::new();
+        let mut delayed = 0u64;
+        for i in 0..200u64 {
+            let t = f.send(
+                i * 1_000,
+                NodeId(0),
+                NodeId(1),
+                &gets(),
+                MsgEndpoint::Proc,
+                &mut s,
+            );
+            if t > i * 1_000 + 4 + 200 + 4 {
+                delayed += 1;
+            }
+        }
+        assert!(s.link_crc_errors > 0, "30% rate must corrupt something");
+        assert_eq!(
+            s.link_retransmissions, s.link_crc_errors,
+            "every error within budget is replayed"
+        );
+        assert!(delayed > 0, "replays must show up in delivery times");
+        assert!(s.link_replay_cycles >= s.link_retransmissions * (4 + 64));
+        assert!(
+            !f.has_failure(),
+            "30% rate never exhausts an 8-replay budget here"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_deliveries() {
+        let mut fc = amo_types::FaultConfig::none();
+        fc.link_error_ppm = 200_000;
+        fc.jitter_max = 16;
+        fc.seed = 77;
+        let net = SystemConfig::default().network;
+        let run = || {
+            let mut f = Fabric::with_faults(8, net, FaultPlan::new(fc));
+            let mut s = Stats::new();
+            let times: Vec<Cycle> = (0..100u64)
+                .map(|i| {
+                    f.send(
+                        i * 37,
+                        NodeId((i % 8) as u16),
+                        NodeId(((i + 1) % 8) as u16),
+                        &gets(),
+                        MsgEndpoint::Proc,
+                        &mut s,
+                    )
+                })
+                .collect();
+            (times, s)
+        };
+        let (t1, s1) = run();
+        let (t2, s2) = run();
+        assert_eq!(t1, t2);
+        assert_eq!(s1.to_json(), s2.to_json());
+    }
+
+    #[test]
+    fn exhausted_replay_budget_reports_failure() {
+        let mut fc = amo_types::FaultConfig::none();
+        fc.link_error_ppm = 1_000_000; // every transmission corrupted
+        fc.max_link_retries = 3;
+        let mut f = Fabric::with_faults(4, SystemConfig::default().network, FaultPlan::new(fc));
+        let mut s = Stats::new();
+        f.send(0, NodeId(0), NodeId(1), &gets(), MsgEndpoint::Proc, &mut s);
+        assert!(f.has_failure());
+        let fail = f.take_failure().unwrap();
+        assert_eq!(fail.src, NodeId(0));
+        assert_eq!(fail.dst, NodeId(1));
+        assert_eq!(fail.attempts, 3);
+        assert!(f.take_failure().is_none(), "failure is consumed once");
+        assert_eq!(s.link_retransmissions, 3, "budget bounds the replays");
+        assert_eq!(
+            s.link_crc_errors, 4,
+            "original + three replays all corrupted"
+        );
+    }
+
+    #[test]
+    fn loopback_sends_never_fault() {
+        let mut fc = amo_types::FaultConfig::none();
+        fc.link_error_ppm = 1_000_000;
+        fc.jitter_max = 100;
+        let mut f = Fabric::with_faults(4, SystemConfig::default().network, FaultPlan::new(fc));
+        let mut s = Stats::new();
+        let t = f.send(
+            500,
+            NodeId(2),
+            NodeId(2),
+            &gets(),
+            MsgEndpoint::Proc,
+            &mut s,
+        );
+        assert_eq!(t, 508, "node-local crossbar transfers bypass the links");
+        assert_eq!(s.link_crc_errors, 0);
+        assert_eq!(s.link_jitter_cycles, 0);
     }
 
     #[test]

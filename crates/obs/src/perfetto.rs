@@ -50,7 +50,7 @@ fn track_and_name(ev: &TraceEvent, procs_per_node: u16) -> (u64, String) {
     } else {
         match ev.kind {
             TraceKind::DirService | TraceKind::DirTxnEnd => TID_DIR,
-            TraceKind::AmuOp => TID_AMU,
+            TraceKind::AmuOp | TraceKind::AmuNack => TID_AMU,
             _ => TID_NOC,
         }
     };
@@ -60,9 +60,13 @@ fn track_and_name(ev: &TraceEvent, procs_per_node: u16) -> (u64, String) {
         }
         TraceKind::DirService => format!("dir:{}", msg_label(ev.class)),
         TraceKind::OpComplete => format!("op:{}", op_label(ev.class)),
-        TraceKind::DirTxnEnd | TraceKind::AmuOp | TraceKind::Mark | TraceKind::KernelDone => {
-            ev.kind.label().to_string()
-        }
+        TraceKind::DirTxnEnd
+        | TraceKind::AmuOp
+        | TraceKind::Mark
+        | TraceKind::KernelDone
+        | TraceKind::LinkRetry
+        | TraceKind::AmuNack
+        | TraceKind::Fault => ev.kind.label().to_string(),
     };
     (tid, name)
 }

@@ -34,6 +34,16 @@ pub enum TraceKind {
     Mark,
     /// A kernel ran to completion on this processor.
     KernelDone,
+    /// A link-level CRC-error replay occurred somewhere on the path of a
+    /// message injected at this node. Instant; `a` = retransmissions, `b`
+    /// = extra replay cycles charged.
+    LinkRetry,
+    /// The home AMU NACKed a dispatch (full queue or brown-out).
+    /// Instant; `a` = requesting processor.
+    AmuNack,
+    /// The machine aborted with a typed error. Instant on node 0;
+    /// `a` = cycle of the abort.
+    Fault,
 }
 
 impl TraceKind {
@@ -49,6 +59,9 @@ impl TraceKind {
             TraceKind::OpComplete => "op",
             TraceKind::Mark => "mark",
             TraceKind::KernelDone => "done",
+            TraceKind::LinkRetry => "link-retry",
+            TraceKind::AmuNack => "amu-nack",
+            TraceKind::Fault => "fault",
         }
     }
 }

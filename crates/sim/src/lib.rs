@@ -20,8 +20,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod hub;
 pub mod machine;
 
 pub use amo_engine::QueueKind;
+pub use error::{DiagBundle, NodeDepths, SimError, SimErrorKind};
 pub use machine::{Machine, RunResult};

@@ -1,10 +1,12 @@
 //! The machine: event loop and component glue.
 
+use crate::error::{DiagBundle, NodeDepths, SimError, SimErrorKind};
 use crate::hub::Hub;
 use amo_amu::AmuEffect;
-use amo_cpu::{Kernel, ProcEffect, Processor};
+use amo_cpu::{Kernel, ProcEffect, ProcFault, Processor};
 use amo_directory::{DirAction, DirRequest};
 use amo_engine::{Clock, EventQueue, QueueKind};
+use amo_faults::FaultPlan;
 use amo_noc::fabric::NodeTraffic;
 use amo_noc::Fabric;
 use amo_obs::timeseries::{NodeSample, Tick, TimeSeries};
@@ -88,6 +90,9 @@ pub struct RunResult {
     pub events: u64,
     /// True if the run stopped at the cycle limit.
     pub hit_limit: bool,
+    /// The typed fault that aborted the run, if one did. `None` means
+    /// the run ended normally (drained queue or cycle limit).
+    pub error: Option<SimError>,
 }
 
 impl RunResult {
@@ -166,6 +171,18 @@ pub struct Machine<T: Tracer = NopTracer> {
     /// loop's check is a single always-false compare by default).
     next_sample: Cycle,
     timeseries: Option<TimeSeries>,
+    /// The fault oracle (shared in spirit with the fabric's copy; used
+    /// here for AMU brown-out windows).
+    faults: FaultPlan,
+    /// First typed fault raised during dispatch; the run loop stops on
+    /// it at the next event boundary.
+    pending_fault: Option<(SimErrorKind, Cycle)>,
+    /// Watchdog no-progress window; 0 = watchdog off.
+    watchdog_window: Cycle,
+    /// Progress metric value at the last observed change.
+    wd_last_progress: u64,
+    /// Cycle of the last observed progress change.
+    wd_last_progress_at: Cycle,
 }
 
 /// Upper bound on concurrently pending events, from the config: every
@@ -208,7 +225,7 @@ impl<T: Tracer> Machine<T> {
             }
         }
         Machine {
-            fabric: Fabric::new(nodes, cfg.network),
+            fabric: Fabric::with_faults(nodes, cfg.network, FaultPlan::new(cfg.faults)),
             procs,
             hubs: (0..nodes).map(|n| Hub::new(NodeId(n), &cfg)).collect(),
             clock: Clock::new(),
@@ -226,8 +243,26 @@ impl<T: Tracer> Machine<T> {
             sample_interval: 0,
             next_sample: Cycle::MAX,
             timeseries: None,
+            faults: FaultPlan::new(cfg.faults),
+            pending_fault: None,
+            watchdog_window: 0,
+            wd_last_progress: 0,
+            wd_last_progress_at: 0,
             cfg,
         }
+    }
+
+    /// Arm the progress watchdog: abort with
+    /// [`SimErrorKind::NoProgress`] if `window` cycles pass with events
+    /// still flowing but nothing retiring (no kernel operation
+    /// completes, no handler runs), and with
+    /// [`SimErrorKind::Deadlock`] if the event queue drains with
+    /// kernels unfinished. Off by default — legitimate open-ended runs
+    /// (e.g. inspecting a stalled kernel via
+    /// [`stall_report`](Self::stall_report)) stay non-fatal.
+    pub fn enable_watchdog(&mut self, window: Cycle) {
+        assert!(window > 0, "watchdog window must be positive");
+        self.watchdog_window = window;
     }
 
     /// Mutable access to the attached tracer (e.g. to read drop counts).
@@ -377,8 +412,9 @@ impl<T: Tracer> Machine<T> {
         self.queue.schedule(start, Event::ProcWake(p));
     }
 
-    /// Run until the event queue drains or `max_cycles` passes. Returns
-    /// timing and completion information.
+    /// Run until the event queue drains, `max_cycles` passes, or a
+    /// typed fault aborts the run (reported in [`RunResult::error`],
+    /// never a panic). Returns timing and completion information.
     pub fn run(&mut self, max_cycles: Cycle) -> RunResult {
         let mut events = 0u64;
         let mut hit_limit = false;
@@ -397,6 +433,35 @@ impl<T: Tracer> Machine<T> {
             }
             self.event_counts[ev.index()] += 1;
             self.dispatch(ev, when);
+            if self.pending_fault.is_some() || self.fabric.has_failure() {
+                if let Some(f) = self.fabric.take_failure() {
+                    self.pending_fault.get_or_insert((
+                        SimErrorKind::LinkFailed {
+                            src: f.src,
+                            dst: f.dst,
+                            attempts: f.attempts,
+                        },
+                        f.at,
+                    ));
+                }
+                break;
+            }
+            if self.watchdog_window > 0 {
+                let progress = self.progress_metric();
+                if progress != self.wd_last_progress {
+                    self.wd_last_progress = progress;
+                    self.wd_last_progress_at = when;
+                } else if when - self.wd_last_progress_at >= self.watchdog_window {
+                    self.pending_fault = Some((
+                        SimErrorKind::NoProgress {
+                            window: self.watchdog_window,
+                            last_progress_at: self.wd_last_progress_at,
+                        },
+                        when,
+                    ));
+                    break;
+                }
+            }
         }
         self.collect_cache_stats();
         let finished: Vec<Option<Cycle>> = self
@@ -406,12 +471,71 @@ impl<T: Tracer> Machine<T> {
             .filter(|(_, inst)| **inst)
             .map(|(p, _)| p.finished_at())
             .collect();
+        let all_finished = finished.iter().all(|f| f.is_some());
+        if self.watchdog_window > 0 && self.pending_fault.is_none() && !hit_limit && !all_finished {
+            let unfinished = finished.iter().filter(|f| f.is_none()).count() as u32;
+            self.pending_fault = Some((SimErrorKind::Deadlock { unfinished }, self.clock.now()));
+        }
+        let error = self
+            .pending_fault
+            .take()
+            .map(|(kind, at)| self.make_error(kind, at, events));
         RunResult {
             end: self.clock.now(),
-            all_finished: finished.iter().all(|f| f.is_some()),
+            all_finished,
             finished,
             events,
             hit_limit,
+            error,
+        }
+    }
+
+    /// Like [`run`](Self::run), but folds the typed fault into the
+    /// return value: `Err` on an aborted run, `Ok` otherwise.
+    pub fn try_run(&mut self, max_cycles: Cycle) -> Result<RunResult, Box<SimError>> {
+        let mut res = self.run(max_cycles);
+        match res.error.take() {
+            Some(e) => Err(Box::new(e)),
+            None => Ok(res),
+        }
+    }
+
+    /// Monotone per-run progress indicator the watchdog watches: kernel
+    /// operations retired plus active-message handlers run. Delays,
+    /// spins, and in-flight coherence traffic do not count — a machine
+    /// that only shuffles messages is not making progress.
+    fn progress_metric(&self) -> u64 {
+        self.stats.op_lat_cnt.iter().sum::<u64>() + self.stats.handlers_run
+    }
+
+    /// Harvest the diagnostic bundle for an abort at `at`.
+    fn make_error(&mut self, kind: SimErrorKind, at: Cycle, events: u64) -> SimError {
+        if T::ENABLED {
+            self.tracer
+                .record(TraceEvent::instant(TraceKind::Fault, 0, self.clock.now()).args(at, 0));
+        }
+        let mut queue_depths = Vec::with_capacity(self.hubs.len());
+        for (n, hub) in self.hubs.iter().enumerate() {
+            let node = NodeId(n as u16);
+            let misses: usize = node
+                .procs(self.cfg.procs_per_node)
+                .map(|p| self.procs[p.index()].outstanding_misses())
+                .sum();
+            queue_depths.push(NodeDepths {
+                dir_queue: hub.directory.queued_requests() as u32,
+                amu_queue: hub.amu.queue_len() as u32,
+                outstanding_misses: misses as u32,
+            });
+        }
+        SimError {
+            kind,
+            at,
+            bundle: DiagBundle {
+                stall_report: self.stall_report(),
+                queue_depths,
+                trace: self.tracer.take_buf(),
+                events_processed: events,
+            },
         }
     }
 
@@ -535,13 +659,16 @@ impl<T: Tracer> Machine<T> {
             Event::AmuMemValue(node, token, addr) => {
                 let value = self.hubs[node.index()].memory.read_word(addr);
                 let mut eff = self.amu_eff_pool.pop().unwrap_or_default();
-                self.hubs[node.index()].amu.mem_value_into(
+                if let Err(err) = self.hubs[node.index()].amu.mem_value_into(
                     token,
                     value,
                     now,
                     &mut self.stats,
                     &mut eff,
-                );
+                ) {
+                    self.pending_fault
+                        .get_or_insert((SimErrorKind::AmuProtocol { node, err }, now));
+                }
                 self.run_amu_effects(node, &mut eff, now);
                 self.amu_eff_pool.push(eff);
             }
@@ -564,8 +691,49 @@ impl<T: Tracer> Machine<T> {
         }
     }
 
+    /// Dispatch one operation to a node's AMU, or NACK it back to the
+    /// requester when the unit cannot take it: the dispatch queue is
+    /// full, or the node is inside an injected brown-out window. The
+    /// requester backs off and resends the same request (same `ReqId`),
+    /// so no operation is ever lost — only delayed.
+    fn submit_amu(
+        &mut self,
+        node: NodeId,
+        req: ReqId,
+        requester: ProcId,
+        class: MsgClass,
+        op: amo_amu::AmuOp,
+        now: Cycle,
+    ) {
+        let browned = self.faults.brownouts_enabled() && self.faults.amu_browned_out(node.0, now);
+        let ok = !browned && {
+            let mut eff = self.amu_eff_pool.pop().unwrap_or_default();
+            let ok = self.hubs[node.index()]
+                .amu
+                .submit_into(op, now, &mut self.stats, &mut eff);
+            self.run_amu_effects(node, &mut eff, now);
+            self.amu_eff_pool.push(eff);
+            ok
+        };
+        if !ok {
+            if browned {
+                self.stats.amu_brownout_nacks += 1;
+            } else {
+                self.stats.amu_nacks += 1;
+            }
+            if T::ENABLED {
+                self.tracer.record(
+                    TraceEvent::instant(TraceKind::AmuNack, node.0, now)
+                        .args(requester.0 as u64, browned as u64),
+                );
+            }
+            self.send_to_proc(node, requester, Payload::AmuNack { req, class }, now);
+        }
+    }
+
     /// Route a message that just arrived at a hub's network interface.
     fn hub_receive(&mut self, node: NodeId, payload: Payload, now: Cycle) {
+        let class = payload.class();
         match payload {
             // Directory-bound traffic goes through the service pipeline.
             Payload::GetS { .. }
@@ -596,23 +764,15 @@ impl<T: Tracer> Machine<T> {
                 operand,
                 test,
             } => {
-                let mut eff = self.amu_eff_pool.pop().unwrap_or_default();
-                let ok = self.hubs[node.index()].amu.submit_into(
-                    amo_amu::AmuOp::Amo {
-                        req,
-                        requester,
-                        kind,
-                        addr,
-                        operand,
-                        test,
-                    },
-                    now,
-                    &mut self.stats,
-                    &mut eff,
-                );
-                assert!(ok, "AMU queue overflow at {node}");
-                self.run_amu_effects(node, &mut eff, now);
-                self.amu_eff_pool.push(eff);
+                let op = amo_amu::AmuOp::Amo {
+                    req,
+                    requester,
+                    kind,
+                    addr,
+                    operand,
+                    test,
+                };
+                self.submit_amu(node, req, requester, class, op, now);
             }
             Payload::MaoReq {
                 req,
@@ -621,42 +781,26 @@ impl<T: Tracer> Machine<T> {
                 addr,
                 operand,
             } => {
-                let mut eff = self.amu_eff_pool.pop().unwrap_or_default();
-                let ok = self.hubs[node.index()].amu.submit_into(
-                    amo_amu::AmuOp::Mao {
-                        req,
-                        requester,
-                        kind,
-                        addr,
-                        operand,
-                    },
-                    now,
-                    &mut self.stats,
-                    &mut eff,
-                );
-                assert!(ok, "AMU queue overflow at {node}");
-                self.run_amu_effects(node, &mut eff, now);
-                self.amu_eff_pool.push(eff);
+                let op = amo_amu::AmuOp::Mao {
+                    req,
+                    requester,
+                    kind,
+                    addr,
+                    operand,
+                };
+                self.submit_amu(node, req, requester, class, op, now);
             }
             Payload::UncachedRead {
                 req,
                 requester,
                 addr,
             } => {
-                let mut eff = self.amu_eff_pool.pop().unwrap_or_default();
-                let ok = self.hubs[node.index()].amu.submit_into(
-                    amo_amu::AmuOp::UncachedRead {
-                        req,
-                        requester,
-                        addr,
-                    },
-                    now,
-                    &mut self.stats,
-                    &mut eff,
-                );
-                assert!(ok, "AMU queue overflow at {node}");
-                self.run_amu_effects(node, &mut eff, now);
-                self.amu_eff_pool.push(eff);
+                let op = amo_amu::AmuOp::UncachedRead {
+                    req,
+                    requester,
+                    addr,
+                };
+                self.submit_amu(node, req, requester, class, op, now);
             }
             Payload::UncachedWrite {
                 req,
@@ -664,21 +808,13 @@ impl<T: Tracer> Machine<T> {
                 addr,
                 value,
             } => {
-                let mut eff = self.amu_eff_pool.pop().unwrap_or_default();
-                let ok = self.hubs[node.index()].amu.submit_into(
-                    amo_amu::AmuOp::UncachedWrite {
-                        req,
-                        requester,
-                        addr,
-                        value,
-                    },
-                    now,
-                    &mut self.stats,
-                    &mut eff,
-                );
-                assert!(ok, "AMU queue overflow at {node}");
-                self.run_amu_effects(node, &mut eff, now);
-                self.amu_eff_pool.push(eff);
+                let op = amo_amu::AmuOp::UncachedWrite {
+                    req,
+                    requester,
+                    addr,
+                    value,
+                };
+                self.submit_amu(node, req, requester, class, op, now);
             }
             // Processor-bound traffic crossing this hub.
             Payload::ActiveMsg { target_proc, .. } => {
@@ -706,7 +842,10 @@ impl<T: Tracer> Machine<T> {
                     );
                 }
             }
-            other => panic!("hub {node} got unexpected payload {other:?}"),
+            _ => {
+                self.pending_fault
+                    .get_or_insert((SimErrorKind::UnexpectedPayload { at: "hub", node }, now));
+            }
         }
     }
 
@@ -760,7 +899,15 @@ impl<T: Tracer> Machine<T> {
             Payload::InterventionReply { block, from, resp } => hub
                 .directory
                 .intervention_reply_into(block, from, resp, &mut self.stats, &mut actions),
-            other => panic!("directory got unexpected payload {other:?}"),
+            _ => {
+                self.pending_fault.get_or_insert((
+                    SimErrorKind::UnexpectedPayload {
+                        at: "directory",
+                        node,
+                    },
+                    now,
+                ));
+            }
         }
         self.run_dir_actions(node, &mut actions, now);
         self.dir_act_pool.push(actions);
@@ -778,6 +925,14 @@ impl<T: Tracer> Machine<T> {
                     value,
                 } => {
                     let payload = Payload::WordUpdate { addr, value };
+                    let retx = if T::ENABLED {
+                        (
+                            self.stats.link_retransmissions,
+                            self.stats.link_replay_cycles,
+                        )
+                    } else {
+                        (0, 0)
+                    };
                     let arrival = self.fabric.send(
                         now,
                         node,
@@ -787,6 +942,7 @@ impl<T: Tracer> Machine<T> {
                         &mut self.stats,
                     );
                     if T::ENABLED {
+                        self.trace_link_retry(node, now, retx);
                         self.tracer.record(
                             TraceEvent::span(TraceKind::MsgSend, node.0, now, arrival)
                                 .class(payload.class().index())
@@ -817,14 +973,17 @@ impl<T: Tracer> Machine<T> {
                 }
                 DirAction::FineValue { token, addr, value } => {
                     let mut eff = self.amu_eff_pool.pop().unwrap_or_default();
-                    self.hubs[node.index()].amu.fine_value_into(
+                    if let Err(err) = self.hubs[node.index()].amu.fine_value_into(
                         token,
                         addr,
                         value,
                         now,
                         &mut self.stats,
                         &mut eff,
-                    );
+                    ) {
+                        self.pending_fault
+                            .get_or_insert((SimErrorKind::AmuProtocol { node, err }, now));
+                    }
                     self.run_amu_effects(node, &mut eff, now);
                     self.amu_eff_pool.push(eff);
                 }
@@ -906,14 +1065,36 @@ impl<T: Tracer> Machine<T> {
         }
     }
 
+    /// Emit a [`TraceKind::LinkRetry`] instant if the send that just
+    /// completed consumed link replays, detected by the counter delta
+    /// against `before` = `(link_retransmissions, link_replay_cycles)`
+    /// sampled before the send. Traced-build only.
+    fn trace_link_retry(&mut self, node: NodeId, now: Cycle, before: (u64, u64)) {
+        let retx = self.stats.link_retransmissions - before.0;
+        if retx > 0 {
+            let cycles = self.stats.link_replay_cycles - before.1;
+            self.tracer
+                .record(TraceEvent::instant(TraceKind::LinkRetry, node.0, now).args(retx, cycles));
+        }
+    }
+
     /// Send a hub-originated message to a processor: fabric to its node,
     /// then the bus.
     fn send_to_proc(&mut self, from: NodeId, proc: ProcId, payload: Payload, now: Cycle) {
         let dst = self.node_of(proc);
+        let retx = if T::ENABLED {
+            (
+                self.stats.link_retransmissions,
+                self.stats.link_replay_cycles,
+            )
+        } else {
+            (0, 0)
+        };
         let arrival =
             self.fabric
                 .send(now, from, dst, &payload, MsgEndpoint::Proc, &mut self.stats);
         if T::ENABLED {
+            self.trace_link_retry(from, now, retx);
             self.tracer.record(
                 TraceEvent::span(TraceKind::MsgSend, from.0, now, arrival)
                     .class(payload.class().index())
@@ -930,10 +1111,19 @@ impl<T: Tracer> Machine<T> {
             match eff {
                 ProcEffect::Send { dst, payload } => {
                     let t = now + self.cfg.bus_latency;
+                    let retx = if T::ENABLED {
+                        (
+                            self.stats.link_retransmissions,
+                            self.stats.link_replay_cycles,
+                        )
+                    } else {
+                        (0, 0)
+                    };
                     let arrival =
                         self.fabric
                             .send(t, src, dst, &payload, MsgEndpoint::Proc, &mut self.stats);
                     if T::ENABLED {
+                        self.trace_link_retry(src, t, retx);
                         self.tracer.record(
                             TraceEvent::span(TraceKind::MsgSend, src.0, t, arrival)
                                 .on_proc(p.0)
@@ -972,6 +1162,17 @@ impl<T: Tracer> Machine<T> {
                 }
                 ProcEffect::Defer { payload, when } => {
                     self.queue.schedule(when, Event::ToProc(p, payload));
+                }
+                ProcEffect::Fault { kind, when } => {
+                    let kind = match kind {
+                        ProcFault::ActMsgStarved { attempts } => {
+                            SimErrorKind::ActMsgStarved { proc: p, attempts }
+                        }
+                        ProcFault::AmuStarved { attempts } => {
+                            SimErrorKind::AmuStarved { proc: p, attempts }
+                        }
+                    };
+                    self.pending_fault.get_or_insert((kind, when));
                 }
                 ProcEffect::OpDone { class, start, end } => {
                     // Only emitted when op tracing is on (see
@@ -1425,6 +1626,186 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    /// Every processor fires `rounds` back-to-back MAO fetch-adds at one
+    /// home counter: sustained AMU traffic, so queue overflow, link
+    /// errors, and brown-out windows all get plenty of chances to bite.
+    fn hammer_amo(cfg: SystemConfig, procs: u16, rounds: usize) -> (Machine, RunResult) {
+        let mut m = Machine::new(cfg);
+        let ctr = var(0, 0x300);
+        for p in 0..procs {
+            let (k, _) = Script::new(vec![
+                Op::Mao {
+                    kind: AmoKind::FetchAdd,
+                    addr: ctr,
+                    operand: 1,
+                };
+                rounds
+            ]);
+            m.install_kernel(ProcId(p), Box::new(k), (p as u64) * 31);
+        }
+        let res = m.run(100_000_000);
+        (m, res)
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_is_timing_identical() {
+        // A fault config with a seed but every rate at zero must not
+        // perturb a single cycle or counter relative to the unfaulted
+        // engine.
+        let drive = |cfg: SystemConfig| {
+            let (m, res) = hammer_amo(cfg, 8, 6);
+            assert!(res.all_finished);
+            assert!(res.error.is_none());
+            (res.end, res.finished, m.stats().to_json())
+        };
+        let plain = drive(SystemConfig::with_procs(8));
+        let mut cfg = SystemConfig::with_procs(8);
+        cfg.faults.seed = 0xDEAD_BEEF;
+        let zeroed = drive(cfg);
+        assert_eq!(plain, zeroed, "zero-rate fault plan perturbed the run");
+    }
+
+    #[test]
+    fn faulty_links_retry_and_complete() {
+        let mut cfg = SystemConfig::with_procs(8);
+        cfg.faults.link_error_ppm = 100_000; // 10% per traversal
+        cfg.faults.jitter_max = 8;
+        cfg.faults.seed = 7;
+        let (m, res) = hammer_amo(cfg, 8, 6);
+        assert!(res.all_finished, "faulty run must still complete");
+        assert!(res.error.is_none());
+        let s = m.stats();
+        assert!(s.link_crc_errors > 0, "2% over a barrier hits some sends");
+        assert_eq!(s.link_crc_errors, s.link_retransmissions);
+        assert!(s.link_jitter_cycles > 0);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let drive = || {
+            let mut cfg = SystemConfig::with_procs(8);
+            cfg.faults.link_error_ppm = 100_000;
+            cfg.faults.jitter_max = 16;
+            cfg.faults.seed = 99;
+            cfg.faults.amu_brownout_period = 2_000;
+            cfg.faults.amu_brownout_len = 400;
+            let (m, res) = hammer_amo(cfg, 8, 6);
+            assert!(res.all_finished);
+            (res.end, res.finished, m.stats().to_json())
+        };
+        assert_eq!(drive(), drive(), "same fault seed must replay exactly");
+    }
+
+    #[test]
+    fn amu_queue_overflow_nacks_and_recovers() {
+        // One-deep dispatch queue and eight contenders: overflow NACKs
+        // must delay, never lose, requests — and every NACK must be
+        // matched by a recorded retry.
+        let mut cfg = SystemConfig::with_procs(8);
+        cfg.amu.queue_cap = 1;
+        let (m, res) = hammer_amo(cfg, 8, 4);
+        assert!(res.all_finished, "NACK/backoff must recover");
+        assert!(res.error.is_none());
+        let s = m.stats();
+        assert!(s.amu_nacks > 0, "a 1-deep queue under 8 procs overflows");
+        assert_eq!(s.amu_nack_retries, s.amu_nacks + s.amu_brownout_nacks);
+        assert_eq!(m.memory(NodeId(0)).read_word(var(0, 0x300)), 32);
+    }
+
+    #[test]
+    fn amu_brownouts_nack_and_recover() {
+        let mut cfg = SystemConfig::with_procs(8);
+        cfg.faults.amu_brownout_period = 1_000;
+        cfg.faults.amu_brownout_len = 300;
+        cfg.faults.seed = 3;
+        let (m, res) = hammer_amo(cfg, 8, 20);
+        assert!(res.all_finished, "brown-outs must only delay the run");
+        let s = m.stats();
+        assert!(s.amu_brownout_nacks > 0, "quarter-duty brown-out hits");
+        assert_eq!(s.amu_nack_retries, s.amu_nacks + s.amu_brownout_nacks);
+    }
+
+    #[test]
+    fn exhausted_link_budget_is_a_typed_error() {
+        let mut cfg = SystemConfig::with_procs(4);
+        cfg.faults.link_error_ppm = 1_000_000; // every traversal corrupts
+        cfg.faults.max_link_retries = 2;
+        let mut m = Machine::new(cfg);
+        let (k, _) = Script::new(vec![Op::Store {
+            addr: var(1, 0x100),
+            value: 1,
+        }]);
+        m.install_kernel(ProcId(0), Box::new(k), 0);
+        let err = m.try_run(1_000_000).unwrap_err();
+        assert!(
+            matches!(err.kind, SimErrorKind::LinkFailed { attempts: 2, .. }),
+            "{err}"
+        );
+        assert!(!err.bundle.stall_report.is_empty());
+        assert_eq!(err.bundle.queue_depths.len(), 2);
+    }
+
+    #[test]
+    fn watchdog_flags_livelock_as_no_progress() {
+        // Events keep flowing (a delay chain) but nothing ever retires:
+        // the watchdog must convert the spin into a typed error instead
+        // of burning cycles to the limit.
+        let mut m = Machine::new(SystemConfig::with_procs(4));
+        m.enable_watchdog(50_000);
+        let (k, _) = Script::new(vec![Op::Delay { cycles: 10_000 }; 100]);
+        m.install_kernel(ProcId(0), Box::new(k), 0);
+        let res = m.run(100_000_000);
+        let err = res.error.expect("watchdog must trip");
+        assert!(
+            matches!(err.kind, SimErrorKind::NoProgress { window: 50_000, .. }),
+            "{err}"
+        );
+        assert!(
+            err.bundle.stall_report.contains("P0"),
+            "{}",
+            err.bundle.stall_report
+        );
+        assert!(err.bundle.events_processed > 0);
+    }
+
+    #[test]
+    fn watchdog_flags_drained_queue_as_deadlock() {
+        // A spinner nobody wakes: the queue drains with the kernel
+        // unfinished. Without the watchdog that is a quiet non-finish;
+        // with it, a typed deadlock report.
+        let mut m = Machine::new(SystemConfig::with_procs(4));
+        m.enable_watchdog(1_000_000);
+        let (k, _) = Script::new(vec![Op::SpinUntil {
+            addr: var(0, 0x100),
+            pred: SpinPred::Eq(1),
+        }]);
+        m.install_kernel(ProcId(2), Box::new(k), 0);
+        let err = m.try_run(10_000_000).unwrap_err();
+        assert!(
+            matches!(err.kind, SimErrorKind::Deadlock { unfinished: 1 }),
+            "{err}"
+        );
+        assert!(err.bundle.stall_report.contains("Spinning"));
+    }
+
+    #[test]
+    fn traced_abort_attaches_ring_tail() {
+        use amo_obs::RingTracer;
+        let mut cfg = SystemConfig::with_procs(4);
+        cfg.faults.link_error_ppm = 1_000_000;
+        cfg.faults.max_link_retries = 1;
+        let mut m = Machine::with_tracer(cfg, QueueKind::Calendar, RingTracer::new(256));
+        let (k, _) = Script::new(vec![Op::Store {
+            addr: var(1, 0x100),
+            value: 1,
+        }]);
+        m.install_kernel(ProcId(0), Box::new(k), 0);
+        let err = m.try_run(1_000_000).unwrap_err();
+        let buf = err.bundle.trace.as_ref().expect("ring tail attached");
+        assert!(buf.events.iter().any(|e| e.kind == TraceKind::Fault));
+        assert!(buf.events.iter().any(|e| e.kind == TraceKind::LinkRetry));
     }
 
     #[test]

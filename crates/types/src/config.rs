@@ -63,6 +63,14 @@ pub struct AmuConfig {
     pub op_hub_cycles: u64,
     /// Capacity of the AMU's dispatch queue.
     pub queue_cap: usize,
+    /// Upper bound on NACK-driven resends of one AMO/MAO before the run
+    /// is declared starved (a model-sanity guard, not a protocol
+    /// feature).
+    pub max_retries: u32,
+    /// Base backoff (in CPU cycles) a processor waits after an AMU NACK
+    /// before resending; doubles per attempt with deterministic jitter,
+    /// like the active-message retransmission path.
+    pub nack_backoff: Cycle,
 }
 
 /// Active-message cost model (paper Sec. 2 and 4.2.1: invocation overhead
@@ -83,6 +91,75 @@ pub struct ActMsgConfig {
     /// Upper bound on retransmissions before the run is declared stuck
     /// (a model-sanity guard, not a protocol feature).
     pub max_retries: u32,
+}
+
+/// Deterministic fault-injection parameters. Plain `Copy` data so it can
+/// live inside [`SystemConfig`]; the runtime machinery (keyed hashing,
+/// burst windows) lives in the `amo-faults` crate. The default is
+/// [`FaultConfig::none`]: every rate zero, recovery knobs at their
+/// hardware-plausible values, and — crucially — a zero-rate plan leaves
+/// the simulated timing bit-identical to an unfaulted machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Probability (parts per million) that a remote packet's first
+    /// transmission is corrupted on the wire and must be replayed.
+    pub link_error_ppm: u32,
+    /// Multiplier applied to `link_error_ppm` inside a burst window
+    /// (models correlated error bursts; 1 = no bursts).
+    pub burst_multiplier: u32,
+    /// Period of the burst windows in cycles; 0 disables bursts.
+    pub burst_period: Cycle,
+    /// Length of the elevated-error window at the start of each period.
+    pub burst_len: Cycle,
+    /// Maximum extra delay-jitter cycles added to a remote packet's
+    /// flight time; 0 disables jitter.
+    pub jitter_max: Cycle,
+    /// Link-level replay budget: CRC-error retransmissions of one packet
+    /// beyond this declare the link failed (unrecoverable fault).
+    pub max_link_retries: u32,
+    /// Base cycles one link-level replay costs; doubles per attempt
+    /// (exponential backoff), capped at 16x.
+    pub link_retry_backoff: Cycle,
+    /// Period of AMU brown-out windows in cycles; 0 disables brown-outs.
+    pub amu_brownout_period: Cycle,
+    /// Length of the window (at the start of each period) during which a
+    /// node's AMU NACKs every new dispatch.
+    pub amu_brownout_len: Cycle,
+    /// Seed for the fault plan's keyed hashing. Same seed + same config
+    /// => bit-identical fault pattern.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// The no-fault plan: all rates zero, recovery knobs at defaults.
+    pub const fn none() -> Self {
+        FaultConfig {
+            link_error_ppm: 0,
+            burst_multiplier: 1,
+            burst_period: 0,
+            burst_len: 0,
+            jitter_max: 0,
+            max_link_retries: 8,
+            link_retry_backoff: 64,
+            amu_brownout_period: 0,
+            amu_brownout_len: 0,
+            seed: 0,
+        }
+    }
+
+    /// True if any fault source is active (link errors, jitter, or AMU
+    /// brown-outs).
+    pub fn any_enabled(&self) -> bool {
+        self.link_error_ppm > 0
+            || self.jitter_max > 0
+            || (self.amu_brownout_period > 0 && self.amu_brownout_len > 0)
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::none()
+    }
 }
 
 /// Full machine configuration. [`SystemConfig::default`] reproduces the
@@ -133,6 +210,8 @@ pub struct SystemConfig {
     pub amu: AmuConfig,
     /// Active-message cost model.
     pub actmsg: ActMsgConfig,
+    /// Deterministic fault injection (default: none).
+    pub faults: FaultConfig,
 }
 
 impl Default for SystemConfig {
@@ -173,6 +252,8 @@ impl Default for SystemConfig {
                 cache_words: 8,
                 op_hub_cycles: 2,
                 queue_cap: 1024,
+                max_retries: 10_000,
+                nack_backoff: 200,
             },
             actmsg: ActMsgConfig {
                 invoke_cycles: 350,
@@ -181,6 +262,7 @@ impl Default for SystemConfig {
                 timeout: 10_000,
                 max_retries: 100_000,
             },
+            faults: FaultConfig::none(),
         }
     }
 }
@@ -226,6 +308,22 @@ impl SystemConfig {
         assert!(self.l1.sets() > 0 && self.l2.sets() > 0);
         assert!(self.network.router_radix >= 2);
         assert!(self.amu.cache_words >= 1);
+        if self.faults.burst_period > 0 {
+            assert!(
+                self.faults.burst_len <= self.faults.burst_period,
+                "burst window must fit inside its period"
+            );
+        }
+        if self.faults.amu_brownout_period > 0 {
+            assert!(
+                self.faults.amu_brownout_len < self.faults.amu_brownout_period,
+                "brown-out window must leave the AMU some uptime"
+            );
+        }
+        assert!(
+            self.faults.burst_multiplier >= 1,
+            "burst multiplier of 0 would disable errors inside bursts"
+        );
     }
 }
 
@@ -280,5 +378,26 @@ mod tests {
     #[should_panic(expected = "at most")]
     fn too_many_procs_rejected() {
         SystemConfig::with_procs(512).validate();
+    }
+
+    #[test]
+    fn fault_config_defaults_to_none() {
+        let c = SystemConfig::default();
+        assert_eq!(c.faults, FaultConfig::none());
+        assert!(!c.faults.any_enabled());
+        let faulty = FaultConfig {
+            link_error_ppm: 500,
+            ..FaultConfig::none()
+        };
+        assert!(faulty.any_enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "burst window")]
+    fn oversized_burst_window_rejected() {
+        let mut c = SystemConfig::default();
+        c.faults.burst_period = 100;
+        c.faults.burst_len = 200;
+        c.validate();
     }
 }

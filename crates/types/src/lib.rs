@@ -28,7 +28,7 @@ pub mod stats;
 
 pub use addr::{Addr, BlockAddr};
 pub use bitset::ProcSet;
-pub use config::{ActMsgConfig, AmuConfig, CacheConfig, NetworkConfig, SystemConfig};
+pub use config::{ActMsgConfig, AmuConfig, CacheConfig, FaultConfig, NetworkConfig, SystemConfig};
 pub use fxmap::{FxHashMap, FxHashSet, FxHasher};
 pub use histogram::{LatHist, LAT_BUCKETS};
 pub use ids::{NodeId, ProcId, ReqId};

@@ -411,6 +411,17 @@ pub enum Payload {
         /// Handler result (e.g. pre-add counter value).
         result: Word,
     },
+
+    // ----- fault / overload recovery -----
+    /// Home AMU refuses an AMO/MAO dispatch (full queue or brown-out);
+    /// the requester backs off and resends the same request.
+    AmuNack {
+        /// Matches the refused request.
+        req: ReqId,
+        /// Statistics class of the refused request, so the NACK is
+        /// accounted on the same traffic family it belongs to.
+        class: crate::stats::MsgClass,
+    },
 }
 
 impl Payload {
@@ -456,6 +467,7 @@ impl Payload {
             | Payload::UncachedWrite { .. }
             | Payload::UncachedWriteAck { .. } => MsgClass::Mao,
             Payload::ActiveMsg { .. } | Payload::ActMsgAck { .. } => MsgClass::ActMsg,
+            Payload::AmuNack { class, .. } => *class,
         }
     }
 
@@ -477,7 +489,8 @@ impl Payload {
             | Payload::UncachedWrite { req, .. }
             | Payload::UncachedWriteAck { req, .. }
             | Payload::ActiveMsg { req, .. }
-            | Payload::ActMsgAck { req, .. } => Some(*req),
+            | Payload::ActMsgAck { req, .. }
+            | Payload::AmuNack { req, .. } => Some(*req),
             _ => None,
         }
     }

@@ -438,6 +438,23 @@ define_stats! {
         /// Processor spin-loop reloads after an invalidation woke a spinner.
         pub spin_reloads: u64,
 
+        /// Remote packets whose transmission was corrupted (CRC error
+        /// detected at the receiving link interface).
+        pub link_crc_errors: u64,
+        /// Link-level replay retransmissions (>= `link_crc_errors` when
+        /// a replay itself gets corrupted).
+        pub link_retransmissions: u64,
+        /// Extra cycles packets spent in link-level replay + backoff.
+        pub link_replay_cycles: u64,
+        /// Extra cycles packets spent in injected delay jitter.
+        pub link_jitter_cycles: u64,
+        /// AMO/MAO dispatches NACKed at a full AMU queue.
+        pub amu_nacks: u64,
+        /// AMO/MAO dispatches NACKed by a browned-out AMU.
+        pub amu_brownout_nacks: u64,
+        /// Processor resends of an AMO/MAO after an AMU NACK.
+        pub amu_nack_retries: u64,
+
         /// Per-operation-class completion latency: total cycles, by
         /// [`OpClass`] index.
         pub op_lat_sum: [u64; OP_CLASSES],
