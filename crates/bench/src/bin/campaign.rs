@@ -1,0 +1,135 @@
+//! Run an experiment campaign: regenerate paper artifacts or execute a
+//! declarative spec file, through the content-addressed result cache.
+//!
+//! ```sh
+//! # The paper's full artifact set (this regenerates tables_output.txt):
+//! cargo run --release -p amo-bench --bin campaign -- paper
+//! # Smoke-sized artifact set:
+//! cargo run --release -p amo-bench --bin campaign -- quick
+//! # A declarative spec (grid sweep or artifact selection):
+//! cargo run --release -p amo-bench --bin campaign -- --spec specs/error-rate-sweep.json
+//! ```
+//!
+//! The cache (default `target/campaign-cache/`) is keyed by run
+//! content, so an immediate re-run serves every cell from disk — zero
+//! simulations — and renders byte-identical output. Flags:
+//!
+//! * `--spec FILE` — run an `amo-campaign-v1` spec instead of a named
+//!   artifact profile.
+//! * `--out FILE` — write the rendered document to FILE instead of
+//!   stdout.
+//! * `--csv` — CSV renderers for Tables 2–4 / Figure 7.
+//! * `--no-cache` — simulate every cell (what the `tables` shim does).
+//! * `--cache-dir DIR` — cache location override.
+//! * `--metrics-json FILE` — write the campaign's aggregate
+//!   `amo-metrics-v1` report (merged run statistics + scheduling
+//!   counters).
+
+use amo_bench::cli::Args;
+use amo_campaign::{
+    artifacts, render, ArtifactProfile, Campaign, CampaignPlan, CampaignSpec, ResultCache,
+};
+use amo_obs::{campaign_metrics_json, CampaignSummary};
+use std::time::Instant;
+
+fn die(msg: String) -> ! {
+    eprintln!("campaign: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::parse(&raw);
+
+    // What to run: a spec file, or a named artifact profile.
+    let (name, plan) = match args.get("spec") {
+        Some(path) => {
+            let doc = std::fs::read_to_string(path).unwrap_or_else(|e| die(format!("{path}: {e}")));
+            let spec = CampaignSpec::parse(&doc).unwrap_or_else(|e| die(format!("{path}: {e}")));
+            (spec.name, spec.plan)
+        }
+        None => {
+            let profile = match args.errors.first().map(String::as_str) {
+                None | Some("paper") => ArtifactProfile::paper(),
+                Some("quick") => ArtifactProfile::quick(),
+                Some(other) => die(format!("unknown profile {other:?} (paper, quick)")),
+            };
+            let name = args
+                .errors
+                .first()
+                .cloned()
+                .unwrap_or_else(|| "paper".into());
+            (
+                name,
+                CampaignPlan::Artifacts {
+                    artifacts: Vec::new(),
+                    profile,
+                },
+            )
+        }
+    };
+
+    let cache = if args.has("no-cache") {
+        None
+    } else {
+        let dir = args
+            .get("cache-dir")
+            .map(Into::into)
+            .unwrap_or_else(ResultCache::default_dir);
+        Some(ResultCache::new(dir))
+    };
+    let mut campaign = Campaign::new(cache);
+    let csv = args.has("csv");
+
+    let t0 = Instant::now();
+    let doc = match &plan {
+        CampaignPlan::Artifacts {
+            artifacts: names,
+            profile,
+        } => {
+            let want = |n: &str| names.is_empty() || names.iter().any(|w| w == n || w == "all");
+            artifacts::render_artifacts(&mut campaign, profile, &want, csv)
+        }
+        CampaignPlan::Grid(runs) => {
+            let specs: Vec<_> = runs.iter().map(|r| r.spec.clone()).collect();
+            let outcomes = campaign.run(&specs);
+            render::render_grid(runs, &outcomes)
+        }
+    };
+
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &doc).unwrap_or_else(|e| die(format!("{path}: {e}")));
+            eprintln!("wrote {path}");
+        }
+        None => print!("{doc}"),
+    }
+
+    let c = campaign.counters;
+    if let Some(path) = args.get("metrics-json") {
+        let summary = CampaignSummary {
+            runs: c.requested,
+            unique: c.unique,
+            cache_hits: c.cache_hits,
+            cache_misses: c.cache_misses,
+            errors: c.errors,
+        };
+        let report =
+            campaign_metrics_json(&summary, &campaign.aggregate, &[("campaign", name.clone())]);
+        std::fs::write(path, &report).unwrap_or_else(|e| die(format!("{path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+
+    eprintln!(
+        "campaign '{name}': {} runs ({} unique), cache: {} hits, {} misses, {} errors (in {:.1?})",
+        c.requested,
+        c.unique,
+        c.cache_hits,
+        c.cache_misses,
+        c.errors,
+        t0.elapsed()
+    );
+    if c.errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -5,6 +5,10 @@
 //! same seed twice and diffs the output byte-for-byte to prove the
 //! fault injection is deterministic.
 //!
+//! The run itself goes through the same fallible runner
+//! (`try_run_barrier`, arithmetic skew mode) that campaign grid cells
+//! use; this binary only owns flag parsing and the report format.
+//!
 //! Usage:
 //!
 //! ```text
@@ -19,9 +23,9 @@
 //! Without it, the barrier must complete despite the injected faults
 //! (exit 0) — any abort is exit 1.
 
-use amo_sim::Machine;
-use amo_sync::{BarrierKernel, BarrierSpec, Mechanism, VarAlloc};
-use amo_types::{Cycle, NodeId, ProcId, SystemConfig};
+use amo_sync::Mechanism;
+use amo_types::{Cycle, Stats, SystemConfig};
+use amo_workloads::runner::{try_run_barrier, BarrierBench, RunInfo, SkewMode};
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -37,6 +41,23 @@ fn parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
                 .unwrap_or_else(|_| panic!("bad value for {name}: {v}"))
         })
         .unwrap_or(default)
+}
+
+fn print_fault_counters(info: &RunInfo, s: &Stats) {
+    for (name, value) in [
+        ("end", info.end),
+        ("events", info.events),
+        ("link_crc_errors", s.link_crc_errors),
+        ("link_retransmissions", s.link_retransmissions),
+        ("link_replay_cycles", s.link_replay_cycles),
+        ("link_jitter_cycles", s.link_jitter_cycles),
+        ("amu_nacks", s.amu_nacks),
+        ("amu_brownout_nacks", s.amu_brownout_nacks),
+        ("amu_nack_retries", s.amu_nack_retries),
+        ("actmsg_retransmissions", s.actmsg_retransmissions),
+    ] {
+        println!("{name}={value}");
+    }
 }
 
 fn main() {
@@ -69,61 +90,46 @@ fn main() {
         cfg.faults.link_error_ppm
     );
 
-    let mut m = Machine::new(cfg);
-    m.enable_watchdog(watchdog);
-    let mut alloc = VarAlloc::new();
-    let spec = BarrierSpec::build(&mut alloc, Mechanism::Amo, NodeId(0), procs, episodes);
-    for p in 0..procs {
-        // Deterministic per-processor arrival skew, no RNG dependency.
-        let work: Vec<Cycle> = (0..episodes)
-            .map(|e| 100 + (p as Cycle * 37 + e as Cycle * 13) % 800)
-            .collect();
-        m.install_kernel(ProcId(p), Box::new(BarrierKernel::new(spec, work)), 0);
-    }
+    let bench = BarrierBench {
+        episodes,
+        warmup: 0,
+        skew: SkewMode::Arithmetic,
+        watchdog,
+        config: Some(cfg),
+        ..BarrierBench::paper(Mechanism::Amo, procs)
+    };
 
-    let res = m.run(40_000_000_000);
-    let s = m.stats();
-    for (name, value) in [
-        ("end", res.end),
-        ("events", res.events),
-        ("link_crc_errors", s.link_crc_errors),
-        ("link_retransmissions", s.link_retransmissions),
-        ("link_replay_cycles", s.link_replay_cycles),
-        ("link_jitter_cycles", s.link_jitter_cycles),
-        ("amu_nacks", s.amu_nacks),
-        ("amu_brownout_nacks", s.amu_brownout_nacks),
-        ("amu_nack_retries", s.amu_nack_retries),
-        ("actmsg_retransmissions", s.actmsg_retransmissions),
-    ] {
-        println!("{name}={value}");
-    }
-
-    match res.error {
-        None => {
+    match try_run_barrier(bench) {
+        Ok(r) => {
+            print_fault_counters(&r.info, &r.stats);
             println!(
                 "result=ok all_finished={} last_finish={}",
-                res.all_finished,
-                res.finished
-                    .iter()
-                    .map(|f| f.unwrap_or(0))
-                    .max()
-                    .unwrap_or(0)
+                r.info.all_finished, r.info.last_finish
             );
             if unrecoverable {
                 eprintln!("expected an unrecoverable fault, but the run completed");
                 std::process::exit(1);
             }
         }
-        Some(err) => {
-            println!("result=error kind={:?} at={}", err.kind, err.at);
-            println!("error: {err}");
-            for (n, d) in err.bundle.queue_depths.iter().enumerate() {
-                println!(
-                    "node{n}: dir_queue={} amu_queue={} outstanding_misses={}",
-                    d.dir_queue, d.amu_queue, d.outstanding_misses
-                );
+        Err(f) => {
+            print_fault_counters(&f.info, &f.stats);
+            match &f.error {
+                Some(err) => {
+                    println!("result=error kind={:?} at={}", err.kind, err.at);
+                    println!("error: {err}");
+                    for (n, d) in err.bundle.queue_depths.iter().enumerate() {
+                        println!(
+                            "node{n}: dir_queue={} amu_queue={} outstanding_misses={}",
+                            d.dir_queue, d.amu_queue, d.outstanding_misses
+                        );
+                    }
+                    print!("{}", err.bundle.stall_report);
+                }
+                None => {
+                    println!("result=stall hit_limit={}", f.hit_limit);
+                    print!("{}", f.stall_report);
+                }
             }
-            print!("{}", err.bundle.stall_report);
             if !unrecoverable {
                 eprintln!("unexpected abort in a recoverable configuration");
                 std::process::exit(1);

@@ -18,7 +18,7 @@ use amo_types::stats::{OpClass, OP_CLASSES};
 use amo_types::{Stats, SystemConfig};
 use amo_workloads::{
     run_barrier_obs, run_lock_obs, BarrierAlgo, BarrierBench, LockBench, LockKind, ObsReport,
-    ObsSpec,
+    ObsSpec, SkewMode,
 };
 use std::process::exit;
 
@@ -26,9 +26,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: experiment barrier --mech <llsc|atomic|actmsg|mao|amo> --procs N \\\n\
          \x20          [--episodes N] [--warmup N] [--algo central|tree:B|ktree:B|dissem] \\\n\
-         \x20          [--skew CYC] [--seed N] [--csv]\n\
+         \x20          [--skew CYC] [--seed N] [--watchdog CYC] [--csv]\n\
          \x20      experiment lock --mech <...> --kind <ticket|array|mcs> --procs N \\\n\
-         \x20          [--rounds N] [--cs CYC] [--think CYC] [--seed N] [--csv]\n\
+         \x20          [--rounds N] [--cs CYC] [--think CYC] [--seed N] [--watchdog CYC] [--csv]\n\
          \x20observability (both subcommands):\n\
          \x20          [--trace-out FILE.json] [--trace-cap N] \\\n\
          \x20          [--metrics-json FILE.json] [--sample-interval CYC]"
@@ -190,7 +190,9 @@ fn main() {
                 algo: args.get("algo").map_or(BarrierAlgo::Central, parse_algo),
                 style: None,
                 max_skew: num(&args, "skew", 800),
+                skew: SkewMode::Random,
                 seed: num(&args, "seed", 0xA40_5EEDu64),
+                watchdog: num(&args, "watchdog", 0),
                 config: None,
             };
             let obs = parse_obs(&args);
@@ -252,6 +254,7 @@ fn main() {
                 cs_cycles: num(&args, "cs", 250),
                 max_think: num(&args, "think", 1000),
                 seed: num(&args, "seed", 0x10C_5EEDu64),
+                watchdog: num(&args, "watchdog", 0),
                 check_exclusion: true,
                 config: None,
             };

@@ -97,11 +97,13 @@ fn throughput(kind: QueueKind) -> (u64, f64, f64) {
     (events, best, events as f64 / best)
 }
 
-/// A moderate table sweep, used to measure the executor's effect.
+/// A moderate table sweep, used to measure the executor's effect. Runs
+/// through an uncached campaign so every cell is simulated.
 fn sweep() -> f64 {
     let t0 = Instant::now();
-    let t2 = amo_workloads::tables::table2(&[4, 8, 16, 32, 64], 5, 1);
-    let t4 = amo_workloads::tables::table4(&[4, 8, 16, 32], 4);
+    let mut c = amo_campaign::Campaign::uncached();
+    let t2 = amo_campaign::artifacts::table2(&mut c, &[4, 8, 16, 32, 64], 5, 1);
+    let t4 = amo_campaign::artifacts::table4(&mut c, &[4, 8, 16, 32], 4);
     assert_eq!(t2.len(), 5);
     assert_eq!(t4.len(), 4);
     t0.elapsed().as_secs_f64()

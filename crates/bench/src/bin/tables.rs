@@ -6,16 +6,19 @@
 //! cargo run --release -p amo-bench --bin tables -- --quick # smoke sizes
 //! ```
 //!
+//! This binary is a thin shim over the `amo-campaign` artifact
+//! generators (uncached: every cell simulates). The `campaign` binary
+//! runs the same generators through the result cache and also executes
+//! declarative spec files.
+//!
 //! `--trace-out FILE` / `--metrics-json FILE` additionally run one
 //! representative traced AMO barrier (the largest profile size) and
 //! write its Perfetto trace / metrics report.
 
-use amo_bench::Profile;
+use amo_campaign::{artifacts, ArtifactProfile, Campaign};
 use amo_obs::{metrics_json, perfetto_json, validate_perfetto};
 use amo_sync::Mechanism;
 use amo_types::SystemConfig;
-use amo_workloads::render;
-use amo_workloads::tables;
 use amo_workloads::{run_barrier_obs, BarrierBench, ObsSpec};
 use std::time::Instant;
 
@@ -29,7 +32,11 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 /// Run one traced AMO barrier at the profile's largest size and write
 /// the requested artefacts (the same exporters `experiment` uses).
-fn emit_representative_obs(profile: &Profile, trace_out: Option<&str>, metrics_out: Option<&str>) {
+fn emit_representative_obs(
+    profile: &ArtifactProfile,
+    trace_out: Option<&str>,
+    metrics_out: Option<&str>,
+) {
     let procs = *profile.sizes.last().expect("profile has sizes");
     let bench = BarrierBench {
         episodes: profile.episodes,
@@ -74,9 +81,9 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
     let profile = if quick {
-        Profile::quick()
+        ArtifactProfile::quick()
     } else {
-        Profile::paper()
+        ArtifactProfile::paper()
     };
     let trace_out = flag_value(&args, "--trace-out");
     let metrics_out = flag_value(&args, "--metrics-json");
@@ -91,112 +98,19 @@ fn main() {
 
     let t0 = Instant::now();
 
-    if want("table2") || want("figure5") {
-        let rows = tables::table2(&profile.sizes, profile.episodes, profile.warmup);
-        if csv {
-            print!("{}", render::csv_table2(&rows));
-        } else {
-            if want("table2") {
-                println!("{}", render::render_table2(&rows));
-            }
-            if want("figure5") {
-                println!("{}", render::render_figure5(&rows));
-            }
-        }
-    }
-
-    if want("table3") || want("figure6") {
-        let rows = tables::table3(&profile.tree_sizes, profile.episodes, profile.warmup);
-        if csv {
-            print!("{}", render::csv_table3(&rows));
-        } else {
-            if want("table3") {
-                println!("{}", render::render_table3(&rows));
-            }
-            if want("figure6") {
-                println!("{}", render::render_figure6(&rows));
-            }
-        }
-    }
-
-    if want("table4") {
-        let rows = tables::table4(&profile.sizes, profile.rounds);
-        if csv {
-            print!("{}", render::csv_table4(&rows));
-        } else {
-            println!("{}", render::render_table4(&rows));
-        }
-    }
-
-    if want("figure7") {
-        let rows = tables::figure7(&profile.traffic_sizes, profile.rounds);
-        if csv {
-            print!("{}", render::csv_figure7(&rows));
-        } else {
-            println!("{}", render::render_figure7(&rows));
-        }
-    }
-
-    if want("ext-locks") {
-        let rows = tables::ext_locks(&profile.sizes, profile.rounds);
-        println!("{}", render::render_ext_locks(&rows));
-    }
-
-    if want("ext-barriers") {
-        let rows = tables::ext_barriers(&profile.tree_sizes, profile.episodes, profile.warmup);
-        println!("{}", render::render_ext_barriers(&rows));
-    }
-
-    if want("ext-ktree") {
-        let sizes: Vec<u16> = profile
-            .tree_sizes
-            .iter()
-            .copied()
-            .filter(|&s| s >= 16)
-            .collect();
-        let rows = tables::ext_ktree(&sizes, profile.episodes, profile.warmup);
-        println!("{}", render::render_ext_ktree(&rows));
-    }
-
-    if want("ext-app") {
-        let procs = *profile.sizes.last().unwrap_or(&16).min(&64);
-        let rows = amo_workloads::app::sync_tax(procs, &[1_000, 10_000, 100_000], 8, 2);
-        println!("{}", render::render_sync_tax(procs, &rows));
-    }
-
-    if want("ext-cs") {
-        let procs = *profile.sizes.last().unwrap_or(&16).min(&32);
-        let rows =
-            amo_workloads::app::cs_sensitivity(procs, &[0, 250, 1_000, 5_000], profile.rounds);
-        println!("{}", render::render_cs_sensitivity(procs, &rows));
-    }
-
-    if want("ext-signal") {
-        let pairs = 8u16;
-        let results: Vec<_> = amo_sync::Mechanism::ALL
-            .iter()
-            .map(|&mech| amo_workloads::app::signal_latency(mech, pairs, profile.rounds))
-            .collect();
-        println!("{}", render::render_signal(pairs, &results));
-    }
+    let mut campaign = Campaign::uncached();
+    print!(
+        "{}",
+        artifacts::render_artifacts(&mut campaign, &profile, &want, csv)
+    );
 
     if trace_out.is_some() || metrics_out.is_some() {
         emit_representative_obs(&profile, trace_out, metrics_out);
     }
 
-    if want("ext-selfsched") {
-        let procs = *profile.sizes.last().unwrap_or(&16).min(&64);
-        let tasks = 256;
-        let rows = amo_workloads::app::self_scheduling(procs, tasks, &[50, 500, 5_000]);
-        println!("{}", render::render_self_sched(procs, tasks, &rows));
-    }
-
-    if want("figure1") {
-        let (llsc, amo) = tables::figure1();
-        println!("Figure 1 census (4 CPUs, one warm episode):");
-        println!("  LL/SC barrier: ~{llsc} one-way messages");
-        println!("  AMO barrier:   ~{amo} one-way messages\n");
-    }
-
-    eprintln!("(regenerated in {:.1?})", t0.elapsed());
+    eprintln!(
+        "({} runs regenerated in {:.1?})",
+        campaign.counters.unique,
+        t0.elapsed()
+    );
 }

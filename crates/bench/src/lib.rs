@@ -1,66 +1,9 @@
-//! Shared configuration for the benchmark harness: the paper-scale and
-//! quick-scale experiment profiles used by both the `tables` binary and
-//! the Criterion benches.
+//! Shared helpers for the benchmark harness binaries. The experiment
+//! profiles live in `amo_campaign::ArtifactProfile`; this crate only
+//! keeps the dependency-free CLI parser.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-
-/// Parameters of one regeneration pass.
-#[derive(Clone, Debug)]
-pub struct Profile {
-    /// Processor counts for Tables 2/4 and Figure 5.
-    pub sizes: Vec<u16>,
-    /// Processor counts for Table 3 / Figure 6 (tree barriers).
-    pub tree_sizes: Vec<u16>,
-    /// Processor counts for Figure 7 (lock traffic).
-    pub traffic_sizes: Vec<u16>,
-    /// Barrier episodes (including warm-up).
-    pub episodes: u32,
-    /// Warm-up episodes.
-    pub warmup: u32,
-    /// Lock acquisitions per processor.
-    pub rounds: u32,
-}
-
-impl Profile {
-    /// The paper's full sweep (4–256 processors).
-    pub fn paper() -> Self {
-        Profile {
-            sizes: amo_workloads::tables::PAPER_SIZES.to_vec(),
-            tree_sizes: amo_workloads::tables::TREE_SIZES.to_vec(),
-            traffic_sizes: vec![128, 256],
-            episodes: 10,
-            warmup: 2,
-            rounds: 8,
-        }
-    }
-
-    /// A fast profile for smoke tests and Criterion runs.
-    pub fn quick() -> Self {
-        Profile {
-            sizes: vec![4, 8, 16],
-            tree_sizes: vec![16],
-            traffic_sizes: vec![16],
-            episodes: 5,
-            warmup: 1,
-            rounds: 4,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn profiles_are_sane() {
-        let p = Profile::paper();
-        assert_eq!(p.sizes, vec![4, 8, 16, 32, 64, 128, 256]);
-        assert!(p.warmup < p.episodes);
-        let q = Profile::quick();
-        assert!(q.sizes.iter().all(|s| p.sizes.contains(s)));
-    }
-}
 
 /// Minimal command-line parsing for the `experiment` binary: `--name
 /// value` flags and `--bare` switches, no external dependencies.

@@ -1,0 +1,184 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Entries live under a cache directory (default
+//! `target/campaign-cache/`), one file per run, addressed by the run's
+//! 128-bit content key (see [`crate::run::RunSpec::key`]): path
+//! `<dir>/<first two hex digits>/<32-hex-digit key>.json`. An entry is
+//! two lines:
+//!
+//! ```text
+//! {"schema":"amo-cache-v1","key":"<hex>","len":N,"checksum":"<hex>"}
+//! <amo-run-artifacts-v1 payload>
+//! ```
+//!
+//! The header pins the payload's byte length and its FNV-1a-128
+//! checksum, so a truncated, bit-flipped, or hand-edited entry is
+//! detected on read and treated as a miss — the run recomputes and the
+//! entry is rewritten. Stale entries never need detection: any change
+//! to the run's inputs (config, seeds, workload parameters, code
+//! fingerprint) changes the key, so stale results are simply never
+//! addressed again. Writes go through a temp file + rename, so a
+//! crashed campaign cannot leave a half-written entry under a live key.
+
+use crate::run::{outcome_from_json, outcome_to_json, RunArtifacts};
+use amo_types::jsonv::Json;
+use amo_types::seed::stable_hash128;
+use amo_types::JsonWriter;
+use std::path::{Path, PathBuf};
+
+/// Schema tag of the entry header line.
+pub const CACHE_SCHEMA: &str = "amo-cache-v1";
+
+/// Render a 128-bit key as 32 lowercase hex digits.
+pub fn key_hex(key: (u64, u64)) -> String {
+    format!("{:016x}{:016x}", key.0, key.1)
+}
+
+/// A handle on one on-disk cache directory.
+#[derive(Clone, Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Cache rooted at `dir` (created lazily on first write).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ResultCache { dir: dir.into() }
+    }
+
+    /// The conventional location: `target/campaign-cache` under the
+    /// current directory.
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("target").join("campaign-cache")
+    }
+
+    /// Root directory of this cache.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the entry for `key`.
+    pub fn entry_path(&self, key: (u64, u64)) -> PathBuf {
+        let hex = key_hex(key);
+        self.dir.join(&hex[..2]).join(format!("{hex}.json"))
+    }
+
+    /// Look up `key`. Returns the cached outcome if the entry exists and
+    /// passes verification; any defect (unreadable, malformed header,
+    /// key/length/checksum mismatch, undecodable payload) is a miss.
+    pub fn get(&self, key: (u64, u64)) -> Option<Result<RunArtifacts, String>> {
+        let raw = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        let (header, payload) = raw.split_once('\n')?;
+        let payload = payload.strip_suffix('\n').unwrap_or(payload);
+        let h = Json::parse(header).ok()?;
+        if h.get("schema")?.as_str()? != CACHE_SCHEMA {
+            return None;
+        }
+        if h.get("key")?.as_str()? != key_hex(key) {
+            return None;
+        }
+        if h.get("len")?.as_u64()? != payload.len() as u64 {
+            return None;
+        }
+        if h.get("checksum")?.as_str()? != key_hex(stable_hash128(payload.as_bytes())) {
+            return None;
+        }
+        outcome_from_json(payload).ok()
+    }
+
+    /// Store `outcome` under `key`, atomically (temp file + rename).
+    /// I/O failures are reported, not fatal: a read-only cache directory
+    /// degrades a campaign to cold runs, it does not kill it.
+    pub fn put(
+        &self,
+        key: (u64, u64),
+        outcome: &Result<RunArtifacts, String>,
+    ) -> Result<(), String> {
+        let payload = outcome_to_json(outcome);
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.kv_str("schema", CACHE_SCHEMA);
+        w.kv_str("key", &key_hex(key));
+        w.kv_u64("len", payload.len() as u64);
+        w.kv_str("checksum", &key_hex(stable_hash128(payload.as_bytes())));
+        w.end_obj();
+        let entry = format!("{}\n{payload}\n", w.finish());
+
+        let path = self.entry_path(key);
+        let parent = path.parent().expect("entry path has a parent");
+        std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, &entry).map_err(|e| format!("{}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amo_types::Stats;
+
+    fn art(v: f64) -> Result<RunArtifacts, String> {
+        Ok(RunArtifacts {
+            numbers: vec![("x".into(), v)],
+            stats: Stats::new(),
+        })
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("amo-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let cache = ResultCache::new(tmpdir("roundtrip"));
+        let key = (0x1234, 0xABCD);
+        assert!(cache.get(key).is_none(), "cold cache misses");
+        cache.put(key, &art(42.5)).unwrap();
+        let got = cache.get(key).expect("hit").expect("ok");
+        assert_eq!(got.num("x"), 42.5);
+        // Error outcomes cache too (a known-bad cell must not re-simulate).
+        let ekey = (0x9999, 0x1111);
+        cache.put(ekey, &Err("boom".into())).unwrap();
+        assert_eq!(cache.get(ekey).unwrap().unwrap_err(), "boom");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupted_payload_is_a_miss() {
+        let cache = ResultCache::new(tmpdir("corrupt"));
+        let key = (7, 8);
+        cache.put(key, &art(1.0)).unwrap();
+        let path = cache.entry_path(key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload byte (past the header line).
+        let nl = bytes.iter().position(|&b| b == b'\n').unwrap();
+        bytes[nl + 10] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(cache.get(key).is_none(), "flipped byte must fail checksum");
+        // Recompute-and-rewrite restores the entry.
+        cache.put(key, &art(1.0)).unwrap();
+        assert!(cache.get(key).is_some());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn truncated_and_mislabeled_entries_are_misses() {
+        let cache = ResultCache::new(tmpdir("defects"));
+        let key = (21, 22);
+        cache.put(key, &art(3.0)).unwrap();
+        let path = cache.entry_path(key);
+        let full = std::fs::read_to_string(&path).unwrap();
+        // Truncation.
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        assert!(cache.get(key).is_none());
+        // An entry stored under the wrong key (e.g. a renamed file).
+        let other = (23, 24);
+        std::fs::create_dir_all(cache.entry_path(other).parent().unwrap()).unwrap();
+        std::fs::write(cache.entry_path(other), &full).unwrap();
+        assert!(cache.get(other).is_none(), "embedded key must match path");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

@@ -1,0 +1,42 @@
+//! Declarative experiment campaigns over the AMO simulator.
+//!
+//! This crate turns "regenerate the paper's tables" and "sweep this
+//! parameter" from hand-written loops into data:
+//!
+//! * [`run`] — the unit of work: a [`run::RunSpec`] canonically
+//!   describes one simulator invocation, hashes to a stable 128-bit
+//!   content key, and executes to [`run::RunArtifacts`].
+//! * [`sched`] — the [`sched::Campaign`] scheduler: dedups a batch by
+//!   content key, serves what the cache holds, shards the cold runs
+//!   across the `amo-workloads` work-stealing pool, and reassembles
+//!   results in index order, bit-identically.
+//! * [`cache`] — [`cache::ResultCache`], the content-addressed on-disk
+//!   store (checksummed entries; corruption is detected and recomputed,
+//!   staleness is impossible by construction because inputs are the
+//!   address).
+//! * [`spec`] — the `amo-campaign-v1` JSON spec format: parameter grids
+//!   with axes, filters, and replicas, or named paper-artifact sets.
+//! * [`artifacts`] — every table/figure of the paper's evaluation as a
+//!   campaign batch, plus [`artifacts::render_artifacts`] which
+//!   regenerates the committed `tables_output.txt` byte-for-byte.
+//! * [`render`] — plain-text and CSV renderers for the artifact rows.
+//!
+//! The cache guarantee: a warm re-run of any campaign serves every
+//! cell from disk (zero simulations) and renders byte-identical output.
+//! See DESIGN.md §10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifacts;
+pub mod cache;
+pub mod render;
+pub mod run;
+pub mod sched;
+pub mod spec;
+
+pub use artifacts::ArtifactProfile;
+pub use cache::ResultCache;
+pub use run::{RunArtifacts, RunSpec};
+pub use sched::{Campaign, CampaignCounters};
+pub use spec::{CampaignPlan, CampaignSpec, GridRun};

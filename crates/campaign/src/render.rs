@@ -1,7 +1,7 @@
 //! Plain-text rendering of the regenerated tables and figures, in the
 //! layout of the paper.
 
-use crate::tables::{Figure7Row, Table2Row, Table3Row, Table4Row};
+use crate::artifacts::{Figure7Row, Table2Row, Table3Row, Table4Row};
 
 fn hline(width: usize) -> String {
     "-".repeat(width)
@@ -139,7 +139,7 @@ pub fn render_figure7(rows: &[Figure7Row]) -> String {
 }
 
 /// Render the MCS-lock extension table.
-pub fn render_ext_locks(rows: &[crate::tables::ExtLocksRow]) -> String {
+pub fn render_ext_locks(rows: &[crate::artifacts::ExtLocksRow]) -> String {
     let mut out = String::new();
     out.push_str("Extension: MCS queue locks (speedup over the LL/SC ticket lock).\n");
     out.push_str(&format!(
@@ -159,7 +159,7 @@ pub fn render_ext_locks(rows: &[crate::tables::ExtLocksRow]) -> String {
 }
 
 /// Render the barrier-algorithm extension table.
-pub fn render_ext_barriers(rows: &[crate::tables::ExtBarriersRow]) -> String {
+pub fn render_ext_barriers(rows: &[crate::artifacts::ExtBarriersRow]) -> String {
     let mut out = String::new();
     out.push_str(
         "Extension: dissemination barriers vs the paper's algorithms\n\
@@ -183,7 +183,7 @@ pub fn render_ext_barriers(rows: &[crate::tables::ExtBarriersRow]) -> String {
 }
 
 /// Render the k-level AMO tree study.
-pub fn render_ext_ktree(rows: &[crate::tables::ExtKtreeRow]) -> String {
+pub fn render_ext_ktree(rows: &[crate::artifacts::ExtKtreeRow]) -> String {
     let mut out = String::new();
     out.push_str(
         "Extension: deep AMO combining trees vs the flat AMO barrier\n\
@@ -290,7 +290,7 @@ pub fn csv_figure7(rows: &[Figure7Row]) -> String {
 }
 
 /// Render the synchronization-tax study.
-pub fn render_sync_tax(procs: u16, rows: &[crate::app::SyncTaxRow]) -> String {
+pub fn render_sync_tax(procs: u16, rows: &[amo_workloads::app::SyncTaxRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "Extension: synchronization tax of a bulk-synchronous app at {procs} CPUs\n\
@@ -314,7 +314,7 @@ pub fn render_sync_tax(procs: u16, rows: &[crate::app::SyncTaxRow]) -> String {
 }
 
 /// Render the critical-section sensitivity study.
-pub fn render_cs_sensitivity(procs: u16, rows: &[crate::app::CsSensitivityRow]) -> String {
+pub fn render_cs_sensitivity(procs: u16, rows: &[amo_workloads::app::CsSensitivityRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "Extension: ticket-lock sensitivity to critical-section length at {procs} CPUs\n\
@@ -344,7 +344,7 @@ pub fn render_cs_sensitivity(procs: u16, rows: &[crate::app::CsSensitivityRow]) 
 }
 
 /// Render the point-to-point signalling study.
-pub fn render_signal(pairs: u16, results: &[crate::app::SignalResult]) -> String {
+pub fn render_signal(pairs: u16, results: &[amo_workloads::app::SignalResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "Extension: producer→consumer signal latency ({pairs} cross-node pairs)\n"
@@ -361,7 +361,11 @@ pub fn render_signal(pairs: u16, results: &[crate::app::SignalResult]) -> String
 }
 
 /// Render the self-scheduling-loop study.
-pub fn render_self_sched(procs: u16, tasks: u32, rows: &[crate::app::SelfSchedRow]) -> String {
+pub fn render_self_sched(
+    procs: u16,
+    tasks: u32,
+    rows: &[amo_workloads::app::SelfSchedRow],
+) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "Extension: dynamic loop self-scheduling ({tasks} tasks on {procs} CPUs)\n"
@@ -384,15 +388,43 @@ pub fn render_self_sched(procs: u16, tasks: u32, rows: &[crate::app::SelfSchedRo
     out
 }
 
+/// Render the outcomes of a grid campaign, one line per cell:
+/// `label: name=value ...` for successful runs (the run's artifact
+/// scalars in their fixed order) or `label: error: ...` (first line of
+/// the failure) for faulted cells.
+pub fn render_grid(
+    runs: &[crate::spec::GridRun],
+    outcomes: &[Result<crate::run::RunArtifacts, String>],
+) -> String {
+    let mut out = String::new();
+    for (run, outcome) in runs.iter().zip(outcomes) {
+        match outcome {
+            Ok(art) => {
+                out.push_str(&run.label);
+                out.push(':');
+                for (name, value) in &art.numbers {
+                    out.push_str(&format!(" {name}={value}"));
+                }
+                out.push('\n');
+            }
+            Err(msg) => {
+                let first = msg.lines().next().unwrap_or("unknown failure");
+                out.push_str(&format!("{}: error: {first}\n", run.label));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tables::*;
+    use crate::artifacts::*;
     use amo_sync::Mechanism;
 
     #[test]
     fn app_renderers_cover_their_studies() {
-        use crate::app::{
+        use amo_workloads::app::{
             CsSensitivityRow, SelfSchedCell, SelfSchedRow, SignalResult, SyncTaxCell, SyncTaxRow,
         };
         let tax = vec![SyncTaxRow {

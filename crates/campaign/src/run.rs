@@ -1,0 +1,469 @@
+//! The unit a campaign schedules and caches: one simulation run.
+//!
+//! A [`RunSpec`] fully describes one simulator invocation — workload,
+//! mechanism, sizes, seeds, fault plan, config overrides. It canonicalizes
+//! to a JSON document ([`RunSpec::canonical_doc`]) whose stable 128-bit
+//! hash ([`RunSpec::key`]) is the run's content address: two specs with
+//! the same key are the same experiment, no matter which campaign, bin,
+//! or session asks for them. Executing a spec yields a
+//! [`RunArtifacts`] — the named scalars the table reducers consume plus
+//! the machine's full [`Stats`] — or, for a faulted grid cell, an error
+//! string; both outcomes serialize (`amo-run-artifacts-v1`) so the
+//! result cache can replay them without simulating.
+
+use amo_sync::Mechanism;
+use amo_types::jsonv::Json;
+use amo_types::{Cycle, JsonWriter, Stats, SystemConfig};
+use amo_workloads::runner::{
+    try_run_barrier, try_run_lock, BarrierAlgo, BarrierBench, LockBench, LockKind, SkewMode,
+};
+
+/// Schema tag of a serialized run outcome.
+pub const ARTIFACTS_SCHEMA: &str = "amo-run-artifacts-v1";
+
+/// Code fingerprint folded into every cache key. Bump the trailing
+/// model tag whenever a change alters simulated timing or statistics
+/// without touching any `RunSpec` field — the cache cannot see code,
+/// only keys, so this constant is how stale entries get invalidated
+/// wholesale. The crate version rides along so releases never collide.
+pub const CODE_FINGERPRINT: &str = concat!("amo-", env!("CARGO_PKG_VERSION"), "+model-1");
+
+/// One simulation run a campaign can schedule.
+///
+/// `Barrier` and `Lock` wrap the full bench descriptions (including
+/// optional `SystemConfig` overrides and fault plans) and execute
+/// through the fallible runners, so a faulted cell fails alone. The
+/// application-study variants wrap the single-cell entry points in
+/// `amo_workloads::app`.
+#[derive(Clone, Debug)]
+pub enum RunSpec {
+    /// A barrier benchmark cell.
+    Barrier(BarrierBench),
+    /// A lock benchmark cell.
+    Lock(LockBench),
+    /// One synchronization-tax cell: `steps` iterations of `grain`
+    /// cycles of jittered work plus a barrier.
+    SyncTax {
+        /// Mechanism under test.
+        mech: Mechanism,
+        /// Processor count.
+        procs: u16,
+        /// Cycles of useful work per processor per step.
+        grain: Cycle,
+        /// Steps (including warm-up).
+        steps: u32,
+        /// Warm-up steps excluded from measurement.
+        warmup: u32,
+    },
+    /// One producer→consumer signalling cell.
+    Signal {
+        /// Mechanism under test.
+        mech: Mechanism,
+        /// Cross-node producer/consumer pairs.
+        pairs: u16,
+        /// Ping-pong rounds per pair.
+        rounds: u32,
+    },
+    /// One self-scheduling-loop cell.
+    SelfSched {
+        /// Mechanism under test.
+        mech: Mechanism,
+        /// Processor count.
+        procs: u16,
+        /// Tasks in the shared pool.
+        tasks: u32,
+        /// Cycles of work per task.
+        grain: Cycle,
+    },
+}
+
+fn mech_tag(m: Mechanism) -> &'static str {
+    m.label()
+}
+
+fn algo_tag(a: BarrierAlgo) -> String {
+    match a {
+        BarrierAlgo::Central => "central".into(),
+        BarrierAlgo::Tree(b) => format!("tree:{b}"),
+        BarrierAlgo::KTree(b) => format!("ktree:{b}"),
+        BarrierAlgo::Dissemination => "dissem".into(),
+    }
+}
+
+fn skew_tag(s: SkewMode) -> &'static str {
+    match s {
+        SkewMode::Random => "random",
+        SkewMode::Arithmetic => "arithmetic",
+    }
+}
+
+fn kind_tag(k: LockKind) -> &'static str {
+    match k {
+        LockKind::Ticket => "ticket",
+        LockKind::Array => "array",
+        LockKind::Mcs => "mcs",
+    }
+}
+
+impl RunSpec {
+    /// The canonical JSON document this run hashes to. The document pins
+    /// every input that can change the simulated outcome: workload
+    /// parameters, the *normalized* machine configuration (an omitted
+    /// config override canonicalizes to the same document as an explicit
+    /// paper-default config — same machine, same key), and the
+    /// [`CODE_FINGERPRINT`].
+    pub fn canonical_doc(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.kv_str("code", CODE_FINGERPRINT);
+        match self {
+            RunSpec::Barrier(b) => {
+                w.kv_str("workload", "barrier");
+                w.kv_str("mech", mech_tag(b.mech));
+                w.kv_u64("procs", b.procs as u64);
+                w.kv_u64("episodes", b.episodes as u64);
+                w.kv_u64("warmup", b.warmup as u64);
+                w.kv_str("algo", &algo_tag(b.algo));
+                w.kv_str(
+                    "style",
+                    &b.style.map_or("default".into(), |s| format!("{s:?}")),
+                );
+                w.kv_u64("max_skew", b.max_skew);
+                w.kv_str("skew", skew_tag(b.skew));
+                w.kv_u64("seed", b.seed);
+                w.kv_u64("watchdog", b.watchdog);
+                let cfg = b
+                    .config
+                    .unwrap_or_else(|| SystemConfig::with_procs(b.procs));
+                w.key("config");
+                w.raw_val(&cfg.canonical_json());
+            }
+            RunSpec::Lock(b) => {
+                w.kv_str("workload", "lock");
+                w.kv_str("mech", mech_tag(b.mech));
+                w.kv_str("kind", kind_tag(b.kind));
+                w.kv_u64("procs", b.procs as u64);
+                w.kv_u64("rounds", b.rounds as u64);
+                w.kv_u64("cs_cycles", b.cs_cycles);
+                w.kv_u64("max_think", b.max_think);
+                w.kv_u64("seed", b.seed);
+                w.kv_u64("watchdog", b.watchdog);
+                w.key("check_exclusion");
+                w.bool_val(b.check_exclusion);
+                let cfg = b
+                    .config
+                    .unwrap_or_else(|| SystemConfig::with_procs(b.procs));
+                w.key("config");
+                w.raw_val(&cfg.canonical_json());
+            }
+            RunSpec::SyncTax {
+                mech,
+                procs,
+                grain,
+                steps,
+                warmup,
+            } => {
+                w.kv_str("workload", "sync_tax");
+                w.kv_str("mech", mech_tag(*mech));
+                w.kv_u64("procs", *procs as u64);
+                w.kv_u64("grain", *grain);
+                w.kv_u64("steps", *steps as u64);
+                w.kv_u64("warmup", *warmup as u64);
+                w.key("config");
+                w.raw_val(&SystemConfig::with_procs(*procs).canonical_json());
+            }
+            RunSpec::Signal {
+                mech,
+                pairs,
+                rounds,
+            } => {
+                w.kv_str("workload", "signal");
+                w.kv_str("mech", mech_tag(*mech));
+                w.kv_u64("pairs", *pairs as u64);
+                w.kv_u64("rounds", *rounds as u64);
+                w.key("config");
+                w.raw_val(&SystemConfig::with_procs(pairs * 2).canonical_json());
+            }
+            RunSpec::SelfSched {
+                mech,
+                procs,
+                tasks,
+                grain,
+            } => {
+                w.kv_str("workload", "self_sched");
+                w.kv_str("mech", mech_tag(*mech));
+                w.kv_u64("procs", *procs as u64);
+                w.kv_u64("tasks", *tasks as u64);
+                w.kv_u64("grain", *grain);
+                w.key("config");
+                w.raw_val(&SystemConfig::with_procs(*procs).canonical_json());
+            }
+        }
+        w.end_obj();
+        w.finish()
+    }
+
+    /// The run's content address: [`amo_types::seed::stable_hash128`] of
+    /// the canonical document.
+    pub fn key(&self) -> (u64, u64) {
+        amo_types::seed::stable_hash128(self.canonical_doc().as_bytes())
+    }
+
+    /// Execute the run. Faulted or stalled barrier/lock cells come back
+    /// as `Err(message)` — never a panic — so a campaign grid keeps its
+    /// other cells. (The application studies run fault-free machines and
+    /// keep their original panic-on-stall contract.)
+    pub fn execute(&self) -> Result<RunArtifacts, String> {
+        match self {
+            RunSpec::Barrier(b) => match try_run_barrier(*b) {
+                Ok(r) => Ok(RunArtifacts {
+                    numbers: vec![
+                        ("avg_cycles".into(), r.timing.avg_cycles),
+                        ("cycles_per_proc".into(), r.timing.cycles_per_proc),
+                        ("measured".into(), r.timing.measured as f64),
+                    ],
+                    stats: r.stats,
+                }),
+                Err(f) => Err(f.to_string()),
+            },
+            RunSpec::Lock(b) => match try_run_lock(*b) {
+                Ok(r) => Ok(RunArtifacts {
+                    numbers: vec![
+                        ("total_cycles".into(), r.timing.total_cycles as f64),
+                        (
+                            "cycles_per_acquisition".into(),
+                            r.timing.cycles_per_acquisition,
+                        ),
+                        ("acquisitions".into(), r.timing.acquisitions as f64),
+                    ],
+                    stats: r.stats,
+                }),
+                Err(f) => Err(f.to_string()),
+            },
+            RunSpec::SyncTax {
+                mech,
+                procs,
+                grain,
+                steps,
+                warmup,
+            } => {
+                let c = amo_workloads::app::sync_tax_cell(*mech, *procs, *grain, *steps, *warmup);
+                Ok(RunArtifacts {
+                    numbers: vec![("step_cycles".into(), c.step_cycles), ("tax".into(), c.tax)],
+                    stats: Stats::new(),
+                })
+            }
+            RunSpec::Signal {
+                mech,
+                pairs,
+                rounds,
+            } => {
+                let r = amo_workloads::app::signal_latency(*mech, *pairs, *rounds);
+                Ok(RunArtifacts {
+                    numbers: vec![("mean_latency".into(), r.mean_latency)],
+                    stats: Stats::new(),
+                })
+            }
+            RunSpec::SelfSched {
+                mech,
+                procs,
+                tasks,
+                grain,
+            } => {
+                let c = amo_workloads::app::self_sched_cell(*mech, *procs, *tasks, *grain);
+                Ok(RunArtifacts {
+                    numbers: vec![("total_cycles".into(), c.total_cycles as f64)],
+                    stats: Stats::new(),
+                })
+            }
+        }
+    }
+}
+
+/// What one run produced: the named scalars its reducers consume, plus
+/// the machine-wide statistics (message/byte/fault counters, latency
+/// histograms) for traffic figures and campaign-level aggregation.
+#[derive(Clone, Debug)]
+pub struct RunArtifacts {
+    /// Named scalar results, in a fixed per-workload order.
+    pub numbers: Vec<(String, f64)>,
+    /// Machine statistics (empty for the app studies, which reduce to
+    /// scalars only).
+    pub stats: Stats,
+}
+
+impl RunArtifacts {
+    /// Look up a named scalar; panics with the available names on a
+    /// miss (a reducer asking for the wrong workload's number is a bug).
+    pub fn num(&self, name: &str) -> f64 {
+        self.numbers
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| {
+                panic!(
+                    "no artifact number '{name}' (have: {})",
+                    self.numbers
+                        .iter()
+                        .map(|(n, _)| n.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })
+            .1
+    }
+}
+
+/// Serialize a run outcome (success or failure) as one
+/// `amo-run-artifacts-v1` JSON document. Floats use Rust's shortest
+/// round-trip `Display`, so a decode–encode cycle is byte-identical —
+/// the property the warm-cache bit-identity guarantee rests on.
+pub fn outcome_to_json(outcome: &Result<RunArtifacts, String>) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.kv_str("schema", ARTIFACTS_SCHEMA);
+    match outcome {
+        Ok(a) => {
+            w.kv_str("status", "ok");
+            w.key("numbers");
+            w.begin_arr();
+            for (name, value) in &a.numbers {
+                w.begin_arr();
+                w.str_val(name);
+                w.f64_val(*value);
+                w.end_arr();
+            }
+            w.end_arr();
+            w.key("stats");
+            a.stats.write_json(&mut w);
+        }
+        Err(msg) => {
+            w.kv_str("status", "error");
+            w.kv_str("message", msg);
+        }
+    }
+    w.end_obj();
+    w.finish()
+}
+
+/// Decode a serialized run outcome; `Err` describes why the document is
+/// not a valid `amo-run-artifacts-v1` (the cache treats that as
+/// corruption and recomputes).
+pub fn outcome_from_json(doc: &str) -> Result<Result<RunArtifacts, String>, String> {
+    let v = Json::parse(doc).map_err(|e| format!("artifacts: {e}"))?;
+    match v.get("schema").and_then(|s| s.as_str()) {
+        Some(ARTIFACTS_SCHEMA) => {}
+        other => return Err(format!("artifacts: bad schema {other:?}")),
+    }
+    match v.get("status").and_then(|s| s.as_str()) {
+        Some("ok") => {
+            let mut numbers = Vec::new();
+            for pair in v
+                .get("numbers")
+                .and_then(|n| n.as_arr())
+                .ok_or("artifacts: missing numbers")?
+            {
+                let pair = pair.as_arr().ok_or("artifacts: malformed number pair")?;
+                match pair {
+                    [name, value] => numbers.push((
+                        name.as_str()
+                            .ok_or("artifacts: number name not a string")?
+                            .to_string(),
+                        value
+                            .as_f64()
+                            .ok_or("artifacts: number value not a number")?,
+                    )),
+                    _ => return Err("artifacts: number pair arity".into()),
+                }
+            }
+            let stats = Stats::from_json(v.get("stats").ok_or("artifacts: missing stats")?)?;
+            Ok(Ok(RunArtifacts { numbers, stats }))
+        }
+        Some("error") => Ok(Err(v
+            .get("message")
+            .and_then(|m| m.as_str())
+            .ok_or("artifacts: missing error message")?
+            .to_string())),
+        other => Err(format!("artifacts: bad status {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn barrier_spec() -> RunSpec {
+        RunSpec::Barrier(BarrierBench {
+            episodes: 3,
+            warmup: 1,
+            ..BarrierBench::paper(Mechanism::Amo, 4)
+        })
+    }
+
+    #[test]
+    fn canonical_doc_is_normalized_over_default_config() {
+        // An explicit paper-default config override hashes identically
+        // to no override: same machine, same key.
+        let implicit = barrier_spec();
+        let explicit = RunSpec::Barrier(BarrierBench {
+            episodes: 3,
+            warmup: 1,
+            config: Some(SystemConfig::with_procs(4)),
+            ..BarrierBench::paper(Mechanism::Amo, 4)
+        });
+        assert_eq!(implicit.canonical_doc(), explicit.canonical_doc());
+        assert_eq!(implicit.key(), explicit.key());
+    }
+
+    #[test]
+    fn distinct_specs_get_distinct_keys() {
+        let a = barrier_spec();
+        let mut cfg = SystemConfig::with_procs(4);
+        cfg.faults.link_error_ppm = 1_000;
+        let b = RunSpec::Barrier(BarrierBench {
+            episodes: 3,
+            warmup: 1,
+            config: Some(cfg),
+            ..BarrierBench::paper(Mechanism::Amo, 4)
+        });
+        let c = RunSpec::Lock(LockBench::paper(Mechanism::Amo, LockKind::Ticket, 4));
+        assert_ne!(a.key(), b.key(), "fault plan must be part of the key");
+        assert_ne!(a.key(), c.key());
+        assert_ne!(b.key(), c.key());
+    }
+
+    #[test]
+    fn outcome_round_trips_byte_identically() {
+        let outcome = barrier_spec().execute();
+        assert!(outcome.is_ok());
+        let doc = outcome_to_json(&outcome);
+        let back = outcome_from_json(&doc).expect("decodes");
+        assert_eq!(
+            outcome_to_json(&back),
+            doc,
+            "decode∘encode must be identity"
+        );
+        let art = back.unwrap();
+        assert!(art.num("avg_cycles") > 0.0);
+        assert!(art.stats.total_msgs() > 0);
+    }
+
+    #[test]
+    fn faulted_cell_serializes_as_error() {
+        let mut cfg = SystemConfig::with_procs(4);
+        cfg.faults.link_error_ppm = 1_000_000;
+        cfg.faults.max_link_retries = 1;
+        cfg.faults.seed = 7;
+        let spec = RunSpec::Barrier(BarrierBench {
+            episodes: 2,
+            warmup: 1,
+            config: Some(cfg),
+            ..BarrierBench::paper(Mechanism::Amo, 4)
+        });
+        let outcome = spec.execute();
+        let msg = outcome.clone().unwrap_err();
+        assert!(msg.contains("aborted"), "{msg}");
+        let doc = outcome_to_json(&outcome);
+        let back = outcome_from_json(&doc).expect("decodes");
+        assert_eq!(back.unwrap_err(), msg);
+    }
+}

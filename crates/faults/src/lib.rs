@@ -16,20 +16,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use amo_types::seed::splitmix64 as mix;
 use amo_types::{Cycle, FaultConfig};
 
 /// One part-per-million denominator for error-rate draws.
 const PPM: u64 = 1_000_000;
-
-/// splitmix64 finalizer: a cheap, high-quality 64-bit mixer. Used as a
-/// keyed hash — callers fold their question into `x` and take the mix.
-#[inline]
-fn mix(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
 
 /// The runtime fault oracle. Cheap to copy; construct once per machine
 /// from the [`SystemConfig`](amo_types::SystemConfig)'s `faults` field.

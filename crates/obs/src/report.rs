@@ -30,6 +30,56 @@ pub fn metrics_json(stats: &Stats, series: Option<&TimeSeries>, meta: &[(&str, S
     w.finish()
 }
 
+/// Scheduling totals of one experiment campaign, for the aggregate
+/// report.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CampaignSummary {
+    /// Runs requested (before content-key dedup).
+    pub runs: u64,
+    /// Distinct runs after dedup.
+    pub unique: u64,
+    /// Distinct runs served from the result cache.
+    pub cache_hits: u64,
+    /// Distinct runs that simulated.
+    pub cache_misses: u64,
+    /// Distinct runs that ended in an error.
+    pub errors: u64,
+}
+
+/// Render a whole campaign's aggregate metrics as one `amo-metrics-v1`
+/// document: the standard `meta`/`stats` sections (with `stats` the
+/// merge of every run's statistics) plus a `campaign` section carrying
+/// the scheduling totals.
+pub fn campaign_metrics_json(
+    summary: &CampaignSummary,
+    stats: &Stats,
+    meta: &[(&str, String)],
+) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.kv_str("schema", "amo-metrics-v1");
+    w.key("meta");
+    w.begin_obj();
+    for (k, v) in meta {
+        w.kv_str(k, v);
+    }
+    w.end_obj();
+    w.key("campaign");
+    w.begin_obj();
+    w.kv_u64("runs", summary.runs);
+    w.kv_u64("unique", summary.unique);
+    w.kv_u64("cache_hits", summary.cache_hits);
+    w.kv_u64("cache_misses", summary.cache_misses);
+    w.kv_u64("errors", summary.errors);
+    w.end_obj();
+    w.key("stats");
+    stats.write_json(&mut w);
+    w.key("timeseries");
+    w.raw_val("null");
+    w.end_obj();
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +142,29 @@ mod tests {
             .as_arr()
             .unwrap();
         assert_eq!(ticks.len(), 1);
+    }
+
+    #[test]
+    fn campaign_report_carries_scheduling_totals() {
+        let summary = CampaignSummary {
+            runs: 10,
+            unique: 8,
+            cache_hits: 3,
+            cache_misses: 5,
+            errors: 1,
+        };
+        let doc = campaign_metrics_json(&summary, &Stats::new(), &[("campaign", "paper".into())]);
+        let v = Json::parse(&doc).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("amo-metrics-v1"));
+        let c = v.get("campaign").unwrap();
+        assert_eq!(c.get("runs").unwrap().as_u64(), Some(10));
+        assert_eq!(c.get("cache_hits").unwrap().as_u64(), Some(3));
+        assert_eq!(c.get("errors").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            v.get("stats").unwrap().get("schema").unwrap().as_str(),
+            Some("amo-stats-v1")
+        );
+        assert_eq!(v.get("timeseries"), Some(&Json::Null));
     }
 
     #[test]

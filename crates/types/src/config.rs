@@ -2,6 +2,7 @@
 //! parameters the paper describes in prose (AMU cache size, active-message
 //! handler costs, ...). All latencies are in 2 GHz CPU cycles.
 
+use crate::json::JsonWriter;
 use crate::Cycle;
 
 /// Geometry and latency of one cache level.
@@ -325,6 +326,158 @@ impl SystemConfig {
             "burst multiplier of 0 would disable errors inside bursts"
         );
     }
+
+    /// Every scalar field of the configuration as `(dotted path, value)`
+    /// pairs, in a frozen declaration order. This is the single source
+    /// for both [`canonical_json`](Self::canonical_json) (cache keys) and
+    /// [`set_field`](Self::set_field) (campaign spec overrides): a field
+    /// added here is automatically normalized, hashed, and overridable.
+    fn visit_fields(&self, f: &mut dyn FnMut(&'static str, u64)) {
+        let b = |v: bool| v as u64;
+        f("num_procs", self.num_procs as u64);
+        f("procs_per_node", self.procs_per_node as u64);
+        f("l1.size_bytes", self.l1.size_bytes);
+        f("l1.line_bytes", self.l1.line_bytes);
+        f("l1.ways", self.l1.ways as u64);
+        f("l1.hit_latency", self.l1.hit_latency);
+        f("l2.size_bytes", self.l2.size_bytes);
+        f("l2.line_bytes", self.l2.line_bytes);
+        f("l2.ways", self.l2.ways as u64);
+        f("l2.hit_latency", self.l2.hit_latency);
+        f("max_outstanding_misses", self.max_outstanding_misses as u64);
+        f("llsc_pair_overhead", self.llsc_pair_overhead);
+        f("min_residence", self.min_residence);
+        f("bus_latency", self.bus_latency);
+        f("hub_cycle", self.hub_cycle);
+        f("dir_occupancy_hub_cycles", self.dir_occupancy_hub_cycles);
+        f("dram_latency", self.dram_latency);
+        f("dram_channels", self.dram_channels as u64);
+        f("dram_occupancy", self.dram_occupancy);
+        f("network.hop_latency", self.network.hop_latency);
+        f("network.router_radix", self.network.router_radix as u64);
+        f("network.min_packet_bytes", self.network.min_packet_bytes);
+        f("network.header_bytes", self.network.header_bytes);
+        f(
+            "network.ni_bytes_per_cycle",
+            self.network.ni_bytes_per_cycle,
+        );
+        f(
+            "network.model_router_contention",
+            b(self.network.model_router_contention),
+        );
+        f("amu.cache_words", self.amu.cache_words as u64);
+        f("amu.op_hub_cycles", self.amu.op_hub_cycles);
+        f("amu.queue_cap", self.amu.queue_cap as u64);
+        f("amu.max_retries", self.amu.max_retries as u64);
+        f("amu.nack_backoff", self.amu.nack_backoff);
+        f("actmsg.invoke_cycles", self.actmsg.invoke_cycles);
+        f("actmsg.handler_cycles", self.actmsg.handler_cycles);
+        f("actmsg.queue_cap", self.actmsg.queue_cap as u64);
+        f("actmsg.timeout", self.actmsg.timeout);
+        f("actmsg.max_retries", self.actmsg.max_retries as u64);
+        f("faults.link_error_ppm", self.faults.link_error_ppm as u64);
+        f(
+            "faults.burst_multiplier",
+            self.faults.burst_multiplier as u64,
+        );
+        f("faults.burst_period", self.faults.burst_period);
+        f("faults.burst_len", self.faults.burst_len);
+        f("faults.jitter_max", self.faults.jitter_max);
+        f(
+            "faults.max_link_retries",
+            self.faults.max_link_retries as u64,
+        );
+        f("faults.link_retry_backoff", self.faults.link_retry_backoff);
+        f(
+            "faults.amu_brownout_period",
+            self.faults.amu_brownout_period,
+        );
+        f("faults.amu_brownout_len", self.faults.amu_brownout_len);
+        f("faults.seed", self.faults.seed);
+    }
+
+    /// Canonical normalized form: one flat JSON object, every field by
+    /// dotted path in declaration order. Two configs are behaviorally
+    /// identical iff their canonical JSON is byte-identical, which is
+    /// what makes it a sound cache-key component.
+    pub fn canonical_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        self.visit_fields(&mut |path, v| w.kv_u64(path, v));
+        w.end_obj();
+        w.finish()
+    }
+
+    /// Set one scalar field by its dotted path (the same names
+    /// [`canonical_json`](Self::canonical_json) emits). Booleans take
+    /// 0/1. Used by campaign specs to express config axes like
+    /// `"faults.link_error_ppm": [0, 1000, 10000]`.
+    pub fn set_field(&mut self, path: &str, value: u64) -> Result<(), String> {
+        let narrow = |what: &str, max: u64| {
+            if value > max {
+                Err(format!("{what} out of range: {value} > {max}"))
+            } else {
+                Ok(value)
+            }
+        };
+        match path {
+            "num_procs" => self.num_procs = narrow(path, u16::MAX as u64)? as u16,
+            "procs_per_node" => self.procs_per_node = narrow(path, u16::MAX as u64)? as u16,
+            "l1.size_bytes" => self.l1.size_bytes = value,
+            "l1.line_bytes" => self.l1.line_bytes = value,
+            "l1.ways" => self.l1.ways = value as usize,
+            "l1.hit_latency" => self.l1.hit_latency = value,
+            "l2.size_bytes" => self.l2.size_bytes = value,
+            "l2.line_bytes" => self.l2.line_bytes = value,
+            "l2.ways" => self.l2.ways = value as usize,
+            "l2.hit_latency" => self.l2.hit_latency = value,
+            "max_outstanding_misses" => self.max_outstanding_misses = value as usize,
+            "llsc_pair_overhead" => self.llsc_pair_overhead = value,
+            "min_residence" => self.min_residence = value,
+            "bus_latency" => self.bus_latency = value,
+            "hub_cycle" => self.hub_cycle = value,
+            "dir_occupancy_hub_cycles" => self.dir_occupancy_hub_cycles = value,
+            "dram_latency" => self.dram_latency = value,
+            "dram_channels" => self.dram_channels = value as usize,
+            "dram_occupancy" => self.dram_occupancy = value,
+            "network.hop_latency" => self.network.hop_latency = value,
+            "network.router_radix" => self.network.router_radix = value as usize,
+            "network.min_packet_bytes" => self.network.min_packet_bytes = value,
+            "network.header_bytes" => self.network.header_bytes = value,
+            "network.ni_bytes_per_cycle" => self.network.ni_bytes_per_cycle = value,
+            "network.model_router_contention" => {
+                self.network.model_router_contention = narrow(path, 1)? != 0
+            }
+            "amu.cache_words" => self.amu.cache_words = value as usize,
+            "amu.op_hub_cycles" => self.amu.op_hub_cycles = value,
+            "amu.queue_cap" => self.amu.queue_cap = value as usize,
+            "amu.max_retries" => self.amu.max_retries = narrow(path, u32::MAX as u64)? as u32,
+            "amu.nack_backoff" => self.amu.nack_backoff = value,
+            "actmsg.invoke_cycles" => self.actmsg.invoke_cycles = value,
+            "actmsg.handler_cycles" => self.actmsg.handler_cycles = value,
+            "actmsg.queue_cap" => self.actmsg.queue_cap = value as usize,
+            "actmsg.timeout" => self.actmsg.timeout = value,
+            "actmsg.max_retries" => self.actmsg.max_retries = narrow(path, u32::MAX as u64)? as u32,
+            "faults.link_error_ppm" => {
+                self.faults.link_error_ppm = narrow(path, u32::MAX as u64)? as u32
+            }
+            "faults.burst_multiplier" => {
+                self.faults.burst_multiplier = narrow(path, u32::MAX as u64)? as u32
+            }
+            "faults.burst_period" => self.faults.burst_period = value,
+            "faults.burst_len" => self.faults.burst_len = value,
+            "faults.jitter_max" => self.faults.jitter_max = value,
+            "faults.max_link_retries" => {
+                self.faults.max_link_retries = narrow(path, u32::MAX as u64)? as u32
+            }
+            "faults.link_retry_backoff" => self.faults.link_retry_backoff = value,
+            "faults.amu_brownout_period" => self.faults.amu_brownout_period = value,
+            "faults.amu_brownout_len" => self.faults.amu_brownout_len = value,
+            "faults.seed" => self.faults.seed = value,
+            other => return Err(format!("unknown SystemConfig field `{other}`")),
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -399,5 +552,40 @@ mod tests {
         c.faults.burst_period = 100;
         c.faults.burst_len = 200;
         c.validate();
+    }
+
+    /// Every path `canonical_json` emits must round-trip through
+    /// `set_field`, and equal configs must normalize identically —
+    /// otherwise the cache key would split or alias grid cells.
+    #[test]
+    fn canonical_json_and_set_field_agree() {
+        let c = SystemConfig::with_procs(64);
+        let j = c.canonical_json();
+        assert!(j.starts_with(r#"{"num_procs":64,"#), "{j}");
+        assert!(j.contains(r#""faults.seed":0"#), "{j}");
+        assert_eq!(j, SystemConfig::with_procs(64).canonical_json());
+
+        // Rebuild a distinct config purely via set_field from the
+        // canonical pairs and require byte-identical normalization.
+        let mut src = SystemConfig::default();
+        src.faults.link_error_ppm = 12_345;
+        src.network.model_router_contention = true;
+        src.amu.cache_words = 16;
+        let mut dst = SystemConfig::default();
+        let mut pairs = Vec::new();
+        src.visit_fields(&mut |p, v| pairs.push((p, v)));
+        for (p, v) in pairs {
+            dst.set_field(p, v).unwrap();
+        }
+        assert_eq!(dst, src);
+        assert_eq!(dst.canonical_json(), src.canonical_json());
+
+        // Distinct configs must not alias.
+        assert_ne!(
+            SystemConfig::with_procs(64).canonical_json(),
+            SystemConfig::with_procs(128).canonical_json()
+        );
+        assert!(dst.set_field("no.such.field", 1).is_err());
+        assert!(dst.set_field("network.model_router_contention", 2).is_err());
     }
 }

@@ -11,6 +11,7 @@
 //! value that actually occurred.
 
 use crate::json::JsonWriter;
+use crate::jsonv::Json;
 
 /// Number of histogram buckets: bucket 0 holds exact zeros, bucket `b`
 /// (1..=31) holds `[2^(b-1), 2^b)`, and bucket 32 holds everything from
@@ -155,6 +156,41 @@ impl LatHist {
         w.end_arr();
         w.end_obj();
     }
+
+    /// Reconstruct a histogram from the object [`write_json`]
+    /// (Self::write_json) emits. The trimmed tail of the bucket array is
+    /// zero-filled; the derived `p50`/`p95`/`p99` members are ignored
+    /// (they are recomputed on demand). Exact round trip:
+    /// `from_json(parse(write_json(h))) == h`.
+    pub fn from_json(v: &Json) -> Result<LatHist, String> {
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("histogram: missing or non-integer `{k}`"))
+        };
+        let mut h = LatHist {
+            count: field("count")?,
+            sum: field("sum")?,
+            max: field("max")?,
+            buckets: [0; LAT_BUCKETS],
+        };
+        let bs = v
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or("histogram: missing `buckets` array")?;
+        if bs.len() > LAT_BUCKETS {
+            return Err(format!(
+                "histogram: {} buckets, max {LAT_BUCKETS}",
+                bs.len()
+            ));
+        }
+        for (i, b) in bs.iter().enumerate() {
+            h.buckets[i] = b
+                .as_u64()
+                .ok_or_else(|| format!("histogram: bucket {i} not an integer"))?;
+        }
+        Ok(h)
+    }
 }
 
 #[cfg(test)]
@@ -283,5 +319,24 @@ mod tests {
             w.finish(),
             r#"{"count":1,"sum":3,"max":3,"p50":3,"p95":3,"p99":3,"buckets":[0,0,1]}"#
         );
+    }
+
+    #[test]
+    fn json_round_trip_restores_trimmed_buckets() {
+        let mut h = LatHist::new();
+        for v in [0, 3, 900, 1 << 20] {
+            h.record(v);
+        }
+        let mut w = JsonWriter::new();
+        h.write_json(&mut w);
+        let parsed = Json::parse(&w.finish()).unwrap();
+        let back = LatHist::from_json(&parsed).unwrap();
+        assert_eq!(back, h, "round trip must be exact, tail zero-filled");
+        // An empty histogram (fully trimmed bucket array) also survives.
+        let empty = LatHist::new();
+        let mut w = JsonWriter::new();
+        empty.write_json(&mut w);
+        let back = LatHist::from_json(&Json::parse(&w.finish()).unwrap()).unwrap();
+        assert_eq!(back, empty);
     }
 }

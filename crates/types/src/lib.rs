@@ -23,7 +23,9 @@ pub mod fxmap;
 pub mod histogram;
 pub mod ids;
 pub mod json;
+pub mod jsonv;
 pub mod msg;
+pub mod seed;
 pub mod stats;
 
 pub use addr::{Addr, BlockAddr};
@@ -33,6 +35,7 @@ pub use fxmap::{FxHashMap, FxHashSet, FxHasher};
 pub use histogram::{LatHist, LAT_BUCKETS};
 pub use ids::{NodeId, ProcId, ReqId};
 pub use json::JsonWriter;
+pub use jsonv::Json;
 pub use msg::{
     AmoKind, BlockData, HandlerKind, InterventionKind, InterventionResp, Packet, Payload, Publish,
     SpinPred,

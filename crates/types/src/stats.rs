@@ -35,6 +35,7 @@
 use crate::histogram::LatHist;
 use crate::ids::NodeId;
 use crate::json::JsonWriter;
+use crate::jsonv::Json;
 use std::fmt;
 
 /// Coarse classification of wire messages for traffic accounting.
@@ -184,6 +185,10 @@ pub trait StatField {
     fn fill_distinct(&mut self, next: &mut dyn FnMut() -> u64);
     /// Emit this field as a JSON value.
     fn write_json(&self, w: &mut JsonWriter);
+    /// Overwrite this field from the JSON value [`write_json`]
+    /// (Self::write_json) emitted — the exact inverse, so counters cached
+    /// on disk decode bit-identically.
+    fn read_json(&mut self, v: &Json) -> Result<(), String>;
 }
 
 impl StatField for u64 {
@@ -198,6 +203,10 @@ impl StatField for u64 {
     }
     fn write_json(&self, w: &mut JsonWriter) {
         w.u64_val(*self);
+    }
+    fn read_json(&mut self, v: &Json) -> Result<(), String> {
+        *self = v.as_u64().ok_or("expected an unsigned integer")?;
+        Ok(())
     }
 }
 
@@ -223,6 +232,16 @@ impl<const N: usize> StatField for [u64; N] {
             w.u64_val(*v);
         }
         w.end_arr();
+    }
+    fn read_json(&mut self, v: &Json) -> Result<(), String> {
+        let arr = v.as_arr().ok_or("expected an array")?;
+        if arr.len() != N {
+            return Err(format!("expected {N} elements, got {}", arr.len()));
+        }
+        for (slot, e) in self.iter_mut().zip(arr) {
+            slot.read_json(e)?;
+        }
+        Ok(())
     }
 }
 
@@ -255,6 +274,15 @@ impl StatField for Vec<[u64; MSG_CLASSES]> {
         }
         w.end_arr();
     }
+    fn read_json(&mut self, v: &Json) -> Result<(), String> {
+        let arr = v.as_arr().ok_or("expected an array")?;
+        self.clear();
+        self.resize(arr.len(), [0; MSG_CLASSES]);
+        for (row, e) in self.iter_mut().zip(arr) {
+            row.read_json(e)?;
+        }
+        Ok(())
+    }
 }
 
 impl StatField for LatHist {
@@ -280,6 +308,10 @@ impl StatField for LatHist {
     fn write_json(&self, w: &mut JsonWriter) {
         LatHist::write_json(self, w);
     }
+    fn read_json(&mut self, v: &Json) -> Result<(), String> {
+        *self = LatHist::from_json(v)?;
+        Ok(())
+    }
 }
 
 impl<const N: usize> StatField for [LatHist; N] {
@@ -304,6 +336,16 @@ impl<const N: usize> StatField for [LatHist; N] {
             h.write_json(w);
         }
         w.end_arr();
+    }
+    fn read_json(&mut self, v: &Json) -> Result<(), String> {
+        let arr = v.as_arr().ok_or("expected an array")?;
+        if arr.len() != N {
+            return Err(format!("expected {N} histograms, got {}", arr.len()));
+        }
+        for (h, e) in self.iter_mut().zip(arr) {
+            h.read_json(e)?;
+        }
+        Ok(())
     }
 }
 
@@ -350,6 +392,39 @@ macro_rules! define_stats {
                     w.key(stringify!($field));
                     StatField::write_json(&self.$field, w);
                 )*
+            }
+
+            /// Reconstruct counters from a document produced by
+            /// [`Stats::to_json`] / [`Stats::write_json`]. Exact inverse
+            /// for every field — the campaign result cache relies on
+            /// `from_json(parse(to_json(s))).to_json() == s.to_json()`.
+            /// Every declared field must be present; unknown members of
+            /// `counters` are rejected so schema drift is caught, not
+            /// silently dropped.
+            pub fn from_json(v: &Json) -> Result<Stats, String> {
+                match v.get("schema").and_then(Json::as_str) {
+                    Some("amo-stats-v1") => {}
+                    other => return Err(format!("stats: bad schema {other:?}")),
+                }
+                let counters = v.get("counters").ok_or("stats: missing `counters`")?;
+                let Json::Obj(members) = counters else {
+                    return Err("stats: `counters` is not an object".into());
+                };
+                let known: &[&str] = &[$(stringify!($field)),*];
+                for (k, _) in members {
+                    if !known.contains(&k.as_str()) {
+                        return Err(format!("stats: unknown counter `{k}`"));
+                    }
+                }
+                let mut s = Stats::default();
+                $(
+                    let field = counters
+                        .get(stringify!($field))
+                        .ok_or_else(|| format!("stats: missing `{}`", stringify!($field)))?;
+                    StatField::read_json(&mut s.$field, field)
+                        .map_err(|e| format!("stats: `{}`: {e}", stringify!($field)))?;
+                )*
+                Ok(s)
             }
         }
     };
@@ -822,6 +897,29 @@ mod tests {
         let opens = j.matches(['{', '[']).count();
         let closes = j.matches(['}', ']']).count();
         assert_eq!(opens, closes);
+    }
+
+    /// `from_json` must invert `to_json` for every field the macro
+    /// declares — including grown per-node vectors and histograms with
+    /// trimmed bucket arrays.
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut s = Stats::new();
+        let mut seq = 0u64;
+        s.fill_distinct(&mut || {
+            seq += 1;
+            seq
+        });
+        // Make histogram `max` consistent-ish and exercise record paths.
+        s.record_op(OpClass::Spin, 1 << 22);
+        s.record_msg(MsgClass::Mao, 48, 3, NodeId(1), NodeId(0), MsgEndpoint::Hub);
+        let j = s.to_json();
+        let back = Stats::from_json(&Json::parse(&j).unwrap()).unwrap();
+        assert_eq!(back.to_json(), j, "round trip changed the document");
+
+        // Schema drift is rejected, not silently dropped.
+        let tampered = j.replacen(r#""msgs":"#, r#""msgsX":"#, 1);
+        assert!(Stats::from_json(&Json::parse(&tampered).unwrap()).is_err());
     }
 
     #[test]

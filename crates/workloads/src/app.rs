@@ -16,9 +16,14 @@ use crate::measure::barrier_measurement;
 use crate::runner::{run_lock, BarrierBench, LockBench, LockKind};
 use amo_sim::Machine;
 use amo_sync::{BarrierKernel, BarrierSpec, Mechanism, VarAlloc};
+use amo_types::seed::run_seed;
 use amo_types::{Cycle, NodeId, ProcId, SystemConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Base seed of the sync-tax work-jitter stream; the per-grain stream is
+/// `run_seed(SYNC_TAX_SEED, grain)`.
+pub const SYNC_TAX_SEED: u64 = 0x7_AEED;
 
 /// One mechanism's result at one work grain.
 #[derive(Clone, Debug)]
@@ -40,46 +45,52 @@ pub struct SyncTaxRow {
     pub cells: Vec<SyncTaxCell>,
 }
 
+/// One cell of the synchronization-tax study: `steps` iterations of
+/// `grain` cycles of local work followed by a barrier, one mechanism.
+/// Important detail: the work-jitter stream is seeded per *grain*
+/// (`run_seed(SYNC_TAX_SEED, grain)`), not per mechanism, so every
+/// mechanism sees the identical imbalance pattern.
+pub fn sync_tax_cell(
+    mech: Mechanism,
+    procs: u16,
+    grain: Cycle,
+    steps: u32,
+    warmup: u32,
+) -> SyncTaxCell {
+    let cfg = SystemConfig::with_procs(procs);
+    let mut machine = Machine::new(cfg);
+    let mut alloc = VarAlloc::new();
+    let spec = BarrierSpec::build(&mut alloc, mech, NodeId(0), procs, steps);
+    let mut rng = StdRng::seed_from_u64(run_seed(SYNC_TAX_SEED, grain));
+    for p in 0..procs {
+        // Work with ±5% jitter: realistic imbalance.
+        let work: Vec<Cycle> = (0..steps)
+            .map(|_| grain - grain / 20 + rng.gen_range(0..=grain / 10))
+            .collect();
+        machine.install_kernel(ProcId(p), Box::new(BarrierKernel::new(spec, work)), 0);
+    }
+    let res = machine.run(1_000_000_000_000);
+    assert!(res.all_finished, "{mech:?} stalled");
+    let m = barrier_measurement(machine.marks(), procs, steps, warmup);
+    SyncTaxCell {
+        mech,
+        step_cycles: m.avg_cycles,
+        tax: 1.0 - grain as f64 / m.avg_cycles,
+    }
+}
+
 /// Run a bulk-synchronous computation — `steps` iterations of
 /// `work_grain` cycles of local work followed by a barrier — and report
 /// each mechanism's synchronization tax.
 pub fn sync_tax(procs: u16, work_grains: &[Cycle], steps: u32, warmup: u32) -> Vec<SyncTaxRow> {
     work_grains
         .iter()
-        .map(|&grain| {
-            let cells = Mechanism::ALL
+        .map(|&grain| SyncTaxRow {
+            work_grain: grain,
+            cells: Mechanism::ALL
                 .iter()
-                .map(|&mech| {
-                    let cfg = SystemConfig::with_procs(procs);
-                    let mut machine = Machine::new(cfg);
-                    let mut alloc = VarAlloc::new();
-                    let spec = BarrierSpec::build(&mut alloc, mech, NodeId(0), procs, steps);
-                    let mut rng = StdRng::seed_from_u64(0x7A_EED ^ grain);
-                    for p in 0..procs {
-                        // Work with ±5% jitter: realistic imbalance.
-                        let work: Vec<Cycle> = (0..steps)
-                            .map(|_| grain - grain / 20 + rng.gen_range(0..=grain / 10))
-                            .collect();
-                        machine.install_kernel(
-                            ProcId(p),
-                            Box::new(BarrierKernel::new(spec, work)),
-                            0,
-                        );
-                    }
-                    let res = machine.run(1_000_000_000_000);
-                    assert!(res.all_finished, "{mech:?} stalled");
-                    let m = barrier_measurement(machine.marks(), procs, steps, warmup);
-                    SyncTaxCell {
-                        mech,
-                        step_cycles: m.avg_cycles,
-                        tax: 1.0 - grain as f64 / m.avg_cycles,
-                    }
-                })
-                .collect();
-            SyncTaxRow {
-                work_grain: grain,
-                cells,
-            }
+                .map(|&mech| sync_tax_cell(mech, procs, grain, steps, warmup))
+                .collect(),
         })
         .collect()
 }
@@ -315,6 +326,21 @@ pub struct SelfSchedRow {
 /// grains the fetch-add is the bottleneck — precisely where shipping it
 /// to the memory controller pays.
 pub fn self_scheduling(procs: u16, tasks: u32, task_grains: &[Cycle]) -> Vec<SelfSchedRow> {
+    task_grains
+        .iter()
+        .map(|&grain| SelfSchedRow {
+            task_grain: grain,
+            cells: Mechanism::ALL
+                .iter()
+                .map(|&mech| self_sched_cell(mech, procs, tasks, grain))
+                .collect(),
+        })
+        .collect()
+}
+
+/// One cell of the self-scheduling study: one mechanism draining the
+/// task pool at one task grain.
+pub fn self_sched_cell(mech: Mechanism, procs: u16, tasks: u32, grain: Cycle) -> SelfSchedCell {
     use amo_cpu::{Kernel, Op, Outcome};
     use amo_sync::mechanism::{FetchAddSub, Step};
     use amo_types::Word;
@@ -353,46 +379,32 @@ pub fn self_scheduling(procs: u16, tasks: u32, task_grains: &[Cycle]) -> Vec<Sel
         }
     }
 
-    task_grains
-        .iter()
-        .map(|&grain| {
-            let cells = Mechanism::ALL
-                .iter()
-                .map(|&mech| {
-                    let cfg = SystemConfig::with_procs(procs);
-                    let mut machine = Machine::new(cfg);
-                    let mut alloc = VarAlloc::new();
-                    let index = alloc.counter_for(mech, NodeId(0));
-                    let ctr_id = alloc.ctr(NodeId(0));
-                    for p in 0..procs {
-                        machine.install_kernel(
-                            ProcId(p),
-                            Box::new(Worker {
-                                mech,
-                                index,
-                                ctr_id,
-                                tasks: tasks as Word,
-                                grain,
-                                fa: None,
-                                computing: false,
-                            }),
-                            (p as Cycle) * 7, // slight stagger
-                        );
-                    }
-                    let res = machine.run(1_000_000_000_000);
-                    assert!(res.all_finished, "{mech:?} self-scheduling stalled");
-                    SelfSchedCell {
-                        mech,
-                        total_cycles: res.last_finish(),
-                    }
-                })
-                .collect();
-            SelfSchedRow {
-                task_grain: grain,
-                cells,
-            }
-        })
-        .collect()
+    let cfg = SystemConfig::with_procs(procs);
+    let mut machine = Machine::new(cfg);
+    let mut alloc = VarAlloc::new();
+    let index = alloc.counter_for(mech, NodeId(0));
+    let ctr_id = alloc.ctr(NodeId(0));
+    for p in 0..procs {
+        machine.install_kernel(
+            ProcId(p),
+            Box::new(Worker {
+                mech,
+                index,
+                ctr_id,
+                tasks: tasks as Word,
+                grain,
+                fa: None,
+                computing: false,
+            }),
+            (p as Cycle) * 7, // slight stagger
+        );
+    }
+    let res = machine.run(1_000_000_000_000);
+    assert!(res.all_finished, "{mech:?} self-scheduling stalled");
+    SelfSchedCell {
+        mech,
+        total_cycles: res.last_finish(),
+    }
 }
 
 /// The paper-intro headline number for a configuration: how many cycles

@@ -3,10 +3,11 @@
 //! the paper reports — barrier time, cycles-per-processor, lock
 //! benchmark time, and network traffic.
 //!
-//! The table/figure generators in [`tables`] regenerate every
-//! evaluation artefact of the paper: Table 2 / Figure 5 (centralized
-//! barriers), Table 3 / Figure 6 (tree barriers), Table 4 (locks), and
-//! Figure 7 (ticket-lock network traffic).
+//! This crate owns the *single-run* layer: the [`runner`] entry points
+//! (infallible and fallible), the application studies in [`app`], the
+//! [`measure`] reducers, and the [`executor`] work-stealing pool.
+//! Whole tables and figures are expanded, scheduled, cached, and
+//! rendered one level up, in the `amo-campaign` crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,12 +15,11 @@
 pub mod app;
 pub mod executor;
 pub mod measure;
-pub mod render;
 pub mod runner;
-pub mod tables;
 
 pub use measure::{BarrierMeasurement, LockMeasurement};
 pub use runner::{
-    run_barrier, run_barrier_obs, run_lock, run_lock_obs, BarrierAlgo, BarrierBench, BarrierResult,
-    LockBench, LockKind, LockResult, ObsReport, ObsSpec,
+    run_barrier, run_barrier_obs, run_lock, run_lock_obs, try_run_barrier, try_run_barrier_obs,
+    try_run_lock, try_run_lock_obs, BarrierAlgo, BarrierBench, BarrierResult, LockBench, LockKind,
+    LockResult, ObsReport, ObsSpec, RunFailure, RunInfo, SkewMode,
 };

@@ -1,14 +1,22 @@
 //! Build machines, install kernels, run, and collect results.
+//!
+//! Two entry-point families per workload: the infallible `run_*`
+//! (panics on a stalled or faulted run — right for paper-table
+//! generation where an abort is a bug) and the fallible `try_run_*`
+//! (returns a [`RunFailure`] carrying the typed [`SimError`], the
+//! machine statistics, and the stall report — right for campaign grids
+//! and chaos studies where one faulted cell must not kill the sweep).
 
 use crate::measure::{barrier_measurement, lock_measurement, BarrierMeasurement, LockMeasurement};
 use amo_obs::{RingTracer, TimeSeries, TraceBuf, Tracer};
-use amo_sim::{Machine, QueueKind};
+use amo_sim::{Machine, QueueKind, RunResult, SimError};
 use amo_sync::lock::ExclusionCheck;
 use amo_sync::{
     ArrayLockKernel, ArrayLockSpec, BarrierKernel, BarrierSpec, BarrierStyle, DisseminationKernel,
     DisseminationSpec, KTreeKernel, KTreeSpec, McsLockKernel, McsLockSpec, Mechanism,
     TicketLockKernel, TicketLockSpec, TreeBarrierKernel, TreeBarrierSpec, VarAlloc,
 };
+use amo_types::seed::{arithmetic_skew, run_seed};
 use amo_types::{Cycle, NodeId, ProcId, Stats, SystemConfig, Word};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -46,6 +54,81 @@ pub struct ObsReport {
     pub timeseries: Option<TimeSeries>,
 }
 
+/// How per-processor arrival skew is drawn.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SkewMode {
+    /// Seeded random skew from the bench's RNG stream (the paper's
+    /// methodology: same seed ⇒ identical arrival pattern across
+    /// mechanisms, which is what makes speedups fair).
+    #[default]
+    Random,
+    /// RNG-free arithmetic pattern `100 + (p*37 + e*13) % max_skew`
+    /// ([`amo_types::seed::arithmetic_skew`]). Chaos runs use this so
+    /// their output stays bit-identical under seed-derivation changes.
+    Arithmetic,
+}
+
+/// Run-level facts every completed or aborted simulation reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunInfo {
+    /// Cycle the run ended at.
+    pub end: Cycle,
+    /// Events the engine dispatched.
+    pub events: u64,
+    /// Did every kernel reach `Op::Done`?
+    pub all_finished: bool,
+    /// Latest kernel-finish cycle (0 if none finished).
+    pub last_finish: Cycle,
+}
+
+impl RunInfo {
+    fn from_result(res: &RunResult) -> Self {
+        RunInfo {
+            end: res.end,
+            events: res.events,
+            all_finished: res.all_finished,
+            last_finish: res.finished.iter().flatten().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+/// Why a fallible run did not produce a measurement. Carries everything
+/// the infallible runners used to fold into a panic message, plus the
+/// machine statistics — a faulted chaos run still reports its fault
+/// counters.
+#[derive(Clone, Debug)]
+pub struct RunFailure {
+    /// What was running, e.g. `"barrier Amo at 64 procs"`.
+    pub what: String,
+    /// The typed fault, if the machine detected one ( `None` for a
+    /// plain stall: the event queue drained, or the cycle limit hit,
+    /// with kernels unfinished and no watchdog armed).
+    pub error: Option<Box<SimError>>,
+    /// The machine's stall report at abort time.
+    pub stall_report: String,
+    /// Machine-wide statistics up to the abort.
+    pub stats: Stats,
+    /// Run-level facts at the abort.
+    pub info: RunInfo,
+    /// True if the run hit the cycle safety limit.
+    pub hit_limit: bool,
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.error {
+            Some(e) => write!(f, "{} aborted: {e}", self.what),
+            None => write!(
+                f,
+                "{} stalled (hit_limit={})\n{}",
+                self.what, self.hit_limit, self.stall_report
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunFailure {}
+
 /// Which barrier algorithm a [`BarrierBench`] runs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum BarrierAlgo {
@@ -79,9 +162,18 @@ pub struct BarrierBench {
     pub style: Option<BarrierStyle>,
     /// Maximum random pre-episode local work (arrival skew), in cycles.
     pub max_skew: Cycle,
+    /// How the skew pattern is drawn; see [`SkewMode`].
+    pub skew: SkewMode,
     /// RNG seed for the skew pattern (same seed ⇒ identical arrival
     /// pattern across mechanisms — that is what makes speedups fair).
+    /// The actual `StdRng` seed is derived as
+    /// `amo_types::seed::run_seed(seed, procs)`.
     pub seed: u64,
+    /// Arm the progress watchdog with this window (cycles); 0 leaves it
+    /// off. With the watchdog armed, stalls surface as typed
+    /// `NoProgress` / `Deadlock` errors instead of running to the cycle
+    /// limit.
+    pub watchdog: Cycle,
     /// Full machine-configuration override (ablations: AMU cache size,
     /// hop latency, handler costs, ...). `None` = the paper's Table 1
     /// with `procs` processors.
@@ -99,7 +191,9 @@ impl BarrierBench {
             algo: BarrierAlgo::Central,
             style: None,
             max_skew: 800,
+            skew: SkewMode::Random,
             seed: 0xA40_5EED,
+            watchdog: 0,
             config: None,
         }
     }
@@ -132,17 +226,33 @@ pub struct BarrierResult {
     pub timing: BarrierMeasurement,
     /// Machine-wide statistics for the whole run.
     pub stats: Stats,
+    /// Run-level facts (end cycle, events, last finish).
+    pub info: RunInfo,
     /// Trace / time-series captured per the run's [`ObsSpec`].
     pub obs: ObsReport,
 }
 
-fn skew_plan(rng: &mut StdRng, episodes: u32, max_skew: Cycle) -> Vec<Cycle> {
-    (0..episodes)
-        .map(|_| 100 + rng.gen_range(0..max_skew.max(1)))
-        .collect()
+/// One processor's per-episode arrival-skew plan. `Random` draws come
+/// sequentially from the bench's one RNG stream (call order = proc
+/// order); `Arithmetic` ignores the RNG entirely.
+fn skew_plan(
+    mode: SkewMode,
+    rng: &mut StdRng,
+    p: u16,
+    episodes: u32,
+    max_skew: Cycle,
+) -> Vec<Cycle> {
+    match mode {
+        SkewMode::Random => (0..episodes)
+            .map(|_| 100 + rng.gen_range(0..max_skew.max(1)))
+            .collect(),
+        SkewMode::Arithmetic => (0..episodes)
+            .map(|e| arithmetic_skew(p as u64, e as u64, max_skew.max(1)))
+            .collect(),
+    }
 }
 
-/// Run one barrier benchmark to completion.
+/// Run one barrier benchmark to completion; panics on a stall or fault.
 pub fn run_barrier(bench: BarrierBench) -> BarrierResult {
     run_barrier_obs(bench, ObsSpec::default())
 }
@@ -151,6 +261,21 @@ pub fn run_barrier(bench: BarrierBench) -> BarrierResult {
 /// `trace_cap` keeps the `NopTracer` machine so the hot path is
 /// identical to [`run_barrier`].
 pub fn run_barrier_obs(bench: BarrierBench, obs: ObsSpec) -> BarrierResult {
+    try_run_barrier_obs(bench, obs).unwrap_or_else(|f| panic!("barrier run stalled: {f}"))
+}
+
+/// Fallible barrier run: a stalled or faulted machine comes back as a
+/// [`RunFailure`] instead of a panic, so a campaign grid cell can fail
+/// alone.
+pub fn try_run_barrier(bench: BarrierBench) -> Result<BarrierResult, Box<RunFailure>> {
+    try_run_barrier_obs(bench, ObsSpec::default())
+}
+
+/// Fallible barrier run with observation; see [`try_run_barrier`].
+pub fn try_run_barrier_obs(
+    bench: BarrierBench,
+    obs: ObsSpec,
+) -> Result<BarrierResult, Box<RunFailure>> {
     let cfg = bench
         .config
         .unwrap_or_else(|| SystemConfig::with_procs(bench.procs));
@@ -172,13 +297,16 @@ fn run_barrier_on<T: Tracer>(
     cfg: SystemConfig,
     mut machine: Machine<T>,
     obs: ObsSpec,
-) -> BarrierResult {
+) -> Result<BarrierResult, Box<RunFailure>> {
     if obs.sample_interval > 0 {
         machine.enable_sampling(obs.sample_interval);
     }
+    if bench.watchdog > 0 {
+        machine.enable_watchdog(bench.watchdog);
+    }
     let nodes = cfg.num_nodes();
     let mut alloc = VarAlloc::new();
-    let mut rng = StdRng::seed_from_u64(bench.seed ^ (bench.procs as u64) << 32);
+    let mut rng = StdRng::seed_from_u64(run_seed(bench.seed, bench.procs as u64));
 
     match bench.algo {
         BarrierAlgo::Central => {
@@ -200,7 +328,7 @@ fn run_barrier_on<T: Tracer>(
                 ),
             };
             for p in 0..bench.procs {
-                let work = skew_plan(&mut rng, bench.episodes, bench.max_skew);
+                let work = skew_plan(bench.skew, &mut rng, p, bench.episodes, bench.max_skew);
                 machine.install_kernel(ProcId(p), Box::new(BarrierKernel::new(spec, work)), 0);
             }
         }
@@ -214,7 +342,7 @@ fn run_barrier_on<T: Tracer>(
                 nodes,
             );
             for p in 0..bench.procs {
-                let work = skew_plan(&mut rng, bench.episodes, bench.max_skew);
+                let work = skew_plan(bench.skew, &mut rng, p, bench.episodes, bench.max_skew);
                 machine.install_kernel(
                     ProcId(p),
                     Box::new(TreeBarrierKernel::new(spec.clone(), p, work)),
@@ -232,7 +360,7 @@ fn run_barrier_on<T: Tracer>(
                 nodes,
             );
             for p in 0..bench.procs {
-                let work = skew_plan(&mut rng, bench.episodes, bench.max_skew);
+                let work = skew_plan(bench.skew, &mut rng, p, bench.episodes, bench.max_skew);
                 machine.install_kernel(
                     ProcId(p),
                     Box::new(KTreeKernel::new(spec.clone(), p, work)),
@@ -249,7 +377,7 @@ fn run_barrier_on<T: Tracer>(
                 bench.episodes,
             );
             for p in 0..bench.procs {
-                let work = skew_plan(&mut rng, bench.episodes, bench.max_skew);
+                let work = skew_plan(bench.skew, &mut rng, p, bench.episodes, bench.max_skew);
                 machine.install_kernel(
                     ProcId(p),
                     Box::new(DisseminationKernel::new(spec.clone(), p, work)),
@@ -260,25 +388,28 @@ fn run_barrier_on<T: Tracer>(
     }
 
     let res = machine.run(MAX_CYCLES);
-    assert!(
-        res.all_finished,
-        "barrier run stalled: {:?} at {} procs (hit_limit={})\n{}",
-        bench.mech,
-        bench.procs,
-        res.hit_limit,
-        machine.stall_report()
-    );
+    if !res.all_finished || res.error.is_some() {
+        return Err(Box::new(RunFailure {
+            what: format!("barrier {:?} at {} procs", bench.mech, bench.procs),
+            stall_report: machine.stall_report(),
+            stats: machine.stats().clone(),
+            info: RunInfo::from_result(&res),
+            hit_limit: res.hit_limit,
+            error: res.error.map(Box::new),
+        }));
+    }
     let timing = barrier_measurement(machine.marks(), bench.procs, bench.episodes, bench.warmup);
     let stats = machine.stats().clone();
-    BarrierResult {
+    Ok(BarrierResult {
         bench,
         timing,
         stats,
+        info: RunInfo::from_result(&res),
         obs: ObsReport {
             trace: machine.take_trace_buf(),
             timeseries: machine.take_timeseries(),
         },
-    }
+    })
 }
 
 /// Search tree branching factors and return the best-performing result,
@@ -335,8 +466,11 @@ pub struct LockBench {
     pub cs_cycles: Cycle,
     /// Maximum random think time between acquisitions.
     pub max_think: Cycle,
-    /// RNG seed (shared across mechanisms for fairness).
+    /// RNG seed (shared across mechanisms for fairness). The actual
+    /// `StdRng` seed is `amo_types::seed::run_seed(seed, procs)`.
     pub seed: u64,
+    /// Arm the progress watchdog with this window (cycles); 0 = off.
+    pub watchdog: Cycle,
     /// Attach the in-simulation mutual-exclusion checker.
     pub check_exclusion: bool,
     /// Full machine-configuration override (ablations). `None` = the
@@ -355,6 +489,7 @@ impl LockBench {
             cs_cycles: 250,
             max_think: 1_000,
             seed: 0x10C_5EED,
+            watchdog: 0,
             check_exclusion: true,
             config: None,
         }
@@ -372,17 +507,30 @@ pub struct LockResult {
     pub stats: Stats,
     /// Mutual-exclusion violations observed (must be zero).
     pub violations: u64,
+    /// Run-level facts (end cycle, events, last finish).
+    pub info: RunInfo,
     /// Trace / time-series captured per the run's [`ObsSpec`].
     pub obs: ObsReport,
 }
 
-/// Run one lock benchmark to completion.
+/// Run one lock benchmark to completion; panics on a stall or fault.
 pub fn run_lock(bench: LockBench) -> LockResult {
     run_lock_obs(bench, ObsSpec::default())
 }
 
 /// Run one lock benchmark, optionally tracing and sampling.
 pub fn run_lock_obs(bench: LockBench, obs: ObsSpec) -> LockResult {
+    try_run_lock_obs(bench, obs).unwrap_or_else(|f| panic!("lock run stalled: {f}"))
+}
+
+/// Fallible lock run; see [`try_run_barrier`]. A mutual-exclusion
+/// violation counts as a failure.
+pub fn try_run_lock(bench: LockBench) -> Result<LockResult, Box<RunFailure>> {
+    try_run_lock_obs(bench, ObsSpec::default())
+}
+
+/// Fallible lock run with observation; see [`try_run_lock`].
+pub fn try_run_lock_obs(bench: LockBench, obs: ObsSpec) -> Result<LockResult, Box<RunFailure>> {
     let cfg = bench
         .config
         .unwrap_or_else(|| SystemConfig::with_procs(bench.procs));
@@ -404,12 +552,15 @@ fn run_lock_on<T: Tracer>(
     cfg: SystemConfig,
     mut machine: Machine<T>,
     obs: ObsSpec,
-) -> LockResult {
+) -> Result<LockResult, Box<RunFailure>> {
     if obs.sample_interval > 0 {
         machine.enable_sampling(obs.sample_interval);
     }
+    if bench.watchdog > 0 {
+        machine.enable_watchdog(bench.watchdog);
+    }
     let mut alloc = VarAlloc::new();
-    let mut rng = StdRng::seed_from_u64(bench.seed ^ (bench.procs as u64) << 32);
+    let mut rng = StdRng::seed_from_u64(run_seed(bench.seed, bench.procs as u64));
     let check = bench.check_exclusion.then(|| ExclusionCheck {
         addr: alloc.word(NodeId(0)),
         violations: Rc::new(Cell::new(0)),
@@ -496,14 +647,20 @@ fn run_lock_on<T: Tracer>(
     }
 
     let res = machine.run(MAX_CYCLES);
-    assert!(
-        res.all_finished,
-        "lock run stalled: {:?} {:?} at {} procs\n{}",
-        bench.mech,
-        bench.kind,
-        bench.procs,
-        machine.stall_report()
+    let what = format!(
+        "lock {:?} {:?} at {} procs",
+        bench.mech, bench.kind, bench.procs
     );
+    if !res.all_finished || res.error.is_some() {
+        return Err(Box::new(RunFailure {
+            what,
+            stall_report: machine.stall_report(),
+            stats: machine.stats().clone(),
+            info: RunInfo::from_result(&res),
+            hit_limit: res.hit_limit,
+            error: res.error.map(Box::new),
+        }));
+    }
     let violations = check.map_or(0, |c| c.violations.get());
     assert_eq!(
         violations, 0,
@@ -512,16 +669,17 @@ fn run_lock_on<T: Tracer>(
     );
     let timing = lock_measurement(machine.marks(), bench.procs, bench.rounds);
     let stats = machine.stats().clone();
-    LockResult {
+    Ok(LockResult {
         bench,
         timing,
         stats,
         violations,
+        info: RunInfo::from_result(&res),
         obs: ObsReport {
             trace: machine.take_trace_buf(),
             timeseries: machine.take_timeseries(),
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -590,6 +748,41 @@ mod tests {
         let ts = observed.obs.timeseries.expect("sampling requested");
         assert!(!ts.ticks.is_empty());
         assert!(plain.obs.trace.is_none() && plain.obs.timeseries.is_none());
+    }
+
+    #[test]
+    fn try_runner_surfaces_faults_as_values() {
+        let mut cfg = SystemConfig::with_procs(4);
+        cfg.faults.link_error_ppm = 1_000_000;
+        cfg.faults.max_link_retries = 1;
+        cfg.faults.seed = 7;
+        let err = try_run_barrier(BarrierBench {
+            episodes: 2,
+            warmup: 1,
+            config: Some(cfg),
+            ..BarrierBench::paper(Mechanism::Amo, 4)
+        })
+        .unwrap_err();
+        assert!(err.error.is_some(), "expected a typed SimError");
+        assert!(err.stats.link_crc_errors > 0, "fault counters must survive");
+        assert!(err.to_string().contains("aborted"), "{err}");
+        assert!(err.info.events > 0);
+    }
+
+    #[test]
+    fn arithmetic_skew_ignores_the_seed() {
+        let b = BarrierBench {
+            episodes: 3,
+            warmup: 1,
+            skew: SkewMode::Arithmetic,
+            ..BarrierBench::paper(Mechanism::Amo, 4)
+        };
+        let a = run_barrier(b);
+        let c = run_barrier(BarrierBench { seed: 999, ..b });
+        assert_eq!(
+            a.timing.per_episode, c.timing.per_episode,
+            "arithmetic skew must be RNG-free"
+        );
     }
 
     #[test]

@@ -103,10 +103,11 @@ fn actmsg_baseline_retransmission_counts_are_pinned() {
         ..BarrierBench::paper(Mechanism::ActMsg, 64)
     });
     // Pinned: with the shipped exponential-backoff-plus-jitter schedule
-    // (doubling per attempt, capped at 16x) this workload needs exactly
-    // this many retransmissions.
+    // (doubling per attempt, capped at 16x) and the splitmix64 per-run
+    // seed derivation, this workload needs exactly this many
+    // retransmissions.
     assert_eq!(
-        act.stats.actmsg_retransmissions, 192,
+        act.stats.actmsg_retransmissions, 193,
         "backoff change shifted the Figure 5 baseline"
     );
 }
