@@ -1,0 +1,157 @@
+//! Micro-benchmarks for the hot-path memory layout: the calendar
+//! queue's push/pop cycle, slab arenas vs hash maps for id→state
+//! lookup, and the precomputed-route `Fabric::send`. Not paper
+//! artefacts — these isolate the three layers the layout overhaul
+//! touched so a regression shows up with a component name attached
+//! instead of as a diffuse `sim_throughput` slowdown.
+
+use amo_engine::{EventQueue, QueueKind};
+use amo_noc::Fabric;
+use amo_types::{
+    BlockAddr, FxHashMap, MsgClass, MsgEndpoint, NodeId, Payload, ProcId, Slab, Stats, SystemConfig,
+};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Calendar-queue push/pop: the self-message pattern the simulator
+/// generates (near-future events at mixed offsets), measured per event
+/// through a full schedule→drain cycle for both queue kinds.
+fn queue_cycle(c: &mut Criterion) {
+    const EVENTS: u64 = 4096;
+    let mut g = c.benchmark_group("queue_cycle");
+    g.throughput(Throughput::Elements(EVENTS));
+    for kind in [QueueKind::Heap, QueueKind::Calendar] {
+        g.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| {
+                let mut q: EventQueue<u64> = EventQueue::with_kind(kind);
+                let mut t = 0u64;
+                for i in 0..EVENTS {
+                    // Mixed offsets: same-cycle bursts plus short hops,
+                    // like protocol fan-out followed by link latencies.
+                    t += [0, 0, 3, 17][(i % 4) as usize];
+                    q.schedule(t, i);
+                }
+                let mut sum = 0u64;
+                while let Some((_, e)) = q.pop() {
+                    sum = sum.wrapping_add(e);
+                }
+                black_box(sum)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Batched drain vs per-event pops over the same tied-run-heavy stream.
+fn queue_batch_drain(c: &mut Criterion) {
+    const EVENTS: u64 = 4096;
+    let mut g = c.benchmark_group("queue_batch_drain");
+    g.throughput(Throughput::Elements(EVENTS));
+    g.bench_function("pop_batch_into", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::with_kind(QueueKind::Calendar);
+            for i in 0..EVENTS {
+                q.schedule((i / 16) * 40, i); // 16-way ties per cycle
+            }
+            let mut batch = Vec::new();
+            let mut sum = 0u64;
+            while q.pop_batch_into(&mut batch).is_some() {
+                for e in batch.drain(..) {
+                    sum = sum.wrapping_add(e);
+                }
+            }
+            black_box(sum)
+        })
+    });
+    g.finish();
+}
+
+/// Slab insert/lookup/remove vs `FxHashMap` with the same churn: the
+/// directory's transaction-arena access pattern (a few live entries,
+/// high turnover, id reuse).
+fn slab_vs_hashmap(c: &mut Criterion) {
+    const OPS: u64 = 4096;
+    const LIVE: usize = 8;
+    let mut g = c.benchmark_group("txn_state");
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function("slab", |b| {
+        b.iter(|| {
+            let mut slab: Slab<(u64, u64)> = Slab::new();
+            let mut ids = Vec::with_capacity(LIVE);
+            let mut sum = 0u64;
+            for i in 0..OPS {
+                ids.push(slab.insert((i, i * 3)));
+                if ids.len() == LIVE {
+                    for id in ids.drain(..) {
+                        sum = sum.wrapping_add(slab.get(id).unwrap().1);
+                        slab.remove(id);
+                    }
+                }
+            }
+            black_box(sum)
+        })
+    });
+    g.bench_function("fx_hashmap", |b| {
+        b.iter(|| {
+            let mut map: FxHashMap<u64, (u64, u64)> = FxHashMap::default();
+            let mut keys = Vec::with_capacity(LIVE);
+            let mut sum = 0u64;
+            for i in 0..OPS {
+                map.insert(i, (i, i * 3));
+                keys.push(i);
+                if keys.len() == LIVE {
+                    for k in keys.drain(..) {
+                        sum = sum.wrapping_add(map.get(&k).unwrap().1);
+                        map.remove(&k);
+                    }
+                }
+            }
+            black_box(sum)
+        })
+    });
+    g.finish();
+}
+
+/// `Fabric::send` with the precomputed hop table: remote control
+/// messages across a 128-node radix-8 machine, all-pairs traffic.
+fn fabric_send(c: &mut Criterion) {
+    const NODES: u16 = 128;
+    let cfg = SystemConfig::default();
+    let payload = Payload::InvAck {
+        block: BlockAddr(0x1000),
+        from: ProcId(0),
+    };
+    debug_assert_eq!(payload.class(), MsgClass::InvAck);
+    let mut g = c.benchmark_group("fabric_send");
+    g.throughput(Throughput::Elements(u64::from(NODES) * u64::from(NODES)));
+    g.bench_function(format!("{NODES}nodes_all_pairs"), |b| {
+        let mut fabric = Fabric::new(NODES, cfg.network);
+        let mut stats = Stats::new();
+        let mut now = 0;
+        b.iter(|| {
+            for s in 0..NODES {
+                for d in 0..NODES {
+                    now = fabric.send(
+                        now,
+                        NodeId(s),
+                        NodeId(d),
+                        &payload,
+                        MsgEndpoint::Hub,
+                        &mut stats,
+                    );
+                }
+            }
+            black_box(now)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    queue_cycle,
+    queue_batch_drain,
+    slab_vs_hashmap,
+    fabric_send
+);
+criterion_main!(benches);

@@ -1,21 +1,27 @@
-//! Engine performance smoke: measures simulator events/sec on the
-//! 64-processor LL/SC barrier workload for both future-event-list
-//! implementations (reference heap vs calendar queue), plus the
-//! wall-clock effect of the work-stealing sweep executor, and records
-//! the numbers to `BENCH_engine.json` so future PRs have a perf
-//! trajectory to beat.
+//! Engine performance smoke: measures simulator events/sec on a
+//! three-workload suite — the 64-processor LL/SC barrier, the
+//! 64-processor AMO barrier, and a 64-way contended AMO ticket lock —
+//! for both future-event-list implementations (reference heap vs
+//! calendar queue), plus the wall-clock effect of the work-stealing
+//! sweep executor, and records the numbers to `BENCH_engine.json` so
+//! future PRs have a perf trajectory to beat.
 //!
 //! Usage: `cargo run --release -p amo-bench --bin perf_smoke [out.json]`
 //!
 //! Regression guard: set `AMO_PERF_BASELINE=path/to/BENCH_engine.json`
-//! (typically the committed record) and the run exits nonzero if the
-//! calendar-queue throughput falls more than `AMO_PERF_TOLERANCE`
-//! (default 0.05 = 5%) below the recorded number. This is what keeps
-//! the `NopTracer` instrumentation hooks honest about being free.
+//! (typically the committed record) and the run exits nonzero if any
+//! workload's calendar-queue throughput falls more than
+//! `AMO_PERF_TOLERANCE` (default 0.05 = 5%) below its recorded number.
+//! This is what keeps the `NopTracer` instrumentation hooks honest
+//! about being free. A baseline in the old single-workload schema (no
+//! `workloads` object) marks a pre-overhaul record: against one of
+//! those, at least one workload must additionally clear 1.25x — the
+//! layout overhaul's enforced win. Regenerating the record switches it
+//! to the new schema, which disarms that one-time requirement.
 
 use amo_sim::{Machine, QueueKind};
-use amo_sync::{BarrierKernel, BarrierSpec, Mechanism, VarAlloc};
-use amo_types::{NodeId, ProcId, SystemConfig};
+use amo_sync::{BarrierKernel, BarrierSpec, Mechanism, TicketLockKernel, TicketLockSpec, VarAlloc};
+use amo_types::{Cycle, NodeId, ProcId, SystemConfig, Word};
 use std::time::Instant;
 
 const PROCS: u16 = 64;
@@ -23,6 +29,7 @@ const REPS: usize = 7;
 
 /// Barrier episodes per run; `AMO_PERF_EPISODES` overrides. The default
 /// makes one run ~0.2s so single-core scheduling noise averages out.
+/// The ticket-lock workload scales its rounds off the same knob.
 fn episodes() -> usize {
     std::env::var("AMO_PERF_EPISODES")
         .ok()
@@ -35,45 +42,19 @@ fn episodes() -> usize {
 /// for the worktree recipe). When absent, the in-binary heap engine is
 /// the reference — it understates the PR's effect because it already
 /// benefits from the dispatch-path work (no payload clones, pooled
-/// effect buffers, Fx-hashed maps, flat link table).
+/// effect buffers, packed payloads, slab arenas, flat link table).
 fn seed_baseline() -> Option<f64> {
     std::env::var("AMO_SEED_EVENTS_PER_SEC")
         .ok()
         .and_then(|v| v.parse().ok())
 }
 
-/// Committed-record regression guard: `AMO_PERF_BASELINE` names a prior
-/// `BENCH_engine.json`; returns its calendar events/s and the allowed
-/// fractional slowdown (`AMO_PERF_TOLERANCE`, default 5%).
-fn committed_baseline() -> Option<(f64, f64)> {
-    let path = std::env::var("AMO_PERF_BASELINE").ok()?;
-    let text =
-        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("AMO_PERF_BASELINE={path}: {e}"));
-    let doc = amo_obs::Json::parse(&text)
-        .unwrap_or_else(|e| panic!("AMO_PERF_BASELINE={path}: bad JSON: {e}"));
-    let eps = doc
-        .get("calendar_events_per_sec")
-        .and_then(|v| v.as_f64())
-        .unwrap_or_else(|| panic!("AMO_PERF_BASELINE={path}: no calendar_events_per_sec"));
-    let tol = std::env::var("AMO_PERF_TOLERANCE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.05);
-    Some((eps, tol))
-}
-
-/// One timed run of the benchmark workload; returns (events, seconds).
-fn barrier_run(kind: QueueKind) -> (u64, f64) {
+/// One timed run of a barrier workload; returns (events, seconds).
+fn barrier_run(mech: Mechanism, kind: QueueKind) -> (u64, f64) {
     let episodes = episodes();
     let mut m = Machine::new_with_queue(SystemConfig::with_procs(PROCS), kind);
     let mut alloc = VarAlloc::new();
-    let spec = BarrierSpec::build(
-        &mut alloc,
-        Mechanism::LlSc,
-        NodeId(0),
-        PROCS,
-        episodes as u32,
-    );
+    let spec = BarrierSpec::build(&mut alloc, mech, NodeId(0), PROCS, episodes as u32);
     for p in 0..PROCS {
         let work = vec![200; episodes];
         m.install_kernel(ProcId(p), Box::new(BarrierKernel::new(spec, work)), 0);
@@ -85,16 +66,49 @@ fn barrier_run(kind: QueueKind) -> (u64, f64) {
     (res.events, secs)
 }
 
-/// Best-of-N events/sec for one queue implementation.
-fn throughput(kind: QueueKind) -> (u64, f64, f64) {
+/// One timed run of the contended ticket-lock workload: every processor
+/// fights for one AMO-sequenced lock, which hammers the home directory,
+/// the AMU fetch-add path, and the word-update fanout.
+fn lock_run(kind: QueueKind) -> (u64, f64) {
+    let rounds = (episodes() / 20).max(4) as u32;
+    let mut m = Machine::new_with_queue(SystemConfig::with_procs(PROCS), kind);
+    let mut alloc = VarAlloc::new();
+    let spec = TicketLockSpec::build(&mut alloc, Mechanism::Amo, NodeId(0), rounds, 150);
+    for p in 0..PROCS {
+        let think: Vec<Cycle> = (0..rounds as u64)
+            .map(|r| 100 + (p as Cycle * 41 + r * 17) % 500)
+            .collect();
+        m.install_kernel(
+            ProcId(p),
+            Box::new(TicketLockKernel::new(spec, think, p as Word + 1, None)),
+            0,
+        );
+    }
+    let t0 = Instant::now();
+    let res = m.run(10_000_000_000);
+    let secs = t0.elapsed().as_secs_f64();
+    assert!(res.all_finished, "benchmark workload must complete");
+    (res.events, secs)
+}
+
+/// Best-of-N events/sec for one workload and queue implementation.
+fn throughput(run: impl Fn(QueueKind) -> (u64, f64), kind: QueueKind) -> (u64, f64, f64) {
     let mut best = f64::INFINITY;
     let mut events = 0;
     for _ in 0..REPS {
-        let (ev, secs) = barrier_run(kind);
+        let (ev, secs) = run(kind);
         events = ev;
         best = best.min(secs);
     }
     (events, best, events as f64 / best)
+}
+
+struct Measured {
+    key: &'static str,
+    desc: String,
+    events: u64,
+    heap_eps: f64,
+    cal_eps: f64,
 }
 
 /// A moderate table sweep, used to measure the executor's effect. Runs
@@ -109,43 +123,137 @@ fn sweep() -> f64 {
     t0.elapsed().as_secs_f64()
 }
 
+/// Committed-record regression guard, per workload. Returns the parsed
+/// baseline document and the allowed fractional slowdown.
+fn committed_baseline() -> Option<(amo_obs::Json, f64)> {
+    let path = std::env::var("AMO_PERF_BASELINE").ok()?;
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("AMO_PERF_BASELINE={path}: {e}"));
+    let doc = amo_obs::Json::parse(&text)
+        .unwrap_or_else(|e| panic!("AMO_PERF_BASELINE={path}: bad JSON: {e}"));
+    let tol = std::env::var("AMO_PERF_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05);
+    Some((doc, tol))
+}
+
+/// Baseline calendar events/s for `key`, if the record has one. The old
+/// single-workload schema recorded only the LL/SC barrier under a
+/// top-level key.
+fn baseline_for(doc: &amo_obs::Json, key: &str) -> Option<f64> {
+    if let Some(w) = doc.get("workloads") {
+        return w.get(key)?.get("calendar_events_per_sec")?.as_f64();
+    }
+    if key == "llsc_barrier" {
+        return doc.get("calendar_events_per_sec")?.as_f64();
+    }
+    None
+}
+
+/// One suite entry: (record key, human label, workload runner).
+type Workload = (&'static str, String, Box<dyn Fn(QueueKind) -> (u64, f64)>);
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_engine.json".into());
 
     let eps = episodes();
-    println!("engine throughput: {PROCS}-proc LL/SC barrier, {eps} episodes, best of {REPS}");
-    let (heap_events, heap_secs, heap_eps) = throughput(QueueKind::Heap);
-    println!("  heap queue (in-binary reference): {heap_eps:>12.0} events/s  ({heap_events} events, {heap_secs:.4}s)");
-    let (cal_events, cal_secs, cal_eps) = throughput(QueueKind::Calendar);
-    println!("  calendar queue:                   {cal_eps:>12.0} events/s  ({cal_events} events, {cal_secs:.4}s)");
-    assert_eq!(
-        heap_events, cal_events,
-        "queue implementations must dispatch identical event streams"
-    );
-    if let Some((base_eps, tol)) = committed_baseline() {
-        let floor = base_eps * (1.0 - tol);
-        let verdict = if cal_eps >= floor { "ok" } else { "REGRESSION" };
+    let lock_rounds = (eps / 20).max(4);
+    println!("engine throughput: three workloads, best of {REPS} each");
+    let suite: Vec<Workload> = vec![
+        (
+            "llsc_barrier",
+            format!("llsc_barrier_{PROCS}procs_{eps}episodes"),
+            Box::new(|k| barrier_run(Mechanism::LlSc, k)),
+        ),
+        (
+            "amo_barrier",
+            format!("amo_barrier_{PROCS}procs_{eps}episodes"),
+            Box::new(|k| barrier_run(Mechanism::Amo, k)),
+        ),
+        (
+            "ticket_lock",
+            format!("amo_ticket_lock_{PROCS}procs_{lock_rounds}rounds"),
+            Box::new(lock_run),
+        ),
+    ];
+
+    let mut results = Vec::new();
+    for (key, desc, run) in suite {
+        let (heap_events, _heap_secs, heap_eps) = throughput(&run, QueueKind::Heap);
+        let (cal_events, cal_secs, cal_eps) = throughput(&run, QueueKind::Calendar);
+        assert_eq!(
+            heap_events, cal_events,
+            "queue implementations must dispatch identical event streams ({key})"
+        );
         println!(
-            "  committed baseline:               {base_eps:>12.0} events/s              (floor {floor:.0} at {:.0}% tolerance) ... {verdict}",
-            tol * 100.0
+            "  {key:<12} heap {heap_eps:>12.0} ev/s   calendar {cal_eps:>12.0} ev/s  \
+             ({cal_events} events, {cal_secs:.4}s)"
         );
-        assert!(
-            cal_eps >= floor,
-            "calendar throughput {cal_eps:.0} events/s is more than {:.0}% below              the committed baseline {base_eps:.0} events/s",
-            tol * 100.0
-        );
+        results.push(Measured {
+            key,
+            desc,
+            events: cal_events,
+            heap_eps,
+            cal_eps,
+        });
     }
+
+    if let Some((doc, tol)) = committed_baseline() {
+        let old_schema = doc.get("workloads").is_none();
+        let mut best_speedup = 0.0f64;
+        for r in &results {
+            let Some(base) = baseline_for(&doc, r.key) else {
+                println!("  {:<12} no committed baseline — recorded fresh", r.key);
+                continue;
+            };
+            let floor = base * (1.0 - tol);
+            let speedup = r.cal_eps / base;
+            best_speedup = best_speedup.max(speedup);
+            let verdict = if r.cal_eps >= floor {
+                "ok"
+            } else {
+                "REGRESSION"
+            };
+            println!(
+                "  {:<12} baseline {base:>12.0} ev/s  (floor {floor:.0} at {:.0}% tolerance, \
+                 {speedup:.2}x) ... {verdict}",
+                r.key,
+                tol * 100.0
+            );
+            assert!(
+                r.cal_eps >= floor,
+                "{} throughput {:.0} events/s is more than {:.0}% below the committed \
+                 baseline {base:.0} events/s",
+                r.key,
+                r.cal_eps,
+                tol * 100.0
+            );
+        }
+        if old_schema {
+            assert!(
+                best_speedup >= 1.25,
+                "layout overhaul must clear 1.25x on at least one workload against a \
+                 pre-overhaul baseline; best was {best_speedup:.2}x"
+            );
+            println!(
+                "  overhaul win vs pre-overhaul baseline: {best_speedup:.2}x (>= 1.25x) ... ok"
+            );
+        }
+    }
+
+    let llsc = &results[0];
     let seed = seed_baseline();
-    let baseline_eps = seed.unwrap_or(heap_eps);
-    let speedup = cal_eps / baseline_eps;
+    let baseline_eps = seed.unwrap_or(llsc.heap_eps);
+    let speedup = llsc.cal_eps / baseline_eps;
     match seed {
         Some(b) => {
             println!("  seed engine (measured baseline):  {b:>12.0} events/s");
             println!("  speedup vs seed engine: {speedup:.2}x");
         }
-        None => println!("  speedup vs in-binary heap: {speedup:.2}x"),
+        None => println!("  llsc_barrier speedup vs in-binary heap: {speedup:.2}x"),
     }
 
     // Sweep wall-clock: one worker vs the full pool. The env knob is
@@ -165,19 +273,42 @@ fn main() {
         Some(b) => format!("\n  \"seed_events_per_sec\": {b:.0},"),
         None => String::new(),
     };
+    let workloads_json: String = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    \"{}\": {{\n      \"workload\": \"{}\",\n      \"events\": {},\n      \
+                 \"heap_events_per_sec\": {:.0},\n      \"calendar_events_per_sec\": {:.0}\n    }}",
+                r.key, r.desc, r.events, r.heap_eps, r.cal_eps
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    // The top-level `calendar_events_per_sec` key repeats the LL/SC
+    // barrier number so older tooling (and the pre-overhaul guard
+    // schema) keeps working.
     let json = format!(
-        "{{\n  \"bench\": \"engine\",\n  \"workload\": \"llsc_barrier_{PROCS}procs_{eps}episodes\",\n  \
-         \"events\": {cal_events},{seed_field}\n  \
-         \"heap_events_per_sec\": {heap_eps:.0},\n  \
-         \"calendar_events_per_sec\": {cal_eps:.0},\n  \
+        "{{\n  \"bench\": \"engine\",\n  \"workload\": \"{}\",\n  \
+         \"events\": {},{seed_field}\n  \
+         \"heap_events_per_sec\": {:.0},\n  \
+         \"calendar_events_per_sec\": {:.0},\n  \
          \"sim_throughput_speedup\": {speedup:.3},\n  \
          \"speedup_baseline\": \"{}\",\n  \
+         \"workloads\": {{\n{workloads_json}\n  }},\n  \
          \"sweep\": {{\n    \"workload\": \"table2[4..64]x5ep + table4[4..32]x4r\",\n    \
          \"serial_secs\": {serial_secs:.3},\n    \
          \"parallel_secs\": {parallel_secs:.3},\n    \
          \"workers\": {workers},\n    \
          \"speedup\": {sweep_speedup:.3}\n  }}\n}}\n",
-        if seed.is_some() { "seed_commit" } else { "in_binary_heap" },
+        llsc.desc,
+        llsc.events,
+        llsc.heap_eps,
+        llsc.cal_eps,
+        if seed.is_some() {
+            "seed_commit"
+        } else {
+            "in_binary_heap"
+        },
     );
     std::fs::write(&out_path, json).expect("write benchmark record");
     println!("wrote {out_path}");

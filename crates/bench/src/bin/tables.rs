@@ -4,6 +4,7 @@
 //! cargo run --release -p amo-bench --bin tables            # everything, paper sizes
 //! cargo run --release -p amo-bench --bin tables -- table2  # one artefact
 //! cargo run --release -p amo-bench --bin tables -- --quick # smoke sizes
+//! cargo run --release -p amo-bench --bin tables -- --csv   # machine-readable cells
 //! ```
 //!
 //! This binary is a thin shim over the `amo-campaign` artifact

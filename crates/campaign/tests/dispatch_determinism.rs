@@ -1,0 +1,51 @@
+//! Batched same-cycle dispatch must be invisible to campaign results:
+//! the content-addressed cache key hashes inputs only, and the executed
+//! artifacts must be byte-identical whether the machine drains the
+//! event queue in same-cycle batches (the default) or one event at a
+//! time (`AMO_DISPATCH_PER_EVENT=1`, read at machine construction).
+//! Anything less would make cached results depend on an execution-mode
+//! knob that is not part of the key.
+
+use amo_campaign::run::outcome_to_json;
+use amo_campaign::RunSpec;
+use amo_sync::Mechanism;
+use amo_workloads::runner::{BarrierBench, LockBench, LockKind};
+
+fn specs() -> Vec<RunSpec> {
+    vec![
+        RunSpec::Barrier(BarrierBench {
+            episodes: 3,
+            warmup: 1,
+            ..BarrierBench::paper(Mechanism::Amo, 8)
+        }),
+        RunSpec::Barrier(BarrierBench {
+            episodes: 3,
+            warmup: 1,
+            ..BarrierBench::paper(Mechanism::LlSc, 8)
+        }),
+        RunSpec::Lock(LockBench::paper(Mechanism::Amo, LockKind::Ticket, 8)),
+    ]
+}
+
+#[test]
+fn dispatch_mode_changes_neither_keys_nor_payload_bytes() {
+    for spec in specs() {
+        let key = spec.key();
+        let batched = outcome_to_json(&spec.execute());
+
+        std::env::set_var("AMO_DISPATCH_PER_EVENT", "1");
+        let per_event = outcome_to_json(&spec.execute());
+        let key_per_event = spec.key();
+        std::env::remove_var("AMO_DISPATCH_PER_EVENT");
+
+        assert_eq!(
+            key, key_per_event,
+            "cache keys hash inputs only — dispatch mode must not appear"
+        );
+        assert_eq!(
+            batched, per_event,
+            "batched and per-event dispatch must produce byte-identical \
+             cache payloads for {spec:?}"
+        );
+    }
+}

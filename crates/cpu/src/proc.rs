@@ -4,7 +4,6 @@
 use crate::kernel::{Kernel, Op, Outcome};
 use amo_cache::{CacheHierarchy, Evicted, LineState, LlReservation, Probe};
 use amo_types::stats::OpClass;
-use amo_types::FxHashMap;
 use amo_types::{
     Addr, BlockAddr, Cycle, HandlerKind, InterventionKind, InterventionResp, NodeId, Payload,
     ProcId, ReqId, SpinPred, Stats, SystemConfig, Word,
@@ -206,16 +205,19 @@ pub struct Processor {
     kstate: KState,
     last_outcome: Option<Outcome>,
     next_req: u64,
-    /// Outstanding injected (handler-published) stores: req → (addr, value).
-    injected: FxHashMap<ReqId, (Addr, Word)>,
+    /// Outstanding injected (handler-published) stores: (req, addr, value).
+    /// A handful at most — linear scan beats hashing.
+    injected: Vec<(ReqId, Addr, Word)>,
     /// Blocks with an in-flight coherence request from this processor
     /// (MSHRs): a second request for the same block must merge, not issue.
-    outstanding: std::collections::HashSet<u64>,
+    /// Bounded by the MSHR count (single digits), so a flat vector with
+    /// linear probes replaces the old hash set on this per-miss path.
+    outstanding: Vec<u64>,
     /// Injected stores waiting for an outstanding same-block transaction.
     deferred_injected: Vec<(Addr, Word)>,
     /// Minimum-residence windows of freshly-filled blocks: probes for
     /// these blocks are deferred until the recorded cycle.
-    hold_until: FxHashMap<u64, Cycle>,
+    hold_until: Vec<(u64, Cycle)>,
     /// The in-flight kernel op's latency-accounting class and issue time.
     pending_op: Option<(OpClass, Cycle)>,
     /// Emit [`ProcEffect::OpDone`] spans on op completion (off unless a
@@ -235,12 +237,14 @@ pub struct Processor {
     /// storm a saturated handler processor would otherwise generate:
     /// every spurious wake during busy time would schedule another).
     armed_wake: Cycle,
-    /// At-most-once dedup: last served request per requester.
-    served: FxHashMap<ProcId, (ReqId, Word)>,
+    /// At-most-once dedup: last served request per requester, indexed
+    /// densely by [`ProcId::index`] and grown on demand.
+    served: Vec<Option<(ReqId, Word)>>,
     /// Node-local active-message service counters.
     service_counters: Vec<Word>,
-    /// Home-mediated lock state (ticket queue per lock index).
-    lock_srv: FxHashMap<u16, LockSrv>,
+    /// Home-mediated lock state, keyed by lock index (few locks per
+    /// home — linear scan).
+    lock_srv: Vec<(u16, LockSrv)>,
     finished_at: Option<Cycle>,
 }
 
@@ -257,10 +261,10 @@ impl Processor {
             kstate: KState::Finished,
             last_outcome: None,
             next_req: 0,
-            injected: FxHashMap::default(),
-            outstanding: std::collections::HashSet::new(),
+            injected: Vec::new(),
+            outstanding: Vec::new(),
             deferred_injected: Vec::new(),
-            hold_until: FxHashMap::default(),
+            hold_until: Vec::new(),
             pending_op: None,
             trace_ops: false,
             handler_queue: VecDeque::new(),
@@ -269,9 +273,9 @@ impl Processor {
             busy_until: 0,
             handlers_since_yield: 0,
             armed_wake: 0,
-            served: FxHashMap::default(),
+            served: Vec::new(),
             service_counters: Vec::new(),
-            lock_srv: FxHashMap::default(),
+            lock_srv: Vec::new(),
             finished_at: None,
         }
     }
@@ -415,10 +419,52 @@ impl Processor {
         self.kstate = KState::Waiting { req, cont };
     }
 
+    /// Overwrite-or-insert the minimum-residence window of a block.
+    fn set_hold_until(&mut self, block: BlockAddr, until: Cycle) {
+        if let Some(slot) = self.hold_until.iter_mut().find(|(b, _)| *b == block.0) {
+            slot.1 = until;
+        } else {
+            self.hold_until.push((block.0, until));
+        }
+    }
+
+    /// Remove and return the injected store registered under `req`.
+    fn take_injected(&mut self, req: ReqId) -> Option<(Addr, Word)> {
+        let i = self.injected.iter().position(|&(r, _, _)| r == req)?;
+        let (_, addr, value) = self.injected.swap_remove(i);
+        Some((addr, value))
+    }
+
+    /// Last served (request, result) for `requester`, if any.
+    fn served_get(&self, requester: ProcId) -> Option<(ReqId, Word)> {
+        self.served.get(requester.index()).copied().flatten()
+    }
+
+    /// Record the served (request, result) for `requester`.
+    fn served_set(&mut self, requester: ProcId, req: ReqId, result: Word) {
+        let idx = requester.index();
+        if self.served.len() <= idx {
+            self.served.resize(idx + 1, None);
+        }
+        self.served[idx] = Some((req, result));
+    }
+
+    /// Lock-server state for `lock`, created on first touch.
+    fn lock_srv_mut(&mut self, lock: u16) -> &mut LockSrv {
+        if let Some(i) = self.lock_srv.iter().position(|(l, _)| *l == lock) {
+            return &mut self.lock_srv[i].1;
+        }
+        self.lock_srv.push((lock, LockSrv::default()));
+        &mut self.lock_srv.last_mut().expect("just pushed").1
+    }
+
     /// Register an outstanding block transaction and send its request.
     fn send_block_req(&mut self, block: BlockAddr, payload: Payload, eff: &mut Vec<ProcEffect>) {
-        let newly = self.outstanding.insert(block.0);
-        debug_assert!(newly, "duplicate outstanding request for {block}");
+        debug_assert!(
+            !self.outstanding.contains(&block.0),
+            "duplicate outstanding request for {block}"
+        );
+        self.outstanding.push(block.0);
         eff.push(ProcEffect::Send {
             dst: block.home(),
             payload,
@@ -447,7 +493,9 @@ impl Processor {
         stats: &mut Stats,
         eff: &mut Vec<ProcEffect>,
     ) {
-        self.outstanding.remove(&block.0);
+        if let Some(i) = self.outstanding.iter().position(|&b| b == block.0) {
+            self.outstanding.swap_remove(i);
+        }
         // A kernel op deferred on this block re-issues now.
         if let KState::Blocked { block: b, op } = self.kstate {
             if b == block {
@@ -800,7 +848,7 @@ impl Processor {
                         req,
                         requester: self.id,
                         target_proc,
-                        handler,
+                        handler: Box::new(handler),
                         attempt: 0,
                     },
                     eff,
@@ -916,8 +964,7 @@ impl Processor {
                 } => self.cfg.llsc_pair_overhead,
                 _ => 0,
             };
-            self.hold_until
-                .insert(block.0, now + self.cfg.min_residence + extra);
+            self.set_hold_until(block, now + self.cfg.min_residence + extra);
         }
         if let Some(Evicted {
             block: vb,
@@ -967,7 +1014,8 @@ impl Processor {
         // Forward-progress guarantee: probes for a freshly-acquired block
         // wait out its minimum-residence window.
         if let Payload::Inv { block } | Payload::Intervention { block, .. } = &payload {
-            if let Some(&until) = self.hold_until.get(&block.0) {
+            if let Some(i) = self.hold_until.iter().position(|&(b, _)| b == block.0) {
+                let until = self.hold_until[i].1;
                 if until > now {
                     eff.push(ProcEffect::Defer {
                         payload,
@@ -975,7 +1023,7 @@ impl Processor {
                     });
                     return;
                 }
-                self.hold_until.remove(&block.0);
+                self.hold_until.swap_remove(i);
             }
         }
         match payload {
@@ -1009,7 +1057,7 @@ impl Processor {
                 requester,
                 handler,
                 ..
-            } => self.on_incoming_actmsg(req, requester, handler, now, stats, eff),
+            } => self.on_incoming_actmsg(req, requester, *handler, now, stats, eff),
             other => panic!("processor {} got unexpected payload {other:?}", self.id),
         }
     }
@@ -1065,7 +1113,7 @@ impl Processor {
         eff: &mut Vec<ProcEffect>,
     ) {
         // Injected (handler-published) store?
-        if let Some((addr, value)) = self.injected.remove(&req) {
+        if let Some((addr, value)) = self.take_injected(req) {
             self.fill(block, LineState::Exclusive, data, addr, now, eff);
             assert!(self.caches.write_owned_word(addr, value));
             self.after_injected_write(addr, value, now, stats, eff);
@@ -1138,9 +1186,8 @@ impl Processor {
             } => self.cfg.llsc_pair_overhead,
             _ => 0,
         };
-        self.hold_until
-            .insert(block.0, now + self.cfg.min_residence + extra);
-        if let Some((addr, value)) = self.injected.remove(&req) {
+        self.set_hold_until(block, now + self.cfg.min_residence + extra);
+        if let Some((addr, value)) = self.take_injected(req) {
             assert!(self.caches.grant_exclusive(block));
             assert!(self.caches.write_owned_word(addr, value));
             self.after_injected_write(addr, value, now, stats, eff);
@@ -1456,7 +1503,7 @@ impl Processor {
                         req,
                         requester: self.id,
                         target_proc,
-                        handler,
+                        handler: Box::new(handler),
                         attempt,
                     },
                     eff,
@@ -1577,7 +1624,7 @@ impl Processor {
         // stale duplicate still crawling through the network — it must be
         // dropped, or it would re-run its handler (e.g. taking a phantom
         // lock ticket nobody will ever release).
-        if let Some(&(served_req, result)) = self.served.get(&requester) {
+        if let Some((served_req, result)) = self.served_get(requester) {
             if served_req == req {
                 self.send_home(
                     requester.node(self.cfg.procs_per_node),
@@ -1665,7 +1712,7 @@ impl Processor {
                 let new = old.wrapping_add(operand);
                 self.service_counters[idx] = new;
                 // Ack with the pre-add value (fetch-and-add semantics).
-                self.served.insert(msg.requester, (msg.req, old));
+                self.served_set(msg.requester, msg.req, old);
                 self.send_home(
                     msg.requester.node(ppn),
                     Payload::ActMsgAck {
@@ -1693,17 +1740,16 @@ impl Processor {
                 // interference the paper describes).
                 const SEQ_MASK: u64 = (1 << 48) - 1;
                 let already_served = self
-                    .served
-                    .get(&msg.requester)
-                    .is_some_and(|&(r, _)| (r.0 & SEQ_MASK) >= (msg.req.0 & SEQ_MASK));
-                let st = self.lock_srv.entry(lock).or_default();
+                    .served_get(msg.requester)
+                    .is_some_and(|(r, _)| (r.0 & SEQ_MASK) >= (msg.req.0 & SEQ_MASK));
+                let st = self.lock_srv_mut(lock);
                 let duplicate = already_served || st.waiting.values().any(|&(_, r)| r == msg.req);
                 if !duplicate {
                     let t = st.next_ticket;
                     st.next_ticket += 1;
                     if t == st.now_serving {
                         // Uncontended: grant immediately.
-                        self.served.insert(msg.requester, (msg.req, t));
+                        self.served_set(msg.requester, msg.req, t);
                         self.send_home(
                             msg.requester.node(ppn),
                             Payload::ActMsgAck {
@@ -1719,11 +1765,11 @@ impl Processor {
                 }
             }
             HandlerKind::LockRelease { lock } => {
-                let st = self.lock_srv.entry(lock).or_default();
+                let st = self.lock_srv_mut(lock);
                 st.now_serving += 1;
                 let serving = st.now_serving;
                 let granted = st.waiting.remove(&serving);
-                self.served.insert(msg.requester, (msg.req, serving));
+                self.served_set(msg.requester, msg.req, serving);
                 self.send_home(
                     msg.requester.node(ppn),
                     Payload::ActMsgAck {
@@ -1733,7 +1779,7 @@ impl Processor {
                     eff,
                 );
                 if let Some((w, wreq)) = granted {
-                    self.served.insert(w, (wreq, serving));
+                    self.served_set(w, wreq, serving);
                     self.send_home(
                         w.node(ppn),
                         Payload::ActMsgAck {
@@ -1765,7 +1811,7 @@ impl Processor {
             Probe::Miss => {
                 let req = self.alloc_req();
                 let block = self.caches.l2_block(addr);
-                self.injected.insert(req, (addr, value));
+                self.injected.push((req, addr, value));
                 self.send_block_req(
                     block,
                     Payload::GetX {
@@ -1783,7 +1829,7 @@ impl Processor {
                 } else {
                     let req = self.alloc_req();
                     let block = self.caches.l2_block(addr);
-                    self.injected.insert(req, (addr, value));
+                    self.injected.push((req, addr, value));
                     self.send_block_req(
                         block,
                         Payload::Upgrade {
@@ -1837,13 +1883,16 @@ impl Processor {
     /// Home-mediated lock state snapshot: (next_ticket, now_serving,
     /// waiting tickets) — diagnostics/tests.
     pub fn lock_srv_state(&self, lock: u16) -> Option<(Word, Word, Vec<Word>)> {
-        self.lock_srv.get(&lock).map(|s| {
-            (
-                s.next_ticket,
-                s.now_serving,
-                s.waiting.keys().copied().collect(),
-            )
-        })
+        self.lock_srv
+            .iter()
+            .find(|(l, _)| *l == lock)
+            .map(|(_, s)| {
+                (
+                    s.next_ticket,
+                    s.now_serving,
+                    s.waiting.keys().copied().collect(),
+                )
+            })
     }
 
     /// Debug rendering of the kernel state (diagnostics).
@@ -2186,7 +2235,7 @@ mod tests {
                 req: ReqId(99),
                 requester: ProcId(3),
                 target_proc: ProcId(0),
-                handler: h,
+                handler: Box::new(h),
                 attempt: 0,
             },
             1000,
@@ -2213,7 +2262,7 @@ mod tests {
                 req: ReqId(99),
                 requester: ProcId(3),
                 target_proc: ProcId(0),
-                handler: h,
+                handler: Box::new(h),
                 attempt: 1,
             },
             2000,
@@ -2246,7 +2295,7 @@ mod tests {
                     req: ReqId(i),
                     requester: ProcId(i as u16 + 1),
                     target_proc: ProcId(0),
-                    handler: h,
+                    handler: Box::new(h),
                     attempt: 0,
                 },
                 100,
@@ -2278,7 +2327,7 @@ mod tests {
                 req: ReqId(1),
                 requester: ProcId(2),
                 target_proc: ProcId(0),
-                handler: h,
+                handler: Box::new(h),
                 attempt: 0,
             },
             0,
@@ -2301,7 +2350,7 @@ mod tests {
                 req: ReqId(2),
                 requester: ProcId(3),
                 target_proc: ProcId(0),
-                handler: h,
+                handler: Box::new(h),
                 attempt: 0,
             },
             700,
@@ -2409,7 +2458,7 @@ mod tests {
             req: ReqId(((from as u64) << 48) | req),
             requester: ProcId(from),
             target_proc: ProcId(0),
-            handler: h,
+            handler: Box::new(h),
             attempt: 0,
         };
         // P1 acquires: immediate grant (ticket 0 == serving 0).
@@ -2470,7 +2519,7 @@ mod tests {
                 req: req_a,
                 requester: ProcId(1),
                 target_proc: ProcId(0),
-                handler: acquire,
+                handler: Box::new(acquire),
                 attempt: 0,
             },
             0,
@@ -2482,7 +2531,7 @@ mod tests {
                 req: req_b,
                 requester: ProcId(1),
                 target_proc: ProcId(0),
-                handler: HandlerKind::LockRelease { lock: 0 },
+                handler: Box::new(HandlerKind::LockRelease { lock: 0 }),
                 attempt: 0,
             },
             500,
@@ -2496,7 +2545,7 @@ mod tests {
                 req: req_a,
                 requester: ProcId(1),
                 target_proc: ProcId(0),
-                handler: acquire,
+                handler: Box::new(acquire),
                 attempt: 3,
             },
             2000,
@@ -2533,7 +2582,7 @@ mod tests {
                     req: ReqId(((2 + (i % 8)) << 48) | i),
                     requester: ProcId((2 + (i % 8)) as u16),
                     target_proc: ProcId(0),
-                    handler: h,
+                    handler: Box::new(h),
                     attempt: 0,
                 },
                 now,

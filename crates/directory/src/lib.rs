@@ -25,4 +25,4 @@
 
 pub mod protocol;
 
-pub use protocol::{DirAction, DirRequest, Directory};
+pub use protocol::{DirAction, DirRequest, Directory, ENTRY_SLOT_SIZE};

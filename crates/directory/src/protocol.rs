@@ -3,7 +3,7 @@
 use amo_types::FxHashMap;
 use amo_types::{
     Addr, BlockAddr, BlockData, InterventionKind, InterventionResp, NodeId, Payload, ProcId,
-    ProcSet, ReqId, Stats, Word,
+    ProcSet, ReqId, Slab, SlotId, Stats, Word,
 };
 use std::collections::VecDeque;
 
@@ -185,13 +185,37 @@ impl Entry {
             queue: VecDeque::new(),
         }
     }
+
+    /// An entry indistinguishable from a freshly created one: safe to
+    /// release back to the arena and recreate on the next touch.
+    fn is_idle(&self) -> bool {
+        self.state == DirState::Uncached
+            && self.sharers.is_empty()
+            && !self.amu_shared
+            && self.txn.is_none()
+            && self.queue.is_empty()
+    }
 }
 
+/// Size of one directory-entry slab slot in bytes. [`Entry`] is
+/// private; the slot size is exported so the layout-guard tests can pin
+/// the arena's per-block memory budget.
+pub const ENTRY_SLOT_SIZE: usize = amo_types::Slab::<Entry>::slot_size();
+
 /// The directory controller of one home node.
+///
+/// Entries live in a dense [`Slab`] arena; a hash index maps block
+/// addresses to slots only on the miss path. Sync workloads hammer a
+/// handful of blocks, so a one-entry MRU cache in front of the index
+/// turns the common `entry()` call into a compare plus an array access —
+/// no hashing on the hot path.
 pub struct Directory {
     node: NodeId,
     procs_per_node: u16,
-    entries: FxHashMap<u64, Entry>,
+    entries: Slab<Entry>,
+    index: FxHashMap<u64, SlotId>,
+    /// Most recently touched block and its slot.
+    mru: Option<(u64, SlotId)>,
 }
 
 impl Directory {
@@ -200,12 +224,57 @@ impl Directory {
         Directory {
             node,
             procs_per_node,
-            entries: FxHashMap::default(),
+            entries: Slab::new(),
+            index: FxHashMap::default(),
+            mru: None,
         }
     }
 
+    fn slot(&mut self, block: BlockAddr) -> SlotId {
+        if let Some((b, id)) = self.mru {
+            if b == block.0 {
+                return id;
+            }
+        }
+        let id = match self.index.get(&block.0) {
+            Some(&id) => id,
+            None => {
+                let id = self.entries.insert(Entry::new());
+                self.index.insert(block.0, id);
+                id
+            }
+        };
+        self.mru = Some((block.0, id));
+        id
+    }
+
     fn entry(&mut self, block: BlockAddr) -> &mut Entry {
-        self.entries.entry(block.0).or_insert_with(Entry::new)
+        let id = self.slot(block);
+        self.entries.get_mut(id).expect("indexed entry is live")
+    }
+
+    /// Read-only lookup that never allocates (diagnostics/observability).
+    fn peek(&self, block: BlockAddr) -> Option<&Entry> {
+        let id = *self.index.get(&block.0)?;
+        self.entries.get(id)
+    }
+
+    /// Return a fully idle entry to the arena. Called at the end of the
+    /// public entry points so long runs over many blocks (table sweeps,
+    /// uncached workloads) keep the arena dense instead of accreting
+    /// dead `Uncached` entries.
+    fn release_if_idle(&mut self, block: BlockAddr) {
+        let Some(&id) = self.index.get(&block.0) else {
+            return;
+        };
+        let idle = self.entries.get(id).is_some_and(Entry::is_idle);
+        if idle {
+            self.entries.remove(id);
+            self.index.remove(&block.0);
+            if self.mru.is_some_and(|(b, _)| b == block.0) {
+                self.mru = None;
+            }
+        }
     }
 
     /// Feed a request. If the block has an open transaction the request is
@@ -237,6 +306,7 @@ impl Directory {
             return;
         }
         self.dispatch(block, req, stats, actions);
+        self.release_if_idle(block);
     }
 
     fn dispatch(
@@ -497,6 +567,7 @@ impl Directory {
         assert!(txn.pending_acks > 0, "unexpected inv-ack");
         txn.pending_acks -= 1;
         self.try_complete(block, stats, actions);
+        self.release_if_idle(block);
     }
 
     /// The (former) owner answered an intervention.
@@ -556,6 +627,7 @@ impl Directory {
             }
         }
         self.try_complete(block, stats, actions);
+        self.release_if_idle(block);
     }
 
     /// A writeback arrived from an owner eviction.
@@ -587,6 +659,7 @@ impl Directory {
             txn.dirty_data = true;
             txn.waiting_writeback = false;
             self.try_complete(block, stats, actions);
+            self.release_if_idle(block);
             return;
         }
         // Standalone eviction.
@@ -597,6 +670,7 @@ impl Directory {
             stats.dir_transactions += 1;
         }
         // Otherwise: stale writeback from a superseded owner — drop it.
+        self.release_if_idle(block);
     }
 
     /// A DRAM read started by [`DirAction::ReadDram`] finished.
@@ -627,6 +701,7 @@ impl Directory {
             txn.data = Some(data);
         }
         self.try_complete(block, stats, actions);
+        self.release_if_idle(block);
     }
 
     /// The AMU finished the operation a fine-grained get fed; `put` is the
@@ -664,6 +739,7 @@ impl Directory {
             self.do_fine_put(block, addr, value, stats, actions);
         }
         self.pump(block, stats, actions);
+        self.release_if_idle(block);
     }
 
     fn try_complete(&mut self, block: BlockAddr, stats: &mut Stats, actions: &mut Vec<DirAction>) {
@@ -749,33 +825,34 @@ impl Directory {
 
     /// Current proc sharer count of a block (diagnostics/tests).
     pub fn sharer_count(&self, block: BlockAddr) -> usize {
-        self.entries.get(&block.0).map_or(0, |e| e.sharers.len())
+        self.peek(block).map_or(0, |e| e.sharers.len())
     }
 
     /// Whether the home AMU is registered as a sharer (diagnostics/tests).
     pub fn amu_shares(&self, block: BlockAddr) -> bool {
-        self.entries.get(&block.0).is_some_and(|e| e.amu_shared)
+        self.peek(block).is_some_and(|e| e.amu_shared)
     }
 
     /// Whether the block currently has an open transaction.
     pub fn is_busy(&self, block: BlockAddr) -> bool {
-        self.entries.get(&block.0).is_some_and(|e| e.txn.is_some())
+        self.peek(block).is_some_and(|e| e.txn.is_some())
     }
 
     /// Queued request count for a block (diagnostics/tests).
     pub fn queue_len(&self, block: BlockAddr) -> usize {
-        self.entries.get(&block.0).map_or(0, |e| e.queue.len())
+        self.peek(block).map_or(0, |e| e.queue.len())
     }
 
     /// Total requests queued across every block of this directory
-    /// (observability sampling).
+    /// (observability sampling). Idle entries are released eagerly, so
+    /// this walks only blocks with live protocol state.
     pub fn queued_requests(&self) -> usize {
-        self.entries.values().map(|e| e.queue.len()).sum()
+        self.entries.iter().map(|(_, e)| e.queue.len()).sum()
     }
 
     /// Protocol transactions currently open at this directory.
     pub fn open_transactions(&self) -> usize {
-        self.entries.values().filter(|e| e.txn.is_some()).count()
+        self.entries.iter().filter(|(_, e)| e.txn.is_some()).count()
     }
 }
 

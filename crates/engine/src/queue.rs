@@ -96,6 +96,18 @@ impl<E> HeapQueue<E> {
         self.heap.peek().map(|e| e.when)
     }
 
+    /// Drain every event at the earliest pending time into `out`, in
+    /// `(when, seq)` order; returns that time.
+    fn pop_batch_into(&mut self, out: &mut Vec<E>) -> Option<Cycle> {
+        let first = self.heap.pop()?;
+        let when = first.when;
+        out.push(first.event);
+        while self.heap.peek().is_some_and(|e| e.when == when) {
+            out.push(self.heap.pop().expect("peeked entry").event);
+        }
+        Some(when)
+    }
+
     fn len(&self) -> usize {
         self.heap.len()
     }
@@ -321,6 +333,52 @@ impl<E> CalendarQueue<E> {
         }
     }
 
+    /// Batched variant of [`pop`](Self::pop): drain *every* event at the
+    /// earliest pending time into `out` (in `(when, seq)` order) and
+    /// return that time. One bitmap scan serves the whole batch instead
+    /// of one scan per event.
+    ///
+    /// Correctness of the single-bucket drain: a tick maps to exactly one
+    /// bucket, so all in-window entries sharing a `when` live in the same
+    /// bucket, contiguously at its sorted head once the head entry is the
+    /// minimum. The early list holds only strictly-earlier times than any
+    /// bucket (its ticks precede the window) and the far list only
+    /// strictly-later ones, so neither can split a same-time batch.
+    fn pop_batch_into(&mut self, out: &mut Vec<E>) -> Option<Cycle> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(last) = self.early.last() {
+            let when = last.when;
+            while self.early.last().is_some_and(|e| e.when == when) {
+                out.push(self.early.pop().expect("checked early entry").event);
+                self.len -= 1;
+            }
+            return Some(when);
+        }
+        loop {
+            let start = self.bucket_index(self.win_start_tick + self.cursor as u64);
+            if let Some(idx) = self.next_occupied_from(start) {
+                self.cursor = idx.wrapping_sub(self.bucket_index(self.win_start_tick)) & self.mask;
+                let bucket = &mut self.buckets[idx];
+                let first = bucket.take_front();
+                let when = first.when;
+                out.push(first.event);
+                self.len -= 1;
+                while bucket.front().is_some_and(|e| e.when == when) {
+                    out.push(bucket.take_front().event);
+                    self.len -= 1;
+                }
+                if bucket.is_drained() {
+                    self.clear_occupied(idx);
+                }
+                return Some(when);
+            }
+            debug_assert!(!self.far.is_empty(), "len > 0 but every region empty");
+            self.advance_window();
+        }
+    }
+
     /// Jump the window to the earliest far event and move newly-near
     /// events into buckets. `swap_remove` visits entries in arbitrary
     /// order, but bucket insertion sorts by the full `(when, seq)` key,
@@ -467,6 +525,23 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Remove every event at the earliest pending time, appending them
+    /// to `out` in exactly the order a sequence of [`pop`](Self::pop)
+    /// calls would yield them (`(when, seq)` FIFO); returns that time,
+    /// or `None` when the queue is empty. `out` is *appended to*, not
+    /// cleared, so the caller can reuse one buffer across batches.
+    ///
+    /// Events scheduled *during* batch processing — even at the same
+    /// time — get later sequence numbers and therefore land in a later
+    /// batch, which is exactly where per-event popping would see them.
+    #[inline]
+    pub fn pop_batch_into(&mut self, out: &mut Vec<E>) -> Option<Cycle> {
+        match &mut self.imp {
+            Imp::Calendar(q) => q.pop_batch_into(out),
+            Imp::Heap(q) => q.pop_batch_into(out),
+        }
+    }
+
     /// Firing time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Cycle> {
         match &self.imp {
@@ -607,7 +682,77 @@ mod tests {
         assert!(b.is_empty());
     }
 
+    #[test]
+    fn batch_drains_exactly_the_tied_run() {
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule(20, 3);
+            q.schedule(10, 1);
+            q.schedule(10, 2);
+            q.schedule(20, 4);
+            let mut out = Vec::new();
+            assert_eq!(q.pop_batch_into(&mut out), Some(10));
+            assert_eq!(out, vec![1, 2]);
+            out.clear();
+            assert_eq!(q.pop_batch_into(&mut out), Some(20));
+            assert_eq!(out, vec![3, 4]);
+            out.clear();
+            assert_eq!(q.pop_batch_into(&mut out), None);
+            assert!(out.is_empty() && q.is_empty());
+        }
+    }
+
+    #[test]
+    fn batch_crosses_window_advances_and_early_inserts() {
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            // Two ties far beyond the near window force advance_window,
+            // then a behind-window insert exercises the early list.
+            q.schedule(1_000_000, 1);
+            q.schedule(1_000_000, 2);
+            q.schedule(2_000_000, 3);
+            let mut out = Vec::new();
+            assert_eq!(q.pop_batch_into(&mut out), Some(1_000_000));
+            assert_eq!(out, vec![1, 2]);
+            q.schedule(5, 4); // behind the advanced window
+            q.schedule(5, 5);
+            out.clear();
+            assert_eq!(q.pop_batch_into(&mut out), Some(5));
+            assert_eq!(out, vec![4, 5]);
+            out.clear();
+            assert_eq!(q.pop_batch_into(&mut out), Some(2_000_000));
+            assert_eq!(out, vec![3]);
+        }
+    }
+
     proptest! {
+        /// Batch draining must yield the identical event sequence to
+        /// per-event popping, batch boundaries must coincide with time
+        /// changes, and both implementations must agree.
+        #[test]
+        fn batch_matches_pop_sequence(times in proptest::collection::vec(0u64..50, 1..200)) {
+            for kind in kinds() {
+                let mut by_pop = EventQueue::with_kind(kind);
+                let mut by_batch = EventQueue::with_kind(kind);
+                for (i, &t) in times.iter().enumerate() {
+                    by_pop.schedule(t, i);
+                    by_batch.schedule(t, i);
+                }
+                let mut batch = Vec::new();
+                while let Some(when) = by_batch.pop_batch_into(&mut batch) {
+                    prop_assert!(!batch.is_empty());
+                    for &i in &batch {
+                        prop_assert_eq!(by_pop.pop(), Some((when, i)));
+                    }
+                    // The next pending time must differ — the batch took
+                    // the whole tied run.
+                    prop_assert_ne!(by_batch.peek_time(), Some(when));
+                    batch.clear();
+                }
+                prop_assert_eq!(by_pop.pop(), None);
+            }
+        }
+
         /// Popping must always yield non-decreasing times, and equal times
         /// must preserve scheduling order.
         #[test]

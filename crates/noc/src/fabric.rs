@@ -66,9 +66,19 @@ pub struct Fabric {
     /// Per-directed-link reservations, indexed by dense link id
     /// (router-contention mode only; empty otherwise).
     link_free: Vec<Cycle>,
-    /// Scratch buffer for path computation, reused across sends so the
-    /// contention path never allocates.
-    path_scratch: Vec<u32>,
+    /// Precomputed one-way hop counts, indexed `src * n + dst`. The fat
+    /// tree's hop count needs a divide-by-radix loop per query; on the
+    /// hot path that becomes one byte load (the diameter of any
+    /// realistic tree fits in a `u8` with room to spare).
+    hop_tab: Vec<u8>,
+    /// Flattened per-pair link paths in CSR form: the links of the
+    /// `src→dst` route occupy
+    /// `path_links[path_offsets[src*n+dst]..path_offsets[src*n+dst+1]]`.
+    /// Built only in router-contention mode (empty otherwise), so
+    /// `send`'s wormhole walk is a table slice with zero route
+    /// arithmetic.
+    path_offsets: Vec<u32>,
+    path_links: Vec<u32>,
     /// Fault oracle for link errors and jitter.
     faults: FaultPlan,
     /// Remote-transmission sequence number; part of each fault-plan key.
@@ -93,13 +103,41 @@ impl Fabric {
         } else {
             Vec::new()
         };
+        // Precompute the routing tables once, at machine construction:
+        // hop counts for every ordered pair, and (in contention mode)
+        // the flattened link paths. O(n² · diameter) setup buys a
+        // zero-arithmetic hot path.
+        let n = num_nodes as usize;
+        let mut hop_tab = vec![0u8; n * n];
+        for s in 0..n {
+            for d in 0..n {
+                let h = topo.hops(NodeId(s as u16), NodeId(d as u16));
+                hop_tab[s * n + d] = u8::try_from(h).expect("tree diameter fits u8");
+            }
+        }
+        let (path_offsets, path_links) = if cfg.model_router_contention {
+            let mut offsets = Vec::with_capacity(n * n + 1);
+            let mut links = Vec::new();
+            offsets.push(0u32);
+            for s in 0..n {
+                for d in 0..n {
+                    topo.path_links_into(NodeId(s as u16), NodeId(d as u16), &mut links);
+                    offsets.push(u32::try_from(links.len()).expect("path table fits u32"));
+                }
+            }
+            (offsets, links)
+        } else {
+            (Vec::new(), Vec::new())
+        };
         Fabric {
             topo,
             cfg,
             ifaces: vec![NodeIface::default(); num_nodes as usize],
             per_node: vec![NodeTraffic::default(); num_nodes as usize],
             link_free,
-            path_scratch: Vec::new(),
+            hop_tab,
+            path_offsets,
+            path_links,
             faults,
             fault_seq: 0,
             pending_failure: None,
@@ -138,7 +176,9 @@ impl Fabric {
     ) -> Cycle {
         let bytes = payload.size_bytes(&self.cfg);
         let ser = self.serialize(bytes);
-        let hops = self.topo.hops(src, dst);
+        let n = self.per_node.len();
+        let hops = self.hop_tab[src.index() * n + dst.index()] as u64;
+        debug_assert_eq!(hops, self.topo.hops(src, dst));
         stats.record_msg(payload.class(), bytes, hops, src, dst, far_end);
         let t = &mut self.per_node[src.index()];
         t.sent_msgs += 1;
@@ -204,9 +244,12 @@ impl Fabric {
         // modelled (zero-load latency is identical either way).
         let arrive = if self.cfg.model_router_contention {
             let mut t = depart + ser + extra;
-            self.path_scratch.clear();
-            self.topo.path_links_into(src, dst, &mut self.path_scratch);
-            for &link in &self.path_scratch {
+            let pair = src.index() * n + dst.index();
+            let (lo, hi) = (
+                self.path_offsets[pair] as usize,
+                self.path_offsets[pair + 1] as usize,
+            );
+            for &link in &self.path_links[lo..hi] {
                 let free = &mut self.link_free[link as usize];
                 let start = t.max(*free);
                 *free = start + ser;
@@ -522,6 +565,37 @@ mod tests {
         assert_eq!(t, 508, "node-local crossbar transfers bypass the links");
         assert_eq!(s.link_crc_errors, 0);
         assert_eq!(s.link_jitter_cycles, 0);
+    }
+
+    #[test]
+    fn precomputed_tables_match_on_the_fly_routing() {
+        let mut cfg = SystemConfig::default().network;
+        cfg.model_router_contention = true;
+        let f = Fabric::new(128, cfg);
+        let n = 128usize;
+        for s in 0..n {
+            for d in 0..n {
+                let (s_id, d_id) = (NodeId(s as u16), NodeId(d as u16));
+                assert_eq!(
+                    f.hop_tab[s * n + d] as u64,
+                    f.topo.hops(s_id, d_id),
+                    "hop table wrong for {s}->{d}"
+                );
+                let (lo, hi) = (
+                    f.path_offsets[s * n + d] as usize,
+                    f.path_offsets[s * n + d + 1] as usize,
+                );
+                assert_eq!(
+                    &f.path_links[lo..hi],
+                    f.topo.path_links(s_id, d_id).as_slice(),
+                    "path table wrong for {s}->{d}"
+                );
+            }
+        }
+        // Without contention modelling the path tables stay empty.
+        let plain = Fabric::new(128, SystemConfig::default().network);
+        assert!(plain.path_offsets.is_empty() && plain.path_links.is_empty());
+        assert_eq!(plain.hop_tab.len(), n * n);
     }
 
     #[test]

@@ -26,4 +26,4 @@ pub mod machine;
 
 pub use amo_engine::QueueKind;
 pub use error::{DiagBundle, NodeDepths, SimError, SimErrorKind};
-pub use machine::{Machine, RunResult};
+pub use machine::{Machine, RunResult, EVENT_SIZE};

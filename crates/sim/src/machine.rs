@@ -77,6 +77,12 @@ define_events! {
     }
 }
 
+/// Size of one queued event in bytes. The event type itself is private
+/// (its variants are the machine's internals); the size is exported so
+/// the layout-guard tests can pin the hot-path memory budget — every
+/// queue push/pop memcpys exactly this many bytes.
+pub const EVENT_SIZE: usize = std::mem::size_of::<Event>();
+
 /// Result of [`Machine::run`].
 #[derive(Clone, Debug)]
 pub struct RunResult {
@@ -151,6 +157,20 @@ pub struct Machine<T: Tracer = NopTracer> {
     installed: Vec<bool>,
     trace: Option<Vec<String>>,
     event_counts: [u64; Event::COUNT],
+    /// Same-cycle dispatch batch: events drained from the queue but not
+    /// yet dispatched, in *reverse* `(time, seq)` order so dispatch pops
+    /// from the back. One queue drain (a single calendar bitmap scan)
+    /// serves every event at the current cycle. Normally empty between
+    /// `run` calls; non-empty only if a run aborted on a fault mid-batch,
+    /// in which case the remainder is dispatched first on resume —
+    /// exactly where per-event popping would have left them.
+    batch: Vec<Event>,
+    /// Firing time of the events in `batch`.
+    batch_when: Cycle,
+    /// Batched same-cycle dispatch switch (on by default). The forced
+    /// per-event path exists for differential determinism testing; see
+    /// [`Machine::set_batched_dispatch`].
+    batched: bool,
     /// Reusable effect buffers: the dispatch hot path hands one to each
     /// component `*_into` call and returns it after draining, so steady
     /// state event processing performs no heap allocation. Pools (not
@@ -236,6 +256,9 @@ impl<T: Tracer> Machine<T> {
             installed: vec![false; cfg.num_procs as usize],
             trace: None,
             event_counts: [0; Event::COUNT],
+            batch: Vec::new(),
+            batch_when: 0,
+            batched: std::env::var_os("AMO_DISPATCH_PER_EVENT").is_none(),
             proc_eff_pool: Vec::new(),
             amu_eff_pool: Vec::new(),
             dir_act_pool: Vec::new(),
@@ -263,6 +286,16 @@ impl<T: Tracer> Machine<T> {
     pub fn enable_watchdog(&mut self, window: Cycle) {
         assert!(window > 0, "watchdog window must be positive");
         self.watchdog_window = window;
+    }
+
+    /// Switch batched same-cycle dispatch on or off (on by default;
+    /// `AMO_DISPATCH_PER_EVENT=1` in the environment turns it off at
+    /// construction). The per-event path exists purely as a differential
+    /// oracle: results are bit-identical either way, and the machine
+    /// determinism tests enforce that. Call before [`run`](Self::run).
+    pub fn set_batched_dispatch(&mut self, batched: bool) {
+        assert!(self.batch.is_empty(), "cannot switch mid-batch");
+        self.batched = batched;
     }
 
     /// Mutable access to the attached tracer (e.g. to read drop counts).
@@ -418,48 +451,72 @@ impl<T: Tracer> Machine<T> {
     pub fn run(&mut self, max_cycles: Cycle) -> RunResult {
         let mut events = 0u64;
         let mut hit_limit = false;
-        while let Some((when, ev)) = self.queue.pop() {
-            if when > max_cycles {
-                hit_limit = true;
-                break;
-            }
-            self.clock.advance_to(when);
-            if when >= self.next_sample {
-                self.sample_now(when);
-            }
-            events += 1;
-            if let Some(t) = self.trace.as_mut() {
-                t.push(format!("{when}: {ev:?}"));
-            }
-            self.event_counts[ev.index()] += 1;
-            self.dispatch(ev, when);
-            if self.pending_fault.is_some() || self.fabric.has_failure() {
-                if let Some(f) = self.fabric.take_failure() {
-                    self.pending_fault.get_or_insert((
-                        SimErrorKind::LinkFailed {
-                            src: f.src,
-                            dst: f.dst,
-                            attempts: f.attempts,
-                        },
-                        f.at,
-                    ));
-                }
-                break;
-            }
-            if self.watchdog_window > 0 {
-                let progress = self.progress_metric();
-                if progress != self.wd_last_progress {
-                    self.wd_last_progress = progress;
-                    self.wd_last_progress_at = when;
-                } else if when - self.wd_last_progress_at >= self.watchdog_window {
-                    self.pending_fault = Some((
-                        SimErrorKind::NoProgress {
-                            window: self.watchdog_window,
-                            last_progress_at: self.wd_last_progress_at,
-                        },
-                        when,
-                    ));
+        // Outer loop refills the same-cycle batch; the inner loop
+        // dispatches it back-to-front (the batch is stored reversed).
+        // Events scheduled during the batch — even at the current time —
+        // get later sequence numbers and drain in a later batch, so the
+        // dispatch order is bit-identical to per-event popping.
+        'run: loop {
+            if self.batch.is_empty() {
+                let Some(next) = self.queue.peek_time() else {
                     break;
+                };
+                if next > max_cycles {
+                    hit_limit = true;
+                    break;
+                }
+                if self.batched {
+                    self.queue.pop_batch_into(&mut self.batch);
+                    self.batch.reverse();
+                } else {
+                    // Forced per-event path: a one-event "batch", kept
+                    // for differential determinism testing against the
+                    // batched drain.
+                    let (_, ev) = self.queue.pop().expect("peeked event");
+                    self.batch.push(ev);
+                }
+                self.batch_when = next;
+                self.clock.advance_to(next);
+                if next >= self.next_sample {
+                    self.sample_now(next);
+                }
+            }
+            let when = self.batch_when;
+            while let Some(ev) = self.batch.pop() {
+                events += 1;
+                if let Some(t) = self.trace.as_mut() {
+                    t.push(format!("{when}: {ev:?}"));
+                }
+                self.event_counts[ev.index()] += 1;
+                self.dispatch(ev, when);
+                if self.pending_fault.is_some() || self.fabric.has_failure() {
+                    if let Some(f) = self.fabric.take_failure() {
+                        self.pending_fault.get_or_insert((
+                            SimErrorKind::LinkFailed {
+                                src: f.src,
+                                dst: f.dst,
+                                attempts: f.attempts,
+                            },
+                            f.at,
+                        ));
+                    }
+                    break 'run;
+                }
+                if self.watchdog_window > 0 {
+                    let progress = self.progress_metric();
+                    if progress != self.wd_last_progress {
+                        self.wd_last_progress = progress;
+                        self.wd_last_progress_at = when;
+                    } else if when - self.wd_last_progress_at >= self.watchdog_window {
+                        self.pending_fault = Some((
+                            SimErrorKind::NoProgress {
+                                window: self.watchdog_window,
+                                last_progress_at: self.wd_last_progress_at,
+                            },
+                            when,
+                        ));
+                        break 'run;
+                    }
                 }
             }
         }
@@ -1855,5 +1912,54 @@ mod tests {
             format!("{:?}", heap.2),
             "stats differ"
         );
+    }
+
+    #[test]
+    fn batched_and_per_event_dispatch_give_identical_machines() {
+        // Batched same-cycle dispatch must be invisible: the forced
+        // per-event path is the oracle, and every completion time,
+        // counter, and event tally must agree with it — for both queue
+        // implementations.
+        let run = |kind: QueueKind, batched: bool| {
+            let mut m = Machine::new_with_queue(SystemConfig::with_procs(8), kind);
+            m.set_batched_dispatch(batched);
+            let a = var(0, 0x600);
+            for p in 0..8u16 {
+                let (k, _) = Script::new(vec![
+                    Op::AtomicRmw {
+                        kind: AmoKind::FetchAdd,
+                        addr: a,
+                        operand: 1,
+                    },
+                    Op::Amo {
+                        kind: AmoKind::Inc,
+                        addr: var(1, 0x700),
+                        operand: 0,
+                        test: Some(8),
+                    },
+                    Op::SpinUntil {
+                        addr: var(1, 0x700),
+                        pred: SpinPred::Eq(8),
+                    },
+                ]);
+                m.install_kernel(ProcId(p), Box::new(k), (p as u64) * 37);
+            }
+            let res = m.run(10_000_000);
+            assert!(res.all_finished);
+            (
+                res.finished.clone(),
+                res.events,
+                format!("{:?}", m.stats()),
+                m.event_histogram(),
+            )
+        };
+        for kind in [QueueKind::Calendar, QueueKind::Heap] {
+            let batched = run(kind, true);
+            let per_event = run(kind, false);
+            assert_eq!(batched.0, per_event.0, "{kind:?}: completion times differ");
+            assert_eq!(batched.1, per_event.1, "{kind:?}: event counts differ");
+            assert_eq!(batched.3, per_event.3, "{kind:?}: event histograms differ");
+            assert_eq!(batched.2, per_event.2, "{kind:?}: stats differ");
+        }
     }
 }

@@ -26,6 +26,7 @@ pub mod json;
 pub mod jsonv;
 pub mod msg;
 pub mod seed;
+pub mod slab;
 pub mod stats;
 
 pub use addr::{Addr, BlockAddr};
@@ -40,6 +41,7 @@ pub use msg::{
     AmoKind, BlockData, HandlerKind, InterventionKind, InterventionResp, Packet, Payload, Publish,
     SpinPred,
 };
+pub use slab::{Slab, SlotId};
 pub use stats::{MsgClass, MsgEndpoint, OpClass, Stats};
 
 /// Simulation time, measured in CPU clock cycles (the paper's processors

@@ -399,8 +399,13 @@ pub enum Payload {
         requester: ProcId,
         /// Processor that runs the handler (a fixed CPU of the home node).
         target_proc: ProcId,
-        /// Handler to run.
-        handler: HandlerKind,
+        /// Handler to run. Boxed: [`HandlerKind`] is the workspace's one
+        /// fat message field (64 bytes of handler arguments), and inlining
+        /// it here would double the size of *every* queued event. Active
+        /// messages are orders of magnitude rarer than coherence traffic,
+        /// so one allocation per send (not per hop) is the right trade;
+        /// the layout guards pin [`Payload`]'s resulting size.
+        handler: Box<HandlerKind>,
         /// Retransmission attempt number (0 = first send).
         attempt: u32,
     },

@@ -1,0 +1,63 @@
+//! Size-regression guards for the hot-path memory layout.
+//!
+//! Every queued event is moved by value through the calendar queue and
+//! the dispatch loop, so type growth is a throughput regression that no
+//! functional test catches. These `const` assertions pin the budgets
+//! negotiated by the layout overhaul: adding a fat enum variant (or an
+//! inline array) fails the build here with a named number to renegotiate
+//! rather than silently taxing every simulated message.
+
+use amo_types::{Payload, Slab, SlotId};
+
+/// `Payload` rides inside every network message event. The widest
+/// variants carry a `ReqId` + `BlockAddr` + `BlockData` (8+8+16 plus
+/// tag); the once-fattest variant, `ActiveMsg`, now boxes its 64-byte
+/// `HandlerKind` instead of doubling every other message's footprint.
+const _: () = assert!(std::mem::size_of::<Payload>() <= 64);
+
+/// The machine's event type: tag + ids + inline `Payload`. One event is
+/// exactly one queue-slot memcpy, so this is the number the calendar
+/// queue moves per push/pop.
+const _: () = assert!(amo_sim::EVENT_SIZE <= 80);
+
+/// A directory-entry slab slot: protocol state + sharer bitmap +
+/// optional open transaction (the `Txn` dominates: block data handle,
+/// ack counts, flags) + request queue + generation tag.
+const _: () = assert!(amo_directory::ENTRY_SLOT_SIZE <= 144);
+
+/// Slab bookkeeping overhead: a slot stores the value, its generation
+/// tag, and the `Option` presence bit. For a word-sized payload that
+/// must stay within one 24-byte slot — more means the free-list
+/// encoding regressed.
+const _: () = assert!(Slab::<u64>::slot_size() <= 24);
+
+/// Slot ids are handed around instead of hash keys; they must stay
+/// register-sized.
+const _: () = assert!(std::mem::size_of::<SlotId>() == 8);
+
+/// `Option<SlotId>` must use a niche (no extra discriminant word) so
+/// optional slots in per-node tables stay 8 bytes... it does not today
+/// (both halves are plain `u32`), so the budget documents the real
+/// cost: 12 bytes, padded.
+const _: () = assert!(std::mem::size_of::<Option<SlotId>>() <= 12);
+
+#[test]
+fn report_layout_sizes() {
+    // The const asserts above are the guard; this test names the actual
+    // numbers in `--nocapture` output so budget renegotiation starts
+    // from facts.
+    println!(
+        "Payload            = {:>3} bytes",
+        std::mem::size_of::<Payload>()
+    );
+    println!("sim Event          = {:>3} bytes", amo_sim::EVENT_SIZE);
+    println!(
+        "dir Entry slot     = {:>3} bytes",
+        amo_directory::ENTRY_SLOT_SIZE
+    );
+    println!("Slab<u64> slot     = {:>3} bytes", Slab::<u64>::slot_size());
+    println!(
+        "SlotId             = {:>3} bytes",
+        std::mem::size_of::<SlotId>()
+    );
+}
