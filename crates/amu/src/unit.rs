@@ -76,6 +76,8 @@ pub enum AmuEffect {
         token: u64,
         /// Word to fetch coherently.
         addr: Addr,
+        /// Causal flow of the operation that missed (`ReqId::flow`).
+        flow: u64,
     },
     /// Issue a fine-grained put (cache-hit path or dirty eviction).
     FinePut {
@@ -83,6 +85,9 @@ pub enum AmuEffect {
         addr: Addr,
         /// Value.
         value: Word,
+        /// Causal flow of the triggering operation (`ReqId::flow`; 0
+        /// for background dirty evictions, which belong to no request).
+        flow: u64,
     },
     /// Close the directory's open fine-get transaction for `block`,
     /// performing `put` as part of it.
@@ -91,6 +96,8 @@ pub enum AmuEffect {
         block: BlockAddr,
         /// Optional immediate put.
         put: Option<(Addr, Word)>,
+        /// Causal flow of the operation that opened the transaction.
+        flow: u64,
     },
     /// Read a word from (uncached) home memory; feed the result to
     /// [`Amu::mem_value`].
@@ -261,6 +268,7 @@ impl Amu {
                 effects.push(AmuEffect::FinePut {
                     addr: v.addr,
                     value: v.value,
+                    flow: 0,
                 });
             }
         }
@@ -343,7 +351,11 @@ impl Amu {
                         self.cache[idx].dirty = !put;
                         let done = now + self.op_latency;
                         if put {
-                            effects.push(AmuEffect::FinePut { addr, value: new });
+                            effects.push(AmuEffect::FinePut {
+                                addr,
+                                value: new,
+                                flow: req.flow(),
+                            });
                         }
                         effects.push(AmuEffect::ReplyAt {
                             when: done,
@@ -357,8 +369,9 @@ impl Amu {
                         stats.amu_misses += 1;
                         let token = self.next_token;
                         self.next_token += 1;
+                        let flow = req.flow();
                         self.state = State::Waiting { token, op };
-                        effects.push(AmuEffect::FineGet { token, addr });
+                        effects.push(AmuEffect::FineGet { token, addr, flow });
                     }
                 }
             }
@@ -516,6 +529,7 @@ impl Amu {
         effects.push(AmuEffect::FineComplete {
             block: addr.block(self.line_bytes),
             put: put.then_some((addr, new)),
+            flow: req.flow(),
         });
         effects.push(AmuEffect::ReplyAt {
             when: done,
@@ -668,7 +682,8 @@ mod tests {
             eff,
             vec![AmuEffect::FineGet {
                 token: 0,
-                addr: w(0)
+                addr: w(0),
+                flow: 1
             }]
         );
         // Directory returns 0; inc → 1, test=3 not reached: no put.
@@ -714,7 +729,8 @@ mod tests {
         let (_, eff) = a.submit(amo_inc(3, 2, w(0), Some(3)), 30, &mut s); // -> 3: put!
         assert!(eff.contains(&AmuEffect::FinePut {
             addr: w(0),
-            value: 3
+            value: 3,
+            flow: 3
         }));
         assert_eq!(a.peek(w(0)), Some(3));
     }
@@ -922,7 +938,8 @@ mod tests {
         let first = Addr::on_node(NodeId(0), 0x10000);
         assert!(eff.contains(&AmuEffect::FinePut {
             addr: first,
-            value: 1
+            value: 1,
+            flow: 0
         }));
         assert_eq!(s.amu_evictions, 1);
     }

@@ -49,14 +49,14 @@ fn drive_amo(
     let mut reply = None;
     while let Some(e) = effects.pop() {
         match e {
-            AmuEffect::FineGet { token, addr } => {
+            AmuEffect::FineGet { token, addr, .. } => {
                 let value = memory.get(&addr.0).copied().unwrap_or(0);
                 effects.extend(
                     amu.fine_value(token, addr, value, *now + 10, stats)
                         .unwrap(),
                 );
             }
-            AmuEffect::FinePut { addr, value } | AmuEffect::WriteMemWord { addr, value } => {
+            AmuEffect::FinePut { addr, value, .. } | AmuEffect::WriteMemWord { addr, value } => {
                 memory.insert(addr.0, value);
             }
             AmuEffect::FineComplete { put, .. } => {
@@ -138,7 +138,7 @@ proptest! {
             prop_assert!(ok);
             while let Some(e) = effects.pop() {
                 match e {
-                    AmuEffect::FineGet { token, addr } => {
+                    AmuEffect::FineGet { token, addr, .. } => {
                         effects.extend(amu.fine_value(token, addr, 0, now + 5, &mut stats).unwrap());
                     }
                     AmuEffect::FinePut { value, .. } => {

@@ -24,17 +24,65 @@
 //! * `--metrics-json FILE` — write the campaign's aggregate
 //!   `amo-metrics-v1` report (merged run statistics + scheduling
 //!   counters).
+//! * `--critpath-out FILE` — write an `amo-critpath-diff-v1` sync-tax
+//!   attribution document: traced LL/SC and AMO barrier runs at the
+//!   campaign's largest size, each analyzed into a per-stage
+//!   critical-path report. The per-mechanism reports are cached
+//!   content-addressed next to the run results (`<cache>/critpath/`),
+//!   so a warm re-run re-renders them without simulating.
 
 use amo_bench::cli::Args;
 use amo_campaign::{
-    artifacts, render, ArtifactProfile, Campaign, CampaignPlan, CampaignSpec, ResultCache,
+    artifacts, render, ArtifactProfile, Campaign, CampaignPlan, CampaignSpec, ResultCache, RunSpec,
 };
-use amo_obs::{campaign_metrics_json, CampaignSummary};
+use amo_obs::{analyze, campaign_metrics_json, CampaignSummary, Workload};
+use amo_sync::Mechanism;
+use amo_workloads::{try_run_barrier_obs, BarrierBench, ObsSpec};
 use std::time::Instant;
 
 fn die(msg: String) -> ! {
     eprintln!("campaign: {msg}");
     std::process::exit(2);
+}
+
+/// One mechanism's critical-path report (`amo-critpath-v1` JSON), served
+/// from the blob cache when warm. The blob key is the content address of
+/// the *run* (the canonical `RunSpec` document) extended with the
+/// analysis version, so any input or code-model change re-addresses it.
+fn critpath_report(cache: Option<&ResultCache>, bench: BarrierBench) -> String {
+    let spec = RunSpec::Barrier(bench);
+    let key =
+        amo_types::seed::stable_hash128(format!("{}+critpath-v1", spec.canonical_doc()).as_bytes());
+    if let Some(c) = cache {
+        if let Some(doc) = c.get_blob("critpath", key) {
+            return doc;
+        }
+    }
+    let r = try_run_barrier_obs(
+        bench,
+        ObsSpec {
+            trace_cap: 1 << 21,
+            sample_interval: 0,
+        },
+    )
+    .unwrap_or_else(|f| die(format!("critpath run failed: {f}")));
+    let buf = r.obs.trace.as_ref().expect("tracing was enabled");
+    if buf.dropped > 0 {
+        eprintln!(
+            "campaign: WARNING: critpath trace dropped {} events; attribution \
+             covers only the final window",
+            buf.dropped
+        );
+    }
+    let report = analyze(buf, Workload::Barrier)
+        .unwrap_or_else(|e| die(format!("critpath analysis failed: {e}")));
+    let doc = report.to_json();
+    if let Some(c) = cache {
+        if let Err(e) = c.put_blob("critpath", key, &doc) {
+            eprintln!("campaign: cache write failed ({e}); continuing uncached");
+        }
+    }
+    doc
 }
 
 fn main() {
@@ -103,6 +151,39 @@ fn main() {
             eprintln!("wrote {path}");
         }
         None => print!("{doc}"),
+    }
+
+    if let Some(path) = args.get("critpath-out") {
+        // Attribution runs ride the campaign's sizing: the largest
+        // barrier size of the artifact profile, or a 64-CPU default for
+        // grid specs.
+        let (procs, episodes, warmup) = match &plan {
+            CampaignPlan::Artifacts { profile, .. } => (
+                *profile.sizes.last().expect("profile has sizes"),
+                profile.episodes,
+                profile.warmup,
+            ),
+            CampaignPlan::Grid(_) => (64, 6, 1),
+        };
+        let mut w = amo_types::JsonWriter::new();
+        w.begin_obj();
+        w.kv_str("schema", "amo-critpath-diff-v1");
+        w.kv_u64("procs", procs as u64);
+        w.key("runs");
+        w.begin_obj();
+        for mech in [Mechanism::LlSc, Mechanism::Amo] {
+            let bench = BarrierBench {
+                episodes,
+                warmup,
+                ..BarrierBench::paper(mech, procs)
+            };
+            w.key(mech.label());
+            w.raw_val(&critpath_report(campaign.cache(), bench));
+        }
+        w.end_obj();
+        w.end_obj();
+        std::fs::write(path, w.finish()).unwrap_or_else(|e| die(format!("{path}: {e}")));
+        eprintln!("wrote {path}");
     }
 
     let c = campaign.counters;

@@ -12,7 +12,7 @@
 //!
 //! Exits nonzero with a usage message on malformed arguments.
 
-use amo_obs::{metrics_json, perfetto_json, validate_perfetto};
+use amo_obs::{analyze, metrics_json, perfetto_json, validate_perfetto, Workload};
 use amo_sync::Mechanism;
 use amo_types::stats::{OpClass, OP_CLASSES};
 use amo_types::{Stats, SystemConfig};
@@ -31,6 +31,7 @@ fn usage() -> ! {
          \x20          [--rounds N] [--cs CYC] [--think CYC] [--seed N] [--watchdog CYC] [--csv]\n\
          \x20observability (both subcommands):\n\
          \x20          [--trace-out FILE.json] [--trace-cap N] \\\n\
+         \x20          [--critpath-out FILE.json] \\\n\
          \x20          [--metrics-json FILE.json] [--sample-interval CYC]"
     );
     exit(2);
@@ -112,7 +113,7 @@ fn print_latencies(stats: &amo_types::Stats) {
 
 /// Parse the observability flags shared by both subcommands.
 fn parse_obs(args: &Args) -> ObsSpec {
-    let tracing = args.get("trace-out").is_some();
+    let tracing = args.get("trace-out").is_some() || args.get("critpath-out").is_some();
     let sampling = args.get("metrics-json").is_some() || args.get("sample-interval").is_some();
     ObsSpec {
         trace_cap: if tracing {
@@ -136,8 +137,19 @@ fn emit_obs(
     cfg: &SystemConfig,
     stats: &Stats,
     obs: &ObsReport,
+    workload: Workload,
     meta: &[(&str, String)],
 ) {
+    if let Some(buf) = obs.trace.as_ref() {
+        if buf.dropped > 0 {
+            eprintln!(
+                "WARNING: ring tracer dropped {} events; trace-derived artefacts \
+                 cover only the final window of the run — rerun with a larger \
+                 --trace-cap for complete coverage",
+                buf.dropped
+            );
+        }
+    }
     if let Some(path) = args.get("trace-out") {
         let buf = obs.trace.as_ref().expect("trace was requested");
         let json = perfetto_json(buf, cfg.num_nodes(), cfg.procs_per_node);
@@ -156,8 +168,25 @@ fn emit_obs(
             }
         }
     }
+    if let Some(path) = args.get("critpath-out") {
+        let buf = obs.trace.as_ref().expect("critpath analysis was requested");
+        match analyze(buf, workload) {
+            Ok(report) => {
+                std::fs::write(path, report.to_json()).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    exit(1);
+                });
+                eprint!("{}", report.render_text());
+                eprintln!("wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("critical-path analysis failed: {e}");
+                exit(1);
+            }
+        }
+    }
     if let Some(path) = args.get("metrics-json") {
-        let doc = metrics_json(stats, obs.timeseries.as_ref(), meta);
+        let doc = metrics_json(stats, obs.timeseries.as_ref(), obs.trace.as_ref(), meta);
         std::fs::write(path, &doc).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             exit(1);
@@ -203,6 +232,7 @@ fn main() {
                 &cfg,
                 &r.stats,
                 &r.obs,
+                Workload::Barrier,
                 &[
                     ("workload", "barrier".into()),
                     ("mech", mech.label().into()),
@@ -266,6 +296,7 @@ fn main() {
                 &cfg,
                 &r.stats,
                 &r.obs,
+                Workload::Lock,
                 &[
                     ("workload", "lock".into()),
                     ("mech", mech.label().into()),

@@ -66,6 +66,7 @@ fn emit_representative_obs(
         let doc = metrics_json(
             &r.stats,
             r.obs.timeseries.as_ref(),
+            r.obs.trace.as_ref(),
             &[
                 ("workload", "barrier".into()),
                 ("mech", "amo".into()),

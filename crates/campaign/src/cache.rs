@@ -94,23 +94,66 @@ impl ResultCache {
         key: (u64, u64),
         outcome: &Result<RunArtifacts, String>,
     ) -> Result<(), String> {
-        let payload = outcome_to_json(outcome);
-        let mut w = JsonWriter::new();
-        w.begin_obj();
-        w.kv_str("schema", CACHE_SCHEMA);
-        w.kv_str("key", &key_hex(key));
-        w.kv_u64("len", payload.len() as u64);
-        w.kv_str("checksum", &key_hex(stable_hash128(payload.as_bytes())));
-        w.end_obj();
-        let entry = format!("{}\n{payload}\n", w.finish());
-
-        let path = self.entry_path(key);
-        let parent = path.parent().expect("entry path has a parent");
-        std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
-        let tmp = path.with_extension("json.tmp");
-        std::fs::write(&tmp, &entry).map_err(|e| format!("{}: {e}", tmp.display()))?;
-        std::fs::rename(&tmp, &path).map_err(|e| format!("{}: {e}", path.display()))
+        write_entry(&self.entry_path(key), key, &outcome_to_json(outcome))
     }
+
+    /// Path of the derived-artifact blob of `kind` for `key`:
+    /// `<dir>/<kind>/<first two hex digits>/<hex key>.json`.
+    pub fn blob_path(&self, kind: &str, key: (u64, u64)) -> PathBuf {
+        let hex = key_hex(key);
+        self.dir
+            .join(kind)
+            .join(&hex[..2])
+            .join(format!("{hex}.json"))
+    }
+
+    /// Look up a derived-artifact blob (e.g. a critical-path report)
+    /// stored under `kind`/`key`. Entries use the same
+    /// header-plus-checksum envelope as run outcomes, so corruption is a
+    /// miss here too.
+    pub fn get_blob(&self, kind: &str, key: (u64, u64)) -> Option<String> {
+        let raw = std::fs::read_to_string(self.blob_path(kind, key)).ok()?;
+        let (header, payload) = raw.split_once('\n')?;
+        let payload = payload.strip_suffix('\n').unwrap_or(payload);
+        let h = Json::parse(header).ok()?;
+        if h.get("schema")?.as_str()? != CACHE_SCHEMA {
+            return None;
+        }
+        if h.get("key")?.as_str()? != key_hex(key) {
+            return None;
+        }
+        if h.get("len")?.as_u64()? != payload.len() as u64 {
+            return None;
+        }
+        if h.get("checksum")?.as_str()? != key_hex(stable_hash128(payload.as_bytes())) {
+            return None;
+        }
+        Some(payload.to_string())
+    }
+
+    /// Store a derived-artifact blob under `kind`/`key`, atomically.
+    pub fn put_blob(&self, kind: &str, key: (u64, u64), payload: &str) -> Result<(), String> {
+        write_entry(&self.blob_path(kind, key), key, payload)
+    }
+}
+
+/// Write one checksummed cache entry (header line + payload) via a temp
+/// file and rename.
+fn write_entry(path: &Path, key: (u64, u64), payload: &str) -> Result<(), String> {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.kv_str("schema", CACHE_SCHEMA);
+    w.kv_str("key", &key_hex(key));
+    w.kv_u64("len", payload.len() as u64);
+    w.kv_str("checksum", &key_hex(stable_hash128(payload.as_bytes())));
+    w.end_obj();
+    let entry = format!("{}\n{payload}\n", w.finish());
+
+    let parent = path.parent().expect("entry path has a parent");
+    std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, &entry).map_err(|e| format!("{}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("{}: {e}", path.display()))
 }
 
 #[cfg(test)]
@@ -161,6 +204,30 @@ mod tests {
         // Recompute-and-rewrite restores the entry.
         cache.put(key, &art(1.0)).unwrap();
         assert!(cache.get(key).is_some());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn blobs_round_trip_and_detect_corruption() {
+        let cache = ResultCache::new(tmpdir("blob"));
+        let key = (0xAA, 0xBB);
+        assert!(cache.get_blob("critpath", key).is_none(), "cold miss");
+        cache
+            .put_blob("critpath", key, r#"{"schema":"amo-critpath-v1"}"#)
+            .unwrap();
+        assert_eq!(
+            cache.get_blob("critpath", key).as_deref(),
+            Some(r#"{"schema":"amo-critpath-v1"}"#)
+        );
+        // Kinds are separate namespaces.
+        assert!(cache.get_blob("other", key).is_none());
+        // A flipped payload byte fails the checksum.
+        let path = cache.blob_path("critpath", key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let nl = bytes.iter().position(|&b| b == b'\n').unwrap();
+        bytes[nl + 5] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(cache.get_blob("critpath", key).is_none());
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

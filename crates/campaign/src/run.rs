@@ -26,7 +26,7 @@ pub const ARTIFACTS_SCHEMA: &str = "amo-run-artifacts-v1";
 /// without touching any `RunSpec` field — the cache cannot see code,
 /// only keys, so this constant is how stale entries get invalidated
 /// wholesale. The crate version rides along so releases never collide.
-pub const CODE_FINGERPRINT: &str = concat!("amo-", env!("CARGO_PKG_VERSION"), "+model-1");
+pub const CODE_FINGERPRINT: &str = concat!("amo-", env!("CARGO_PKG_VERSION"), "+model-2");
 
 /// One simulation run a campaign can schedule.
 ///

@@ -62,6 +62,9 @@ pub enum ProcEffect {
         start: Cycle,
         /// Completion cycle.
         end: Cycle,
+        /// Root causal flow of the operation: the first request tag it
+        /// allocated (`ReqId::flow`), or 0 if it never left the core.
+        flow: u64,
     },
     /// Re-deliver this payload to the same processor at `when`: a probe
     /// arrived inside a freshly-filled block's minimum-residence window
@@ -220,6 +223,12 @@ pub struct Processor {
     hold_until: Vec<(u64, Cycle)>,
     /// The in-flight kernel op's latency-accounting class and issue time.
     pending_op: Option<(OpClass, Cycle)>,
+    /// Root causal flow of the in-flight kernel op: the first request tag
+    /// it allocated. Follow-up requests of the same op (LL/SC pairs,
+    /// NACK retries under a fresh tag) are linked back to it via
+    /// [`Processor::flow_parent`]. 0 = the op has not allocated yet.
+    /// Only maintained while `trace_ops` is on.
+    op_root: u64,
     /// Emit [`ProcEffect::OpDone`] spans on op completion (off unless a
     /// tracer is attached, so the untraced path pays nothing).
     trace_ops: bool,
@@ -260,12 +269,15 @@ impl Processor {
             kernel: None,
             kstate: KState::Finished,
             last_outcome: None,
-            next_req: 0,
+            // Tags start at 1 so no request ever maps to flow id 0,
+            // which the tracer reserves for "no flow".
+            next_req: 1,
             injected: Vec::new(),
             outstanding: Vec::new(),
             deferred_injected: Vec::new(),
             hold_until: Vec::new(),
             pending_op: None,
+            op_root: 0,
             trace_ops: false,
             handler_queue: VecDeque::new(),
             running_handler: None,
@@ -326,10 +338,42 @@ impl Processor {
         self.finished_at = None;
     }
 
-    fn alloc_req(&mut self) -> ReqId {
+    /// Allocate a tag without tying it to the in-flight kernel op
+    /// (handler-published stores, which belong to the remote sender's
+    /// flow, not to whatever this core happens to be executing).
+    fn alloc_req_raw(&mut self) -> ReqId {
         let r = ReqId(((self.id.0 as u64) << 48) | self.next_req);
         self.next_req += 1;
         r
+    }
+
+    fn alloc_req(&mut self) -> ReqId {
+        let r = self.alloc_req_raw();
+        if self.trace_ops && self.op_root == 0 && self.pending_op.is_some() {
+            self.op_root = r.0;
+        }
+        r
+    }
+
+    /// Parent flow link for a message this processor is about to inject:
+    /// the in-flight op's root flow when `payload` carries a follow-up
+    /// request of that op (an SC after its LL, a retry under a fresh
+    /// tag), else 0. The tracer stores it on the send event so the
+    /// causal DAG can stitch multi-request ops together.
+    pub fn flow_parent(&self, payload: &Payload) -> u64 {
+        if self.op_root == 0 {
+            return 0;
+        }
+        match payload.req() {
+            Some(r)
+                if r.0 != self.op_root
+                    && r.proc() == self.id
+                    && !self.injected.iter().any(|&(ir, _, _)| ir == r) =>
+            {
+                self.op_root
+            }
+            _ => 0,
+        }
     }
 
     /// Advance the kernel: complete local ops whose time has come and
@@ -392,8 +436,10 @@ impl Processor {
                     class,
                     start: started,
                     end: when,
+                    flow: self.op_root,
                 });
             }
+            self.op_root = 0;
         }
         self.last_outcome = Some(outcome);
         self.kstate = KState::LocalOp { until: when };
@@ -1809,7 +1855,7 @@ impl Processor {
         }
         match self.caches.probe_store(addr, value) {
             Probe::Miss => {
-                let req = self.alloc_req();
+                let req = self.alloc_req_raw();
                 let block = self.caches.l2_block(addr);
                 self.injected.push((req, addr, value));
                 self.send_block_req(
@@ -1827,7 +1873,7 @@ impl Processor {
                     // probe_store already performed the write.
                     self.after_injected_write(addr, value, now, stats, eff);
                 } else {
-                    let req = self.alloc_req();
+                    let req = self.alloc_req_raw();
                     let block = self.caches.l2_block(addr);
                     self.injected.push((req, addr, value));
                     self.send_block_req(

@@ -55,6 +55,10 @@ pub enum DirRequest {
         addr: Addr,
         /// New value.
         value: Word,
+        /// Causal flow of the AMU operation that produced the put
+        /// (`ReqId::flow`; 0 for background evictions). Echoed on the
+        /// word-update fanout so traces can attribute NoC traffic.
+        flow: u64,
     },
 }
 
@@ -76,6 +80,8 @@ pub enum DirAction {
         addr: Addr,
         /// New value.
         value: Word,
+        /// Causal flow of the put that triggered the update (0 = none).
+        flow: u64,
     },
     /// Start a timed DRAM block read; call [`Directory::dram_done`] with
     /// the data when it completes.
@@ -346,8 +352,8 @@ impl Directory {
             DirRequest::FineGet { token, addr } => {
                 self.start_fine_get(block, token, addr, stats, actions);
             }
-            DirRequest::FinePut { addr, value } => {
-                self.do_fine_put(block, addr, value, stats, actions);
+            DirRequest::FinePut { addr, value, flow } => {
+                self.do_fine_put(block, addr, value, flow, stats, actions);
             }
         }
     }
@@ -507,6 +513,7 @@ impl Directory {
         block: BlockAddr,
         addr: Addr,
         value: Word,
+        flow: u64,
         stats: &mut Stats,
         actions: &mut Vec<DirAction>,
     ) {
@@ -530,6 +537,7 @@ impl Directory {
                     node: n,
                     addr,
                     value,
+                    flow,
                 });
                 stats.word_updates_sent += 1;
                 last = Some(n);
@@ -706,15 +714,17 @@ impl Directory {
 
     /// The AMU finished the operation a fine-grained get fed; `put` is the
     /// word it writes back immediately (an `amo.fetchadd`, or an `amo.inc`
-    /// whose test value matched).
+    /// whose test value matched). `flow` is the causal flow of the AMU
+    /// operation, echoed on any word-update fanout.
     pub fn fine_complete(
         &mut self,
         block: BlockAddr,
         put: Option<(Addr, Word)>,
+        flow: u64,
         stats: &mut Stats,
     ) -> Vec<DirAction> {
         let mut actions = Vec::new();
-        self.fine_complete_into(block, put, stats, &mut actions);
+        self.fine_complete_into(block, put, flow, stats, &mut actions);
         actions
     }
 
@@ -723,6 +733,7 @@ impl Directory {
         &mut self,
         block: BlockAddr,
         put: Option<(Addr, Word)>,
+        flow: u64,
         stats: &mut Stats,
         actions: &mut Vec<DirAction>,
     ) {
@@ -736,7 +747,7 @@ impl Directory {
             stats.dir_transactions += 1;
         }
         if let Some((addr, value)) = put {
-            self.do_fine_put(block, addr, value, stats, actions);
+            self.do_fine_put(block, addr, value, flow, stats, actions);
         }
         self.pump(block, stats, actions);
         self.release_if_idle(block);
@@ -1260,7 +1271,7 @@ mod tests {
         assert!(d.is_busy(blk()), "fine txn stays open for the AMU");
         assert!(d.amu_shares(blk()));
         // AMU computes 41+1 and puts because its test matched.
-        let a = d.fine_complete(blk(), Some((w, 42)), &mut s);
+        let a = d.fine_complete(blk(), Some((w, 42)), 0, &mut s);
         assert!(a.contains(&DirAction::WriteDramWord { addr: w, value: 42 }));
         assert!(!d.is_busy(blk()));
         assert_eq!(s.puts, 1);
@@ -1287,7 +1298,7 @@ mod tests {
         // AMU joins via fine get.
         d.request(blk(), DirRequest::FineGet { token: 1, addr: w }, &mut s);
         d.dram_done(blk(), data(&[]), &mut s);
-        let a = d.fine_complete(blk(), Some((w, 3)), &mut s);
+        let a = d.fine_complete(blk(), Some((w, 3)), 0, &mut s);
         let updates: Vec<NodeId> = a
             .iter()
             .filter_map(|x| match x {
@@ -1312,7 +1323,7 @@ mod tests {
         let w = blk().word_addr(0);
         d.request(blk(), DirRequest::FineGet { token: 1, addr: w }, &mut s);
         d.dram_done(blk(), data(&[]), &mut s);
-        d.fine_complete(blk(), None, &mut s); // amo.inc mid-count: no put yet
+        d.fine_complete(blk(), None, 0, &mut s); // amo.inc mid-count: no put yet
         assert!(d.amu_shares(blk()));
         let a = d.request(
             blk(),
@@ -1326,7 +1337,15 @@ mod tests {
         assert!(!d.amu_shares(blk()));
         // Subsequent stale FinePut from the AMU is dropped.
         d.dram_done(blk(), data(&[]), &mut s);
-        let a = d.request(blk(), DirRequest::FinePut { addr: w, value: 9 }, &mut s);
+        let a = d.request(
+            blk(),
+            DirRequest::FinePut {
+                addr: w,
+                value: 9,
+                flow: 0,
+            },
+            &mut s,
+        );
         assert!(a.is_empty(), "stale put dropped: {a:?}");
         assert_eq!(s.puts, 0);
     }
@@ -1350,7 +1369,7 @@ mod tests {
         // accumulating a value P0 has never seen).
         d.request(blk(), DirRequest::FineGet { token: 1, addr: w }, &mut s);
         d.dram_done(blk(), data(&[]), &mut s);
-        d.fine_complete(blk(), None, &mut s);
+        d.fine_complete(blk(), None, 0, &mut s);
         assert!(d.amu_shares(blk()));
         // P0's upgrade must not be satisfied in place: the directory
         // degrades it to a full GetX, flushing the AMU and re-reading
@@ -1412,7 +1431,7 @@ mod tests {
         // The AMU finishes with no put (a silent amo.inc). The pumped
         // upgrade must see amu_shared and degrade: flush + memory read,
         // not an instant UpgradeAck built on P0's stale copy.
-        let a = d.fine_complete(blk(), None, &mut s);
+        let a = d.fine_complete(blk(), None, 0, &mut s);
         assert!(
             a.contains(&DirAction::FlushAmu { block: blk() }),
             "pumped upgrade must flush the AMU: {a:?}"
@@ -1471,7 +1490,7 @@ mod tests {
         // Old owner stays a sharer; AMU registered.
         assert!(d.amu_shares(blk()));
         assert_eq!(d.sharer_count(blk()), 1);
-        d.fine_complete(blk(), None, &mut s);
+        d.fine_complete(blk(), None, 0, &mut s);
         assert!(!d.is_busy(blk()));
     }
 
@@ -1494,7 +1513,7 @@ mod tests {
         assert!(a.is_empty());
         assert_eq!(d.queue_len(blk()), 1);
         // Completing the AMO drains the queue: the GetS starts its read.
-        let a = d.fine_complete(blk(), Some((w, 5)), &mut s);
+        let a = d.fine_complete(blk(), Some((w, 5)), 0, &mut s);
         assert!(a.contains(&DirAction::ReadDram { block: blk() }));
         let a = d.dram_done(blk(), data(&[(0, 5)]), &mut s);
         assert!(to_proc(&a)
@@ -1509,7 +1528,7 @@ mod tests {
         // AMU holds the word...
         d.request(blk(), DirRequest::FineGet { token: 1, addr: w }, &mut s);
         d.dram_done(blk(), data(&[]), &mut s);
-        d.fine_complete(blk(), None, &mut s);
+        d.fine_complete(blk(), None, 0, &mut s);
         assert!(d.amu_shares(blk()));
         // ...P0's GetX opens a write txn (flushing the AMU) while the
         // AMU's put is already queued behind it.
@@ -1522,7 +1541,15 @@ mod tests {
             &mut s,
         );
         assert!(a.contains(&DirAction::FlushAmu { block: blk() }));
-        let a = d.request(blk(), DirRequest::FinePut { addr: w, value: 3 }, &mut s);
+        let a = d.request(
+            blk(),
+            DirRequest::FinePut {
+                addr: w,
+                value: 3,
+                flow: 0,
+            },
+            &mut s,
+        );
         assert!(a.is_empty(), "queued behind the write");
         // Write completes; the stale put drains as a no-op.
         let a = d.dram_done(blk(), data(&[]), &mut s);

@@ -154,6 +154,24 @@ impl Fabric {
         bytes.div_ceil(self.cfg.ni_bytes_per_cycle).max(1)
     }
 
+    /// The uncontended latency of a `src → dst` transfer of `bytes`:
+    /// egress + ingress serialization plus the pure hop pipeline, with
+    /// no queueing, jitter, or replays. Pure function of the topology —
+    /// it reserves nothing and records nothing. The tracer stores this
+    /// per send so the critical-path engine can split a send span into
+    /// serialization vs contention; router-contention mode has the same
+    /// zero-load latency by construction (see the tests).
+    pub fn zero_load_latency(&self, src: NodeId, dst: NodeId, bytes: u64) -> Cycle {
+        let ser = self.serialize(bytes);
+        if src == dst {
+            // Loopback: crossbar in + out.
+            return 2 * ser;
+        }
+        let n = self.per_node.len();
+        let hops = self.hop_tab[src.index() * n + dst.index()] as u64;
+        2 * ser + hops * self.cfg.hop_latency
+    }
+
     /// Send `payload` from `src` to `dst` at time `now`; returns the cycle
     /// at which the destination hub receives it.
     ///
@@ -396,6 +414,40 @@ mod tests {
             t1 + 4,
             "same source link: second departs 4 cycles later"
         );
+    }
+
+    #[test]
+    fn zero_load_latency_matches_an_uncontended_send() {
+        let mut f = fabric(16);
+        let mut s = Stats::new();
+        let bytes = gets().size_bytes(&SystemConfig::default().network);
+        // Remote: exactly what a send on idle links costs.
+        let t = f.send(
+            1000,
+            NodeId(0),
+            NodeId(1),
+            &gets(),
+            MsgEndpoint::Proc,
+            &mut s,
+        );
+        assert_eq!(
+            f.zero_load_latency(NodeId(0), NodeId(1), bytes),
+            t - 1000,
+            "uncontended remote send is pure zero-load latency"
+        );
+        // Local loopback: two serializations.
+        let mut f2 = fabric(4);
+        let t2 = f2.send(
+            500,
+            NodeId(2),
+            NodeId(2),
+            &gets(),
+            MsgEndpoint::Proc,
+            &mut s,
+        );
+        assert_eq!(f2.zero_load_latency(NodeId(2), NodeId(2), bytes), t2 - 500);
+        // Pure: no reservations were made by the queries above.
+        assert_eq!(f.egress_backlog(NodeId(0), 2000), 0);
     }
 
     #[test]

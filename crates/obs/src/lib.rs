@@ -14,9 +14,13 @@
 //! and keeps the *most recent* window, with a count of what it dropped.
 //!
 //! Exports:
+//! * [`critpath::analyze`] — causal-DAG critical-path extraction and
+//!   per-stage sync-tax attribution (`amo-critpath-v1` reports) with an
+//!   exact conservation invariant.
 //! * [`perfetto::perfetto_json`] — Chrome/Perfetto trace-event JSON, one
 //!   process per node, one track per component (directory, AMU, NoC, each
-//!   processor). Open in <https://ui.perfetto.dev>.
+//!   processor), with flow arrows linking each request's causal chain.
+//!   Open in <https://ui.perfetto.dev>.
 //! * [`perfetto::text_dump`] — compact grep-able text form.
 //! * [`timeseries::TimeSeries`] — interval samples of queue depths and
 //!   link backlogs, with an ASCII timeline renderer.
@@ -28,12 +32,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod critpath;
 pub mod jsonv;
 pub mod perfetto;
 pub mod report;
 pub mod timeseries;
 pub mod tracer;
 
+pub use critpath::{
+    analyze, CritPathError, CritPathReport, EpisodePath, Stage, Workload, ALL_STAGES, STAGES,
+};
 pub use jsonv::Json;
 pub use perfetto::{perfetto_json, text_dump, validate_perfetto, PerfettoSummary};
 pub use report::{campaign_metrics_json, metrics_json, CampaignSummary};

@@ -12,7 +12,12 @@
 //! * **`ts`/`dur`** = CPU cycles (the simulator's native unit; Perfetto
 //!   displays them as "ns", so 1 ns on screen = 1 cycle);
 //! * spans use `ph: "X"` (complete events), instants `ph: "i"` with
-//!   thread scope, and `ph: "M"` metadata names every track.
+//!   thread scope, and `ph: "M"` metadata names every track;
+//! * causal flows (one id per request, from [`TraceEvent::flow`]) are
+//!   drawn as flow arrows: `ph: "s"` at the flow's first event,
+//!   `ph: "t"` steps at intermediate events, `ph: "f"` (binding point
+//!   `"e"`) at the last — the viewer threads an arrow across nodes and
+//!   tracks for each request's life.
 
 use crate::tracer::{TraceBuf, TraceEvent, TraceKind};
 use amo_types::stats::{ALL_MSG_CLASSES, ALL_OP_CLASSES, MSG_CLASSES, OP_CLASSES};
@@ -79,6 +84,16 @@ pub fn perfetto_json(buf: &TraceBuf, nodes: u16, procs_per_node: u16) -> String 
     w.begin_obj();
     w.kv_str("displayTimeUnit", "ns");
     w.kv_u64("droppedEvents", buf.dropped);
+    if buf.dropped > 0 {
+        w.kv_str(
+            "warning",
+            &format!(
+                "ring tracer dropped {} older events; the trace window is \
+                 incomplete and flows may be truncated",
+                buf.dropped
+            ),
+        );
+    }
     w.key("traceEvents");
     w.begin_arr();
 
@@ -110,7 +125,22 @@ pub fn perfetto_json(buf: &TraceBuf, nodes: u16, procs_per_node: u16) -> String 
     // order, which is causal order within the simulator).
     let mut order: Vec<usize> = (0..buf.events.len()).collect();
     order.sort_by_key(|&i| buf.events[i].when);
-    for i in order {
+
+    // Flow endpoints in the sorted sequence: flow id → (first, last)
+    // position. Flows touching a single event draw no arrow.
+    let mut flow_span: std::collections::BTreeMap<u64, (usize, usize)> = Default::default();
+    for (pos, &i) in order.iter().enumerate() {
+        let f = buf.events[i].flow;
+        if f == 0 {
+            continue;
+        }
+        flow_span
+            .entry(f)
+            .and_modify(|s| s.1 = pos)
+            .or_insert((pos, pos));
+    }
+
+    for (pos, &i) in order.iter().enumerate() {
         let ev = &buf.events[i];
         let (tid, name) = track_and_name(ev, procs_per_node);
         w.begin_obj();
@@ -128,8 +158,40 @@ pub fn perfetto_json(buf: &TraceBuf, nodes: u16, procs_per_node: u16) -> String 
         w.begin_obj();
         w.kv_u64("a", ev.a);
         w.kv_u64("b", ev.b);
+        if ev.flow != 0 {
+            w.kv_u64("flow", ev.flow);
+        }
+        if ev.parent != 0 {
+            w.kv_u64("parent_flow", ev.parent);
+        }
         w.end_obj();
         w.end_obj();
+        // Flow arrow anchored to this event (same ts/pid/tid keeps every
+        // track time-monotone).
+        if ev.flow != 0 {
+            let (first, last) = flow_span[&ev.flow];
+            if first != last {
+                let ph = if pos == first {
+                    "s"
+                } else if pos == last {
+                    "f"
+                } else {
+                    "t"
+                };
+                w.begin_obj();
+                w.kv_str("name", "flow");
+                w.kv_str("cat", "flow");
+                w.kv_str("ph", ph);
+                if ph == "f" {
+                    w.kv_str("bp", "e");
+                }
+                w.kv_u64("id", ev.flow);
+                w.kv_u64("ts", ev.when);
+                w.kv_u64("pid", ev.node as u64);
+                w.kv_u64("tid", tid);
+                w.end_obj();
+            }
+        }
     }
     w.end_arr();
     w.end_obj();
@@ -155,7 +217,12 @@ fn meta(w: &mut JsonWriter, pid: u64, tid: u64, what: &str, name: &str) {
 pub fn text_dump(buf: &TraceBuf) -> String {
     let mut out = String::new();
     if buf.dropped > 0 {
-        let _ = writeln!(out, "# {} older events dropped by the ring", buf.dropped);
+        let _ = writeln!(
+            out,
+            "# WARNING: {} older events dropped by the ring tracer — this \
+             trace window is INCOMPLETE and causal flows may be truncated",
+            buf.dropped
+        );
     }
     for ev in &buf.events {
         let _ = write!(out, "{:>12} ", ev.when);
@@ -171,7 +238,14 @@ pub fn text_dump(buf: &TraceBuf) -> String {
             let _ = write!(out, "{:<6} ", "-");
         }
         let (_, name) = track_and_name(ev, u16::MAX);
-        let _ = writeln!(out, "{:<18} a={} b={}", name, ev.a, ev.b);
+        let _ = write!(out, "{:<18} a={} b={}", name, ev.a, ev.b);
+        if ev.flow != 0 {
+            let _ = write!(out, " flow={:#x}", ev.flow);
+        }
+        if ev.parent != 0 {
+            let _ = write!(out, " parent={:#x}", ev.parent);
+        }
+        let _ = writeln!(out);
     }
     out
 }
@@ -179,18 +253,24 @@ pub fn text_dump(buf: &TraceBuf) -> String {
 /// What [`validate_perfetto`] learned about a trace.
 #[derive(Debug)]
 pub struct PerfettoSummary {
-    /// Non-metadata events in the document.
+    /// Non-metadata, non-flow events in the document.
     pub events: usize,
     /// Distinct `(pid, tid)` tracks carrying events.
     pub tracks: usize,
     /// Distinct `pid`s (nodes) carrying at least one event.
     pub nodes_with_events: usize,
+    /// Completed flow arrows: `"f"` terminators, each with a matching
+    /// earlier `"s"` start of the same id.
+    pub flow_links: usize,
 }
 
 /// Validate an emitted Perfetto document: it parses, every non-metadata
 /// event carries the required fields, events are time-ordered within
-/// each `(pid, tid)` track, and — when `expected_nodes` is given — every
-/// node contributes at least one event.
+/// each `(pid, tid)` track, flow events are well-formed (every `"t"`
+/// step and `"f"` finish has a matching *earlier* `"s"` start with the
+/// same id, and every started flow finishes), and — when
+/// `expected_nodes` is given — every node contributes at least one
+/// event.
 pub fn validate_perfetto(
     json: &str,
     expected_nodes: Option<u16>,
@@ -202,13 +282,44 @@ pub fn validate_perfetto(
         .ok_or("missing traceEvents array")?;
     let mut last_ts: std::collections::BTreeMap<(u64, u64), u64> = Default::default();
     let mut nodes: std::collections::BTreeSet<u64> = Default::default();
+    let mut open_flows: std::collections::BTreeSet<u64> = Default::default();
     let mut count = 0usize;
+    let mut flow_links = 0usize;
     for (i, ev) in events.iter().enumerate() {
         let ph = ev
             .get("ph")
             .and_then(|v| v.as_str())
             .ok_or(format!("event {i}: missing ph"))?;
         if ph == "M" {
+            continue;
+        }
+        if ph == "s" || ph == "t" || ph == "f" {
+            let id = ev
+                .get("id")
+                .and_then(|v| v.as_u64())
+                .ok_or(format!("event {i}: flow event missing id"))?;
+            match ph {
+                "s" => {
+                    if !open_flows.insert(id) {
+                        return Err(format!("event {i}: flow {id} started twice"));
+                    }
+                }
+                "t" => {
+                    if !open_flows.contains(&id) {
+                        return Err(format!(
+                            "event {i}: flow step for {id} without an earlier start"
+                        ));
+                    }
+                }
+                _ => {
+                    if !open_flows.remove(&id) {
+                        return Err(format!(
+                            "event {i}: flow finish for {id} without an earlier start"
+                        ));
+                    }
+                    flow_links += 1;
+                }
+            }
             continue;
         }
         let pid = ev
@@ -237,6 +348,12 @@ pub fn validate_perfetto(
         nodes.insert(pid);
         count += 1;
     }
+    if let Some(first) = open_flows.iter().next() {
+        return Err(format!(
+            "{} flow(s) started but never finished (e.g. id {first})",
+            open_flows.len()
+        ));
+    }
     if let Some(n) = expected_nodes {
         for node in 0..n as u64 {
             if !nodes.contains(&node) {
@@ -248,6 +365,7 @@ pub fn validate_perfetto(
         events: count,
         tracks: last_ts.len(),
         nodes_with_events: nodes.len(),
+        flow_links,
     })
 }
 
@@ -262,14 +380,24 @@ mod tests {
         t.record(
             TraceEvent::span(TraceKind::MsgSend, 0, 10, 130)
                 .class(MsgClass::Amo.index())
-                .args(1, 32),
+                .args(1, 32)
+                .flow(7),
         );
-        t.record(TraceEvent::span(TraceKind::DirService, 1, 130, 134).class(MsgClass::Amo.index()));
-        t.record(TraceEvent::span(TraceKind::AmuOp, 1, 134, 140).args(0, 0));
+        t.record(
+            TraceEvent::span(TraceKind::DirService, 1, 130, 134)
+                .class(MsgClass::Amo.index())
+                .flow(7),
+        );
+        t.record(
+            TraceEvent::span(TraceKind::AmuOp, 1, 134, 140)
+                .args(0, 0)
+                .flow(7),
+        );
         t.record(
             TraceEvent::span(TraceKind::OpComplete, 0, 10, 260)
                 .on_proc(0)
-                .class(OpClass::Amo.index()),
+                .class(OpClass::Amo.index())
+                .flow(7),
         );
         t.record(
             TraceEvent::instant(TraceKind::Mark, 0, 261)
@@ -287,9 +415,45 @@ mod tests {
         assert_eq!(sum.events, 5);
         assert_eq!(sum.nodes_with_events, 2);
         assert!(sum.tracks >= 4);
+        assert_eq!(sum.flow_links, 1);
         assert!(json.contains(r#""name":"send:amo""#));
         assert!(json.contains(r#""name":"op:amo""#));
         assert!(json.contains(r#""thread_name""#));
+        assert!(json.contains(r#""ph":"s""#));
+        assert!(json.contains(r#""ph":"f""#));
+        assert!(!json.contains(r#""warning""#));
+    }
+
+    #[test]
+    fn validator_rejects_flow_finish_without_start() {
+        let bad = r#"{"traceEvents":[
+            {"name":"flow","cat":"flow","ph":"f","bp":"e","id":9,"ts":1,"pid":0,"tid":1}
+        ]}"#;
+        let err = validate_perfetto(bad, None).unwrap_err();
+        assert!(err.contains("without an earlier start"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_unfinished_flow() {
+        let bad = r#"{"traceEvents":[
+            {"name":"flow","cat":"flow","ph":"s","id":9,"ts":1,"pid":0,"tid":1}
+        ]}"#;
+        let err = validate_perfetto(bad, None).unwrap_err();
+        assert!(err.contains("never finished"), "{err}");
+    }
+
+    #[test]
+    fn dropped_events_surface_a_warning() {
+        let mut t = RingTracer::new(2);
+        for i in 0..5u64 {
+            t.record(TraceEvent::instant(TraceKind::Mark, 0, i).args(i, 0));
+        }
+        let buf = t.take_buf().unwrap();
+        assert_eq!(buf.dropped, 3);
+        let json = perfetto_json(&buf, 1, 1);
+        assert!(json.contains(r#""droppedEvents":3"#));
+        assert!(json.contains(r#""warning""#));
+        assert!(text_dump(&buf).contains("WARNING: 3"));
     }
 
     #[test]

@@ -1,15 +1,25 @@
 //! The combined metrics report emitted by `--metrics-json`.
 
 use crate::timeseries::TimeSeries;
+use crate::tracer::TraceBuf;
 use amo_types::{JsonWriter, Stats};
 
 /// Render one run's metrics as a single JSON document:
 /// `{"schema": "amo-metrics-v1", "meta": {...}, "stats": <Stats JSON>,
-/// "timeseries": {...} | null}`.
+/// "timeseries": {...} | null, "trace": {...} | null}`.
 ///
 /// `meta` carries free-form run identification (workload, sizes, seeds)
-/// as string pairs.
-pub fn metrics_json(stats: &Stats, series: Option<&TimeSeries>, meta: &[(&str, String)]) -> String {
+/// as string pairs. When the run was traced, pass the [`TraceBuf`] so
+/// the bundle records how many events were captured and — critically —
+/// how many the ring **dropped**: a nonzero `dropped` means every
+/// trace-derived artifact (Perfetto export, critical-path report) saw
+/// only a suffix window of the run.
+pub fn metrics_json(
+    stats: &Stats,
+    series: Option<&TimeSeries>,
+    trace: Option<&TraceBuf>,
+    meta: &[(&str, String)],
+) -> String {
     let mut w = JsonWriter::new();
     w.begin_obj();
     w.kv_str("schema", "amo-metrics-v1");
@@ -24,6 +34,17 @@ pub fn metrics_json(stats: &Stats, series: Option<&TimeSeries>, meta: &[(&str, S
     w.key("timeseries");
     match series {
         Some(ts) => ts.write_json(&mut w),
+        None => w.raw_val("null"),
+    }
+    w.key("trace");
+    match trace {
+        Some(buf) => {
+            w.begin_obj();
+            w.kv_u64("events", buf.events.len() as u64);
+            w.kv_u64("dropped", buf.dropped);
+            w.kv_u64("complete", u64::from(buf.dropped == 0));
+            w.end_obj();
+        }
         None => w.raw_val("null"),
     }
     w.end_obj();
@@ -109,7 +130,7 @@ mod tests {
                 ..Default::default()
             }],
         });
-        let doc = metrics_json(&stats, Some(&ts), &[("workload", "unit-test".into())]);
+        let doc = metrics_json(&stats, Some(&ts), None, &[("workload", "unit-test".into())]);
         let v = Json::parse(&doc).unwrap();
         assert_eq!(v.get("schema").unwrap().as_str(), Some("amo-metrics-v1"));
         assert_eq!(
@@ -169,8 +190,25 @@ mod tests {
 
     #[test]
     fn report_without_series_is_null() {
-        let doc = metrics_json(&Stats::new(), None, &[]);
+        let doc = metrics_json(&Stats::new(), None, None, &[]);
         let v = Json::parse(&doc).unwrap();
         assert_eq!(v.get("timeseries"), Some(&Json::Null));
+        assert_eq!(v.get("trace"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn report_surfaces_ring_drop_accounting() {
+        use crate::tracer::{RingTracer, TraceEvent, TraceKind, Tracer};
+        let mut t = RingTracer::new(2);
+        for i in 0..5u64 {
+            t.record(TraceEvent::instant(TraceKind::Mark, 0, i));
+        }
+        let buf = t.take_buf().unwrap();
+        let doc = metrics_json(&Stats::new(), None, Some(&buf), &[]);
+        let v = Json::parse(&doc).unwrap();
+        let tr = v.get("trace").unwrap();
+        assert_eq!(tr.get("events").unwrap().as_u64(), Some(2));
+        assert_eq!(tr.get("dropped").unwrap().as_u64(), Some(3));
+        assert_eq!(tr.get("complete").unwrap().as_u64(), Some(0));
     }
 }

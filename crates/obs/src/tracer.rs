@@ -8,8 +8,10 @@ use amo_types::Cycle;
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum TraceKind {
     /// A message entered the fabric. `class` = `MsgClass` index, `a` =
-    /// destination node, `b` = payload bytes. Span: injection → delivery
-    /// at the destination hub.
+    /// destination node, `b` = the send's zero-load latency in cycles
+    /// (serialization + hop pipeline, no queueing) — the critical-path
+    /// engine splits the span into serialization vs contention with it.
+    /// Span: injection → delivery at the destination hub.
     MsgSend,
     /// A message was delivered to a hub. `class` = `MsgClass` index,
     /// `a` = source node.
@@ -87,6 +89,16 @@ pub struct TraceEvent {
     pub a: u64,
     /// Second kind-specific payload.
     pub b: u64,
+    /// Causal flow identity (`ReqId::flow`): every event in one
+    /// request's life — injection, hub receipt, directory service, AMU
+    /// execution, NACKs, retries, reply, kernel-op completion — carries
+    /// the same nonzero value. 0 = the event belongs to no flow.
+    pub flow: u64,
+    /// Flow id of the causal parent chain, when this event's flow was
+    /// spawned by another: a kernel op that issues several requests
+    /// (LL/SC sequences, retries under a fresh tag) links each follow-up
+    /// flow back to the op's root flow. 0 = no parent link.
+    pub parent: u64,
 }
 
 impl TraceEvent {
@@ -104,6 +116,8 @@ impl TraceEvent {
             class: 0,
             a: 0,
             b: 0,
+            flow: 0,
+            parent: 0,
         }
     }
 
@@ -132,6 +146,18 @@ impl TraceEvent {
     pub fn args(mut self, a: u64, b: u64) -> Self {
         self.a = a;
         self.b = b;
+        self
+    }
+
+    /// Attach a causal flow id (`ReqId::flow`; 0 = none).
+    pub fn flow(mut self, flow: u64) -> Self {
+        self.flow = flow;
+        self
+    }
+
+    /// Attach a parent flow link (0 = none).
+    pub fn parent(mut self, parent: u64) -> Self {
+        self.parent = parent;
         self
     }
 }

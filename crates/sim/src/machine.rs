@@ -209,6 +209,12 @@ pub struct Machine<T: Tracer = NopTracer> {
 /// processor can hold its outstanding-miss limit in flight (each miss is
 /// at most one queued event at a time), plus per-node slack for AMU
 /// queues and update fanout.
+/// Causal flow id carried by a payload's request tag (0 = none).
+#[inline]
+fn flow_of(payload: &Payload) -> u64 {
+    payload.req().map_or(0, |r| r.flow())
+}
+
 fn queue_capacity(cfg: &SystemConfig) -> usize {
     cfg.num_procs as usize * cfg.max_outstanding_misses
         + cfg.num_nodes() as usize * cfg.amu.queue_cap.min(64)
@@ -686,7 +692,8 @@ impl<T: Tracer> Machine<T> {
                 if T::ENABLED {
                     self.tracer.record(
                         TraceEvent::instant(TraceKind::MsgRecv, node.0, now)
-                            .class(payload.class().index()),
+                            .class(payload.class().index())
+                            .flow(flow_of(&payload)),
                     );
                 }
                 self.hub_receive(node, payload, now)
@@ -737,7 +744,8 @@ impl<T: Tracer> Machine<T> {
                     self.tracer.record(
                         TraceEvent::instant(TraceKind::ProcRecv, self.node_of(p).0, now)
                             .on_proc(p.0)
-                            .class(payload.class().index()),
+                            .class(payload.class().index())
+                            .flow(flow_of(&payload)),
                     );
                 }
                 let mut eff = self.proc_eff_pool.pop().unwrap_or_default();
@@ -781,7 +789,8 @@ impl<T: Tracer> Machine<T> {
             if T::ENABLED {
                 self.tracer.record(
                     TraceEvent::instant(TraceKind::AmuNack, node.0, now)
-                        .args(requester.0 as u64, browned as u64),
+                        .args(requester.0 as u64, browned as u64)
+                        .flow(req.flow()),
                 );
             }
             self.send_to_proc(node, requester, Payload::AmuNack { req, class }, now);
@@ -806,7 +815,8 @@ impl<T: Tracer> Machine<T> {
                 if T::ENABLED {
                     self.tracer.record(
                         TraceEvent::span(TraceKind::DirService, node.0, start, start + occ)
-                            .class(payload.class().index()),
+                            .class(payload.class().index())
+                            .flow(flow_of(&payload)),
                     );
                 }
                 self.queue
@@ -980,6 +990,7 @@ impl<T: Tracer> Machine<T> {
                     node: dst,
                     addr,
                     value,
+                    flow,
                 } => {
                     let payload = Payload::WordUpdate { addr, value };
                     let retx = if T::ENABLED {
@@ -1000,10 +1011,15 @@ impl<T: Tracer> Machine<T> {
                     );
                     if T::ENABLED {
                         self.trace_link_retry(node, now, retx);
+                        let bytes = payload.size_bytes(&self.cfg.network);
                         self.tracer.record(
                             TraceEvent::span(TraceKind::MsgSend, node.0, now, arrival)
                                 .class(payload.class().index())
-                                .args(dst.0 as u64, payload.size_bytes(&self.cfg.network)),
+                                .args(
+                                    dst.0 as u64,
+                                    self.fabric.zero_load_latency(node, dst, bytes),
+                                )
+                                .flow(flow),
                         );
                     }
                     self.queue.schedule(arrival, Event::ToHub(dst, payload));
@@ -1062,13 +1078,14 @@ impl<T: Tracer> Machine<T> {
                             TraceEvent::span(TraceKind::AmuOp, node.0, now, when)
                                 .on_proc(proc.0)
                                 .class(payload.class().index())
-                                .args(depth, 0),
+                                .args(depth, 0)
+                                .flow(flow_of(&payload)),
                         );
                     }
                     self.queue
                         .schedule(when, Event::AmuSend(node, proc, payload));
                 }
-                AmuEffect::FineGet { token, addr } => {
+                AmuEffect::FineGet { token, addr, .. } => {
                     let block = addr.block(self.cfg.l2.line_bytes);
                     let mut actions = self.dir_act_pool.pop().unwrap_or_default();
                     self.hubs[node.index()].directory.request_into(
@@ -1080,23 +1097,24 @@ impl<T: Tracer> Machine<T> {
                     self.run_dir_actions(node, &mut actions, now);
                     self.dir_act_pool.push(actions);
                 }
-                AmuEffect::FinePut { addr, value } => {
+                AmuEffect::FinePut { addr, value, flow } => {
                     let block = addr.block(self.cfg.l2.line_bytes);
                     let mut actions = self.dir_act_pool.pop().unwrap_or_default();
                     self.hubs[node.index()].directory.request_into(
                         block,
-                        DirRequest::FinePut { addr, value },
+                        DirRequest::FinePut { addr, value, flow },
                         &mut self.stats,
                         &mut actions,
                     );
                     self.run_dir_actions(node, &mut actions, now);
                     self.dir_act_pool.push(actions);
                 }
-                AmuEffect::FineComplete { block, put } => {
+                AmuEffect::FineComplete { block, put, flow } => {
                     let mut actions = self.dir_act_pool.pop().unwrap_or_default();
                     self.hubs[node.index()].directory.fine_complete_into(
                         block,
                         put,
+                        flow,
                         &mut self.stats,
                         &mut actions,
                     );
@@ -1152,10 +1170,15 @@ impl<T: Tracer> Machine<T> {
                 .send(now, from, dst, &payload, MsgEndpoint::Proc, &mut self.stats);
         if T::ENABLED {
             self.trace_link_retry(from, now, retx);
+            let bytes = payload.size_bytes(&self.cfg.network);
             self.tracer.record(
                 TraceEvent::span(TraceKind::MsgSend, from.0, now, arrival)
                     .class(payload.class().index())
-                    .args(dst.0 as u64, payload.size_bytes(&self.cfg.network)),
+                    .args(
+                        dst.0 as u64,
+                        self.fabric.zero_load_latency(from, dst, bytes),
+                    )
+                    .flow(flow_of(&payload)),
             );
         }
         self.queue
@@ -1181,11 +1204,14 @@ impl<T: Tracer> Machine<T> {
                             .send(t, src, dst, &payload, MsgEndpoint::Proc, &mut self.stats);
                     if T::ENABLED {
                         self.trace_link_retry(src, t, retx);
+                        let bytes = payload.size_bytes(&self.cfg.network);
                         self.tracer.record(
                             TraceEvent::span(TraceKind::MsgSend, src.0, t, arrival)
                                 .on_proc(p.0)
                                 .class(payload.class().index())
-                                .args(dst.0 as u64, payload.size_bytes(&self.cfg.network)),
+                                .args(dst.0 as u64, self.fabric.zero_load_latency(src, dst, bytes))
+                                .flow(flow_of(&payload))
+                                .parent(self.procs[p.index()].flow_parent(&payload)),
                         );
                     }
                     self.queue.schedule(arrival, Event::ToHub(dst, payload));
@@ -1231,7 +1257,12 @@ impl<T: Tracer> Machine<T> {
                     };
                     self.pending_fault.get_or_insert((kind, when));
                 }
-                ProcEffect::OpDone { class, start, end } => {
+                ProcEffect::OpDone {
+                    class,
+                    start,
+                    end,
+                    flow,
+                } => {
                     // Only emitted when op tracing is on (see
                     // `with_tracer`), but keep the arm unconditional so
                     // the match stays exhaustive.
@@ -1239,7 +1270,8 @@ impl<T: Tracer> Machine<T> {
                         self.tracer.record(
                             TraceEvent::span(TraceKind::OpComplete, src.0, start, end)
                                 .on_proc(p.0)
-                                .class(class.index()),
+                                .class(class.index())
+                                .flow(flow),
                         );
                     }
                 }

@@ -59,6 +59,27 @@ impl fmt::Display for NodeId {
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ReqId(pub u64);
 
+impl ReqId {
+    /// The causal flow identity of this request: every trace event that
+    /// participates in the request's life (injection, hub receipt,
+    /// directory service, AMU execution, NACKs, retries, the reply, and
+    /// the kernel-op completion) carries this value in
+    /// `TraceEvent::flow`. Request tags are allocated monotonically and
+    /// never reused within a run, so the flow id is unique across
+    /// episodes by construction; 0 is reserved for "no flow".
+    #[inline]
+    pub fn flow(self) -> u64 {
+        self.0
+    }
+
+    /// The processor that allocated this tag (encoded in the high bits
+    /// by [`ReqId`] allocation — see `Processor::alloc_req`).
+    #[inline]
+    pub fn proc(self) -> ProcId {
+        ProcId((self.0 >> 48) as u16)
+    }
+}
+
 impl fmt::Display for ReqId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "req{}", self.0)

@@ -105,9 +105,11 @@ fn actmsg_baseline_retransmission_counts_are_pinned() {
     // Pinned: with the shipped exponential-backoff-plus-jitter schedule
     // (doubling per attempt, capped at 16x) and the splitmix64 per-run
     // seed derivation, this workload needs exactly this many
-    // retransmissions.
+    // retransmissions. The jitter hashes the request id, so request
+    // numbering is part of the baseline too (ids start at 1; 0 is the
+    // "no causal flow" sentinel).
     assert_eq!(
-        act.stats.actmsg_retransmissions, 193,
+        act.stats.actmsg_retransmissions, 191,
         "backoff change shifted the Figure 5 baseline"
     );
 }

@@ -37,6 +37,14 @@ fn traced_64_proc_barrier_exports_valid_perfetto() {
     assert_eq!(summary.nodes_with_events, cfg.num_nodes() as usize);
     assert!(summary.tracks > cfg.num_nodes() as usize);
     assert_eq!(summary.events as usize, buf.events.len());
+    // Causal flows: every request that touched more than one component
+    // draws an arrow, and the validator proved each `"f"` terminator had
+    // a matching earlier `"s"` start. A 64-CPU barrier has hundreds.
+    assert!(
+        summary.flow_links > 100,
+        "expected many flow arrows, got {}",
+        summary.flow_links
+    );
 
     // Spot-check the trace-event envelope shape directly too.
     let doc = Json::parse(&json).unwrap();
@@ -78,10 +86,18 @@ fn metrics_report_has_per_node_counts_quantiles_and_series() {
     let doc = metrics_json(
         &r.stats,
         r.obs.timeseries.as_ref(),
+        r.obs.trace.as_ref(),
         &[("workload", "barrier".into())],
     );
     let v = Json::parse(&doc).expect("metrics JSON parses");
     assert_eq!(v.get("schema").unwrap().as_str(), Some("amo-metrics-v1"));
+
+    // The trace section accounts for the ring: a complete capture with
+    // zero drops.
+    let tr = v.get("trace").unwrap();
+    assert!(tr.get("events").unwrap().as_u64().unwrap() > 0);
+    assert_eq!(tr.get("dropped").unwrap().as_u64(), Some(0));
+    assert_eq!(tr.get("complete").unwrap().as_u64(), Some(1));
 
     // Per-node message counts: one row per node, and the AMO barrier's
     // home node (0) receives requests from everyone.
