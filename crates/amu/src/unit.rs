@@ -194,6 +194,18 @@ enum State {
     },
 }
 
+/// Identity of an AMU command for at-most-once dedup: the request tag
+/// plus its requester (tags are per-processor, so the pair is unique
+/// machine-wide).
+fn op_tag(op: &AmuOp) -> (ReqId, ProcId) {
+    match *op {
+        AmuOp::Amo { req, requester, .. }
+        | AmuOp::Mao { req, requester, .. }
+        | AmuOp::UncachedRead { req, requester, .. }
+        | AmuOp::UncachedWrite { req, requester, .. } => (req, requester),
+    }
+}
+
 /// One node's Active Memory Unit.
 pub struct Amu {
     cache: Vec<CacheEntry>,
@@ -205,6 +217,23 @@ pub struct Amu {
     state: State,
     tick: u64,
     next_token: u64,
+    /// The last reply served to each requester — the at-most-once
+    /// table consulted on submit when delivery faults can retransmit
+    /// an already-applied request. Keyed **per requester**: a
+    /// processor has at most one retransmittable request outstanding
+    /// and its tags are monotone, so one cached reply per requester is
+    /// exact — a retransmission matches the slot (replay the reply)
+    /// while anything older than the slot is a floating duplicate
+    /// whose reply was already consumed (swallow). An operation-count
+    /// FIFO cannot provide this guarantee: under load, more ops than
+    /// the window holds complete within one end-to-end backoff
+    /// interval, the entry ages out, and the retransmission re-applies
+    /// (observed as a double fetch-and-add corrupting a 64-proc
+    /// barrier at 1000 ppm drop). LRU-bounded to `served_cap` distinct
+    /// requesters; capacity 0 = dedup off (the default; clean runs pay
+    /// nothing).
+    served: VecDeque<(ProcId, ReqId, Payload)>,
+    served_cap: usize,
 }
 
 impl Amu {
@@ -223,7 +252,58 @@ impl Amu {
             state: State::Idle,
             tick: 0,
             next_token: 0,
+            served: VecDeque::new(),
+            served_cap: 0,
         }
+    }
+
+    /// Enable at-most-once duplicate suppression: remember the last
+    /// reply served to each of up to `window` distinct requesters, so
+    /// a retransmitted command that already executed re-emits its
+    /// cached reply instead of applying twice. Used when delivery
+    /// faults (drop/dup/reorder) are enabled; a window of 0 disables
+    /// dedup. Suppression is exact while `window` covers every
+    /// processor that can issue faultable requests to this node.
+    pub fn with_dedup(mut self, window: u32) -> Self {
+        self.served_cap = window as usize;
+        self
+    }
+
+    /// Record a completed request's reply in the requester's dedup
+    /// slot (allocating one, LRU-evicting if the table is full).
+    fn record_served(&mut self, proc: ProcId, payload: &Payload) {
+        if self.served_cap == 0 {
+            return;
+        }
+        let req = match *payload {
+            Payload::AmoReply { req, .. }
+            | Payload::MaoReply { req, .. }
+            | Payload::UncachedReadReply { req, .. }
+            | Payload::UncachedWriteAck { req } => req,
+            _ => return,
+        };
+        if let Some(idx) = self.served.iter().position(|(p, ..)| *p == proc) {
+            self.served.remove(idx);
+        } else if self.served.len() == self.served_cap {
+            self.served.pop_front();
+        }
+        self.served.push_back((proc, req, payload.clone()));
+    }
+
+    /// Emit a reply, recording it in the dedup window first.
+    fn reply_at(
+        &mut self,
+        when: Cycle,
+        proc: ProcId,
+        payload: Payload,
+        effects: &mut Vec<AmuEffect>,
+    ) {
+        self.record_served(proc, &payload);
+        effects.push(AmuEffect::ReplyAt {
+            when,
+            proc,
+            payload,
+        });
     }
 
     fn lookup(&mut self, addr: Addr) -> Option<usize> {
@@ -297,6 +377,42 @@ impl Amu {
         stats: &mut Stats,
         effects: &mut Vec<AmuEffect>,
     ) -> bool {
+        if self.served_cap > 0 {
+            let (req, requester) = op_tag(&op);
+            match self.served.iter().find(|(p, ..)| *p == requester) {
+                // Already executed: re-emit the cached reply (the
+                // original one may have been dropped in flight)
+                // without re-applying.
+                Some((_, served, payload)) if *served == req => {
+                    stats.dup_suppressed += 1;
+                    let payload = payload.clone();
+                    effects.push(AmuEffect::ReplyAt {
+                        when: now + self.op_latency,
+                        proc: requester,
+                        payload,
+                    });
+                    return true;
+                }
+                // Older than the requester's last served tag: the
+                // requester has since issued newer requests, so the
+                // original reply was delivered and this copy is a
+                // floating duplicate — swallow it.
+                Some((_, served, _)) if served.0 > req.0 => {
+                    stats.dup_suppressed += 1;
+                    return true;
+                }
+                _ => {}
+            }
+            let tag = (req, requester);
+            // Already queued or executing: the first copy will reply;
+            // swallow this one.
+            let pending = self.queue.iter().any(|q| op_tag(q) == tag)
+                || matches!(self.state, State::Waiting { op: w, .. } if op_tag(&w) == tag);
+            if pending {
+                stats.dup_suppressed += 1;
+                return true;
+            }
+        }
         if self.queue.len() >= self.queue_cap {
             return false;
         }
@@ -357,11 +473,7 @@ impl Amu {
                                 flow: req.flow(),
                             });
                         }
-                        effects.push(AmuEffect::ReplyAt {
-                            when: done,
-                            proc: requester,
-                            payload: Payload::AmoReply { req, old },
-                        });
+                        self.reply_at(done, requester, Payload::AmoReply { req, old }, effects);
                         self.state = State::Busy(done);
                         effects.push(AmuEffect::WakeAt { when: done });
                     }
@@ -393,11 +505,7 @@ impl Amu {
                         // nobody is updated or invalidated.
                         let done = now + self.op_latency;
                         effects.push(AmuEffect::WriteMemWord { addr, value: new });
-                        effects.push(AmuEffect::ReplyAt {
-                            when: done,
-                            proc: requester,
-                            payload: Payload::MaoReply { req, old },
-                        });
+                        self.reply_at(done, requester, Payload::MaoReply { req, old }, effects);
                         self.state = State::Busy(done);
                         effects.push(AmuEffect::WakeAt { when: done });
                     }
@@ -418,11 +526,12 @@ impl Amu {
                 Some(idx) => {
                     let value = self.cache[idx].value;
                     let done = now + self.op_latency;
-                    effects.push(AmuEffect::ReplyAt {
-                        when: done,
-                        proc: requester,
-                        payload: Payload::UncachedReadReply { req, value },
-                    });
+                    self.reply_at(
+                        done,
+                        requester,
+                        Payload::UncachedReadReply { req, value },
+                        effects,
+                    );
                     self.state = State::Busy(done);
                     effects.push(AmuEffect::WakeAt { when: done });
                 }
@@ -445,11 +554,7 @@ impl Amu {
                 }
                 let done = now + self.op_latency;
                 effects.push(AmuEffect::WriteMemWord { addr, value });
-                effects.push(AmuEffect::ReplyAt {
-                    when: done,
-                    proc: requester,
-                    payload: Payload::UncachedWriteAck { req },
-                });
+                self.reply_at(done, requester, Payload::UncachedWriteAck { req }, effects);
                 self.state = State::Busy(done);
                 effects.push(AmuEffect::WakeAt { when: done });
             }
@@ -531,11 +636,7 @@ impl Amu {
             put: put.then_some((addr, new)),
             flow: req.flow(),
         });
-        effects.push(AmuEffect::ReplyAt {
-            when: done,
-            proc: requester,
-            payload: Payload::AmoReply { req, old },
-        });
+        self.reply_at(done, requester, Payload::AmoReply { req, old }, effects);
         self.state = State::Busy(done);
         effects.push(AmuEffect::WakeAt { when: done });
         Ok(())
@@ -586,18 +687,15 @@ impl Amu {
                 let new = kind.apply(old, operand);
                 self.cache[idx].value = new;
                 effects.push(AmuEffect::WriteMemWord { addr, value: new });
-                effects.push(AmuEffect::ReplyAt {
-                    when: done,
-                    proc: requester,
-                    payload: Payload::MaoReply { req, old },
-                });
+                self.reply_at(done, requester, Payload::MaoReply { req, old }, effects);
             }
             AmuOp::UncachedRead { req, requester, .. } => {
-                effects.push(AmuEffect::ReplyAt {
-                    when: done,
-                    proc: requester,
-                    payload: Payload::UncachedReadReply { req, value },
-                });
+                self.reply_at(
+                    done,
+                    requester,
+                    Payload::UncachedReadReply { req, value },
+                    effects,
+                );
             }
             _ => return Err(AmuError::WrongOp { token }),
         }
@@ -979,6 +1077,177 @@ mod tests {
         // The AMU is still intact: the correct value completes the op.
         let eff = a.fine_value(0, w(0), 0, 20, &mut s).unwrap();
         assert!(eff.iter().any(|e| matches!(e, AmuEffect::ReplyAt { .. })));
+    }
+
+    #[test]
+    fn dedup_window_replays_cached_reply_without_reapplying() {
+        let mut s = Stats::new();
+        let mut a = Amu::new(8, LAT, 64, 128).with_dedup(4);
+        // Execute a fetch-add to completion.
+        let op = AmuOp::Amo {
+            req: ReqId(7),
+            requester: ProcId(2),
+            kind: AmoKind::FetchAdd,
+            addr: w(0),
+            operand: 5,
+            test: None,
+        };
+        a.submit(op, 0, &mut s);
+        a.fine_value(0, w(0), 10, 10, &mut s).unwrap(); // 10 -> 15
+        a.advance(18, &mut s);
+        assert_eq!(a.peek(w(0)), Some(15));
+        // A retransmitted copy of the same request must not add again;
+        // it re-emits the original reply (old = 10).
+        let (ok, eff) = a.submit(op, 100, &mut s);
+        assert!(ok);
+        assert_eq!(a.peek(w(0)), Some(15), "no double-apply");
+        assert_eq!(s.dup_suppressed, 1);
+        assert!(eff.iter().any(|e| matches!(
+            e,
+            AmuEffect::ReplyAt {
+                proc: ProcId(2),
+                payload: Payload::AmoReply {
+                    req: ReqId(7),
+                    old: 10
+                },
+                ..
+            }
+        )));
+        // A *different* request from the same processor still executes.
+        let (ok, _) = a.submit(amo_inc(8, 2, w(0), None), 200, &mut s);
+        assert!(ok);
+        a.advance(300, &mut s);
+        assert_eq!(a.peek(w(0)), Some(16));
+        assert_eq!(s.dup_suppressed, 1);
+    }
+
+    #[test]
+    fn dedup_swallows_duplicate_of_inflight_request() {
+        let mut s = Stats::new();
+        let mut a = Amu::new(8, LAT, 64, 128).with_dedup(4);
+        // First copy goes to Waiting on a fine get.
+        a.submit(amo_inc(1, 0, w(0), None), 0, &mut s);
+        // Duplicate arrives while the original is still in flight: no
+        // second execution, no reply (the in-flight one will reply).
+        let (ok, eff) = a.submit(amo_inc(1, 0, w(0), None), 5, &mut s);
+        assert!(ok);
+        assert!(eff.is_empty());
+        assert_eq!(s.dup_suppressed, 1);
+        // Queue a second distinct op, then duplicate it too.
+        a.submit(amo_inc(2, 1, w(0), None), 6, &mut s);
+        let (ok, eff) = a.submit(amo_inc(2, 1, w(0), None), 7, &mut s);
+        assert!(ok);
+        assert!(eff.is_empty());
+        assert_eq!(s.dup_suppressed, 2);
+        // The original completes exactly once.
+        let eff = a.fine_value(0, w(0), 0, 20, &mut s).unwrap();
+        assert_eq!(
+            eff.iter()
+                .filter(|e| matches!(e, AmuEffect::ReplyAt { .. }))
+                .count(),
+            1
+        );
+        assert_eq!(a.peek(w(0)), Some(1));
+    }
+
+    #[test]
+    fn dedup_suppression_survives_unbounded_intervening_traffic() {
+        // The scenario that broke the old operation-count FIFO: many
+        // ops from *other* requesters complete between a request and
+        // its retransmission (an e2e backoff spans thousands of
+        // cycles). Per-requester keying keeps suppression exact no
+        // matter how much traffic intervenes.
+        let mut s = Stats::new();
+        let mut a = Amu::new(8, LAT, 64, 128).with_dedup(8);
+        // Proc 7 executes req 1 (counter 0 -> 1).
+        a.submit(amo_inc(1, 7, w(0), None), 0, &mut s);
+        a.fine_value(0, w(0), 0, 10, &mut s).unwrap();
+        let mut t = 100;
+        a.advance(t, &mut s);
+        // 30 intervening ops from other procs — far more than any
+        // plausible FIFO window.
+        for i in 0..30u64 {
+            a.submit(amo_inc(i + 1, (i % 6) as u16, w(0), None), t, &mut s);
+            t += 100;
+            a.advance(t, &mut s);
+        }
+        assert_eq!(a.peek(w(0)), Some(31));
+        // Proc 7's retransmission of req 1 still replays old = 0.
+        let (_, eff) = a.submit(amo_inc(1, 7, w(0), None), t, &mut s);
+        assert_eq!(s.dup_suppressed, 1);
+        assert!(eff.iter().any(|e| matches!(
+            e,
+            AmuEffect::ReplyAt {
+                proc: ProcId(7),
+                payload: Payload::AmoReply { old: 0, .. },
+                ..
+            }
+        )));
+        assert_eq!(a.peek(w(0)), Some(31), "no double-apply");
+    }
+
+    #[test]
+    fn dedup_swallows_stale_request_from_same_requester() {
+        let mut s = Stats::new();
+        let mut a = Amu::new(8, LAT, 64, 128).with_dedup(4);
+        // Proc 3 executes req 1, then req 2.
+        a.submit(amo_inc(1, 3, w(0), None), 0, &mut s);
+        a.fine_value(0, w(0), 0, 10, &mut s).unwrap();
+        a.advance(100, &mut s);
+        a.submit(amo_inc(2, 3, w(0), None), 100, &mut s);
+        a.advance(200, &mut s);
+        assert_eq!(a.peek(w(0)), Some(2));
+        // A floating duplicate of req 1 arrives late. The slot holds
+        // req 2 — proc 3 could only have issued it after consuming
+        // req 1's reply — so the copy is swallowed: no re-apply, no
+        // reply.
+        let (ok, eff) = a.submit(amo_inc(1, 3, w(0), None), 300, &mut s);
+        assert!(ok);
+        assert!(eff.is_empty());
+        assert_eq!(s.dup_suppressed, 1);
+        assert_eq!(a.peek(w(0)), Some(2));
+    }
+
+    #[test]
+    fn dedup_table_is_bounded_by_distinct_requesters() {
+        let mut s = Stats::new();
+        let mut a = Amu::new(8, LAT, 64, 128).with_dedup(2);
+        let mut t = 0;
+        for p in 0..3u16 {
+            a.submit(amo_inc(1, p, w(0), None), t, &mut s);
+            if p == 0 {
+                a.fine_value(0, w(0), 0, t + 10, &mut s).unwrap();
+            }
+            t += 100;
+            a.advance(t, &mut s);
+        }
+        // The table holds the last 2 requesters (procs 1, 2); proc 0's
+        // slot was LRU-evicted, so its retransmission re-executes
+        // (counter 3 -> 4) — the cost of undersizing the window below
+        // the requester count.
+        let (_, eff) = a.submit(amo_inc(1, 0, w(0), None), t, &mut s);
+        assert!(eff.iter().any(|e| matches!(
+            e,
+            AmuEffect::ReplyAt {
+                payload: Payload::AmoReply { old: 3, .. },
+                ..
+            }
+        )));
+        assert_eq!(s.dup_suppressed, 0);
+        assert_eq!(a.peek(w(0)), Some(4));
+        // Proc 2's slot survives: suppressed, replaying old = 2.
+        t += 100;
+        a.advance(t, &mut s);
+        let (_, eff) = a.submit(amo_inc(1, 2, w(0), None), t, &mut s);
+        assert_eq!(s.dup_suppressed, 1);
+        assert!(eff.iter().any(|e| matches!(
+            e,
+            AmuEffect::ReplyAt {
+                payload: Payload::AmoReply { old: 2, .. },
+                ..
+            }
+        )));
+        assert_eq!(a.peek(w(0)), Some(4));
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! ```text
 //! cargo run --release -p amo-bench --bin chaos -- \
 //!     [--procs N] [--rate PPM] [--seed S] [--watchdog CYCLES] \
-//!     [--jitter MAX] [--brownout] [--episodes N] [--quick] [--unrecoverable]
+//!     [--jitter MAX] [--brownout] [--episodes N] [--quick] [--unrecoverable] \
+//!     [--drop PPM] [--dup PPM] [--reorder CYCLES] \
+//!     [--timeout CYCLES] [--retries N] \
+//!     [--plan-out PATH] [--plan-in PATH]
 //! ```
 //!
 //! `--unrecoverable` corrupts every traversal and slashes the replay
@@ -22,10 +25,30 @@
 //! outcome is a **typed** `SimError` (printed, exit 0), never a panic.
 //! Without it, the barrier must complete despite the injected faults
 //! (exit 0) — any abort is exit 1.
+//!
+//! `--drop`/`--dup`/`--reorder` arm the delivery-fault oracle
+//! (message loss, duplication, reordering); `--timeout`/`--retries`
+//! set the end-to-end recovery budget those faults race against.
+//!
+//! `--plan-out PATH` writes the run as a replayable
+//! `amo-fault-plan-v1` document recording the delivery-fault plan,
+//! the observed outcome, and a config fingerprint pinning the exact
+//! simulator + machine configuration. Because the artifact must
+//! replay exactly, plan-out mode runs the *delivery-only* benchmark:
+//! `--rate`, `--jitter`, and `--brownout` are ignored.
+//!
+//! `--plan-in PATH` replays such a document (for example, a minimal
+//! reproducer minted by the `chaos_search` binary). A fingerprint
+//! mismatch — the simulator or machine configuration drifted since
+//! the plan was minted — is refused loudly (exit 1). The replay
+//! succeeds (exit 0) only if the run reproduces the plan's recorded
+//! outcome: the same typed failure kind, or completion for an `"ok"`
+//! plan.
 
+use amo_campaign::chaos::{kind_name, ChaosGrid, ChaosSpec, DeliveryPlan, PlanDoc};
 use amo_sync::Mechanism;
 use amo_types::{Cycle, Stats, SystemConfig};
-use amo_workloads::runner::{try_run_barrier, BarrierBench, RunInfo, SkewMode};
+use amo_workloads::runner::{try_run_barrier, BarrierBench, RunFailure, RunInfo, SkewMode};
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -55,13 +78,102 @@ fn print_fault_counters(info: &RunInfo, s: &Stats) {
         ("amu_brownout_nacks", s.amu_brownout_nacks),
         ("amu_nack_retries", s.amu_nack_retries),
         ("actmsg_retransmissions", s.actmsg_retransmissions),
+        ("msgs_dropped", s.msgs_dropped),
+        ("msgs_duplicated", s.msgs_duplicated),
+        ("msgs_reordered", s.msgs_reordered),
+        ("dup_suppressed", s.dup_suppressed),
+        ("e2e_timeouts", s.e2e_timeouts),
+        ("e2e_retransmissions", s.e2e_retransmissions),
     ] {
         println!("{name}={value}");
     }
 }
 
+fn print_abort(f: &RunFailure) {
+    match &f.error {
+        Some(err) => {
+            println!("result=error kind={:?} at={}", err.kind, err.at);
+            println!("error: {err}");
+            for (n, d) in err.bundle.queue_depths.iter().enumerate() {
+                println!(
+                    "node{n}: dir_queue={} amu_queue={} outstanding_misses={}",
+                    d.dir_queue, d.amu_queue, d.outstanding_misses
+                );
+            }
+            print!("{}", err.bundle.stall_report);
+        }
+        None => {
+            println!("result=stall hit_limit={}", f.hit_limit);
+            print!("{}", f.stall_report);
+        }
+    }
+}
+
+/// Replay an `amo-fault-plan-v1` document; exit 0 only on an exact
+/// reproduction of its recorded outcome.
+fn replay_plan(path: &str) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("chaos: cannot read plan {path}: {e}");
+        std::process::exit(1);
+    });
+    let doc = PlanDoc::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("chaos: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = doc.check_fingerprint() {
+        eprintln!("chaos: {e}");
+        std::process::exit(1);
+    }
+    let p = &doc.plan;
+    println!(
+        "chaos: replay plan={path} expect={} procs={} episodes={} watchdog={} \
+         drop_ppm={} dup_ppm={} reorder_window={} e2e_timeout={} \
+         max_e2e_retries={} fault_seed={:#x}",
+        doc.kind,
+        doc.procs,
+        doc.episodes,
+        doc.watchdog,
+        p.drop_ppm,
+        p.dup_ppm,
+        p.reorder_window,
+        p.e2e_timeout,
+        p.max_e2e_retries,
+        p.seed
+    );
+    let observed = match try_run_barrier(doc.spec().bench(p)) {
+        Ok(r) => {
+            print_fault_counters(&r.info, &r.stats);
+            println!(
+                "result=ok all_finished={} last_finish={}",
+                r.info.all_finished, r.info.last_finish
+            );
+            "ok".to_string()
+        }
+        Err(f) => {
+            print_fault_counters(&f.info, &f.stats);
+            print_abort(&f);
+            f.error
+                .as_ref()
+                .map_or("Stall".to_string(), |e| kind_name(&e.kind).to_string())
+        }
+    };
+    if observed == doc.kind {
+        println!("replay=reproduced kind={observed}");
+        std::process::exit(0);
+    }
+    eprintln!(
+        "chaos: plan did not reproduce: expected {} but observed {observed}",
+        doc.kind
+    );
+    std::process::exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(path) = flag_value(&args, "--plan-in") {
+        replay_plan(path);
+    }
+
     let quick = args.iter().any(|a| a == "--quick");
     let unrecoverable = args.iter().any(|a| a == "--unrecoverable");
     let procs: u16 = parse(&args, "--procs", 64);
@@ -70,24 +182,44 @@ fn main() {
     let watchdog: Cycle = parse(&args, "--watchdog", 10_000_000);
     let jitter: Cycle = parse(&args, "--jitter", 8);
     let episodes: u32 = parse(&args, "--episodes", if quick { 4 } else { 10 });
+    let drop_ppm: u32 = parse(&args, "--drop", 0);
+    let dup_ppm: u32 = parse(&args, "--dup", 0);
+    let reorder_window: Cycle = parse(&args, "--reorder", 0);
+    let plan_out = flag_value(&args, "--plan-out");
+
+    let defaults = SystemConfig::with_procs(procs).faults;
+    let plan = DeliveryPlan {
+        drop_ppm,
+        dup_ppm,
+        reorder_window,
+        e2e_timeout: parse(&args, "--timeout", defaults.e2e_timeout),
+        max_e2e_retries: parse(&args, "--retries", defaults.max_e2e_retries),
+        seed,
+    };
 
     let mut cfg = SystemConfig::with_procs(procs);
-    cfg.faults.seed = seed;
-    cfg.faults.link_error_ppm = rate;
-    cfg.faults.jitter_max = jitter;
-    if args.iter().any(|a| a == "--brownout") {
-        cfg.faults.amu_brownout_period = 20_000;
-        cfg.faults.amu_brownout_len = 2_000;
-    }
-    if unrecoverable {
-        cfg.faults.link_error_ppm = 1_000_000;
-        cfg.faults.max_link_retries = 1;
+    plan.apply(&mut cfg);
+    if plan_out.is_none() {
+        // The classic lossy-fabric dimensions; plan-out mode skips
+        // them so the written plan replays exactly.
+        cfg.faults.link_error_ppm = rate;
+        cfg.faults.jitter_max = jitter;
+        if args.iter().any(|a| a == "--brownout") {
+            cfg.faults.amu_brownout_period = 20_000;
+            cfg.faults.amu_brownout_len = 2_000;
+        }
+        if unrecoverable {
+            cfg.faults.link_error_ppm = 1_000_000;
+            cfg.faults.max_link_retries = 1;
+        }
     }
 
     println!(
         "chaos: procs={procs} rate_ppm={} seed={seed:#x} watchdog={watchdog} \
-         jitter={jitter} episodes={episodes} unrecoverable={unrecoverable}",
-        cfg.faults.link_error_ppm
+         jitter={} episodes={episodes} unrecoverable={unrecoverable} \
+         drop_ppm={drop_ppm} dup_ppm={dup_ppm} reorder_window={reorder_window} \
+         e2e_timeout={} max_e2e_retries={}",
+        cfg.faults.link_error_ppm, cfg.faults.jitter_max, plan.e2e_timeout, plan.max_e2e_retries,
     );
 
     let bench = BarrierBench {
@@ -99,7 +231,8 @@ fn main() {
         ..BarrierBench::paper(Mechanism::Amo, procs)
     };
 
-    match try_run_barrier(bench) {
+    let mut exit = 0;
+    let observed = match try_run_barrier(bench) {
         Ok(r) => {
             print_fault_counters(&r.info, &r.stats);
             println!(
@@ -108,32 +241,42 @@ fn main() {
             );
             if unrecoverable {
                 eprintln!("expected an unrecoverable fault, but the run completed");
-                std::process::exit(1);
+                exit = 1;
             }
+            "ok".to_string()
         }
         Err(f) => {
             print_fault_counters(&f.info, &f.stats);
-            match &f.error {
-                Some(err) => {
-                    println!("result=error kind={:?} at={}", err.kind, err.at);
-                    println!("error: {err}");
-                    for (n, d) in err.bundle.queue_depths.iter().enumerate() {
-                        println!(
-                            "node{n}: dir_queue={} amu_queue={} outstanding_misses={}",
-                            d.dir_queue, d.amu_queue, d.outstanding_misses
-                        );
-                    }
-                    print!("{}", err.bundle.stall_report);
-                }
-                None => {
-                    println!("result=stall hit_limit={}", f.hit_limit);
-                    print!("{}", f.stall_report);
-                }
-            }
-            if !unrecoverable {
+            print_abort(&f);
+            if !unrecoverable && plan_out.is_none() {
                 eprintln!("unexpected abort in a recoverable configuration");
-                std::process::exit(1);
+                exit = 1;
             }
+            f.error
+                .as_ref()
+                .map_or("Stall".to_string(), |e| kind_name(&e.kind).to_string())
         }
+    };
+
+    if let Some(path) = plan_out {
+        let spec = ChaosSpec {
+            samples: 0,
+            seed: 0,
+            procs,
+            episodes,
+            watchdog,
+            max_failures: 0,
+            grid: ChaosGrid::default(),
+        };
+        let doc = PlanDoc::new(&spec, plan, &observed);
+        std::fs::write(path, doc.to_json()).unwrap_or_else(|e| {
+            eprintln!("chaos: cannot write plan {path}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "plan_out={path} kind={observed} fingerprint={}",
+            doc.fingerprint
+        );
     }
+    std::process::exit(exit);
 }

@@ -1,0 +1,150 @@
+//! Chaos search CLI: sample seeded delivery-fault plans from a grid,
+//! probe the AMO barrier under each, shrink every failure to a minimal
+//! reproducer, and write the first one as a replayable
+//! `amo-fault-plan-v1` document the `chaos` binary accepts via
+//! `--plan-in`.
+//!
+//! All output is derived from simulated state and the search seed —
+//! no wall clock — so CI runs the same search twice and byte-diffs the
+//! reports to prove the whole find-and-shrink pipeline is
+//! deterministic.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p amo-bench --bin chaos_search -- \
+//!     [--samples N] [--seed S] [--procs N] [--episodes N] \
+//!     [--watchdog CYCLES] [--max-failures N] [--out PLAN.json] \
+//!     [--drops a,b,..] [--dups a,b,..] [--reorders a,b,..] \
+//!     [--timeouts a,b,..] [--retries a,b,..]
+//! ```
+//!
+//! The list flags override one grid dimension each (a single value
+//! pins it), so a known-bad region — say `--drops 400000 --retries 1`,
+//! a heavy-loss fabric against a one-retry recovery budget — becomes a
+//! planted target the search must find. With `--out`, finding no
+//! failure is an error (exit 1): the caller asked for a reproducer.
+
+use amo_campaign::chaos::{search, ChaosGrid, ChaosSpec, DeliveryPlan, PlanDoc};
+use amo_types::Cycle;
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    flag_value(args, name)
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("bad value for {name}: {v}"))
+        })
+        .unwrap_or(default)
+}
+
+fn parse_list<T: std::str::FromStr>(args: &[String], name: &str, default: Vec<T>) -> Vec<T> {
+    match flag_value(args, name) {
+        None => default,
+        Some(v) => v
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad value for {name}: {s}"))
+            })
+            .collect(),
+    }
+}
+
+fn fmt_plan(p: &DeliveryPlan) -> String {
+    format!(
+        "drop_ppm={} dup_ppm={} reorder_window={} e2e_timeout={} \
+         max_e2e_retries={} fault_seed={:#x}",
+        p.drop_ppm, p.dup_ppm, p.reorder_window, p.e2e_timeout, p.max_e2e_retries, p.seed
+    )
+}
+
+fn fmt_list<T: std::fmt::Display>(v: &[T]) -> String {
+    v.iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = flag_value(&args, "--out");
+    let g = ChaosGrid::default();
+    let spec = ChaosSpec {
+        samples: parse(&args, "--samples", 16),
+        seed: parse(&args, "--seed", 0xC4A0_5EED),
+        procs: parse(&args, "--procs", 64),
+        episodes: parse(&args, "--episodes", 4),
+        watchdog: parse::<Cycle>(&args, "--watchdog", 10_000_000),
+        max_failures: parse(&args, "--max-failures", 4),
+        grid: ChaosGrid {
+            drop_ppm: parse_list(&args, "--drops", g.drop_ppm),
+            dup_ppm: parse_list(&args, "--dups", g.dup_ppm),
+            reorder_window: parse_list(&args, "--reorders", g.reorder_window),
+            e2e_timeout: parse_list(&args, "--timeouts", g.e2e_timeout),
+            max_e2e_retries: parse_list(&args, "--retries", g.max_e2e_retries),
+        },
+    };
+
+    println!(
+        "chaos-search: samples={} seed={:#x} procs={} episodes={} watchdog={} max_failures={}",
+        spec.samples, spec.seed, spec.procs, spec.episodes, spec.watchdog, spec.max_failures
+    );
+    println!(
+        "grid: drops=[{}] dups=[{}] reorders=[{}] timeouts=[{}] retries=[{}]",
+        fmt_list(&spec.grid.drop_ppm),
+        fmt_list(&spec.grid.dup_ppm),
+        fmt_list(&spec.grid.reorder_window),
+        fmt_list(&spec.grid.e2e_timeout),
+        fmt_list(&spec.grid.max_e2e_retries),
+    );
+
+    let report = search(&spec);
+    println!(
+        "searched: sampled={} benign={} failures={}",
+        report.sampled,
+        report.benign,
+        report.failures.len()
+    );
+    for f in &report.failures {
+        println!(
+            "finding: sample={} kind={} {}",
+            f.sample,
+            f.kind,
+            fmt_plan(&f.plan)
+        );
+        println!(
+            "minimal: sample={} kind={} {} shrink_probes={}",
+            f.sample,
+            f.kind,
+            fmt_plan(&f.minimal),
+            f.shrink_probes
+        );
+    }
+
+    if let Some(path) = out {
+        let Some(f) = report.failures.first() else {
+            eprintln!(
+                "chaos-search: no failure found in {} samples, nothing to write",
+                spec.samples
+            );
+            std::process::exit(1);
+        };
+        let doc = PlanDoc::new(&spec, f.minimal, &f.kind);
+        std::fs::write(path, doc.to_json()).unwrap_or_else(|e| {
+            eprintln!("chaos-search: cannot write plan {path}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "plan_out={path} kind={} fingerprint={}",
+            f.kind, doc.fingerprint
+        );
+    }
+}

@@ -20,6 +20,9 @@
 //!   campaign batch, plus [`artifacts::render_artifacts`] which
 //!   regenerates the committed `tables_output.txt` byte-for-byte.
 //! * [`render`] — plain-text and CSV renderers for the artifact rows.
+//! * [`chaos`] — chaos search: sample seeded delivery-fault plans from
+//!   a grid, shrink each failure to a minimal reproducer, and emit it
+//!   as a replayable `amo-fault-plan-v1` document.
 //!
 //! The cache guarantee: a warm re-run of any campaign serves every
 //! cell from disk (zero simulations) and renders byte-identical output.
@@ -30,6 +33,7 @@
 
 pub mod artifacts;
 pub mod cache;
+pub mod chaos;
 pub mod render;
 pub mod run;
 pub mod sched;
@@ -37,6 +41,7 @@ pub mod spec;
 
 pub use artifacts::ArtifactProfile;
 pub use cache::ResultCache;
+pub use chaos::{ChaosFinding, ChaosGrid, ChaosReport, ChaosSpec, DeliveryPlan, PlanDoc};
 pub use run::{RunArtifacts, RunSpec};
 pub use sched::{Campaign, CampaignCounters};
 pub use spec::{CampaignPlan, CampaignSpec, GridRun};

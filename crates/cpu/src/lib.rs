@@ -28,4 +28,4 @@ pub mod kernel;
 pub mod proc;
 
 pub use kernel::{Kernel, Op, Outcome, SeqKernel};
-pub use proc::{ProcEffect, ProcFault, Processor};
+pub use proc::{ProcEffect, ProcFault, Processor, TimerKind};

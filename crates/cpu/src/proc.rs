@@ -32,12 +32,15 @@ pub enum ProcEffect {
         when: Cycle,
     },
     /// Call [`Processor::timeout`] with `req` at `when` (active-message
-    /// retransmission timer).
+    /// retransmission, AMU NACK backoff, or end-to-end delivery timer —
+    /// `kind` says which, because their expiry actions differ).
     TimeoutAt {
         /// Outstanding request the timer guards.
         req: ReqId,
         /// Expiry time.
         when: Cycle,
+        /// Which timer this is.
+        kind: TimerKind,
     },
     /// The kernel finished at `when`.
     Finished {
@@ -86,6 +89,24 @@ pub enum ProcEffect {
     },
 }
 
+/// Which retransmission timer a [`ProcEffect::TimeoutAt`] arms. The
+/// kinds must stay distinguishable at expiry: a `Retry` timer on an
+/// AMO/MAO continuation is an AMU-NACK backoff (its resend counts
+/// `amu_nack_retries`), while an `E2e` timer is the delivery-fault
+/// watchdog on the same request (its resend counts
+/// `e2e_retransmissions` and escalates past `max_e2e_retries`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimerKind {
+    /// Active-message retransmission or AMU-NACK backoff expiry.
+    Retry,
+    /// End-to-end delivery timeout; `attempt` is the retransmission
+    /// this expiry triggers (1 = first resend).
+    E2e {
+        /// Retransmission attempt this timer triggers when it fires.
+        attempt: u32,
+    },
+}
+
 /// Unrecoverable processor-side conditions, reported via
 /// [`ProcEffect::Fault`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -100,6 +121,12 @@ pub enum ProcFault {
     /// `AmuConfig::max_retries` times.
     AmuStarved {
         /// Retries attempted before giving up.
+        attempts: u32,
+    },
+    /// An outstanding request exhausted `FaultConfig::max_e2e_retries`
+    /// end-to-end retransmissions under delivery faults.
+    RequestTimedOut {
+        /// End-to-end retransmissions attempted before giving up.
         attempts: u32,
     },
 }
@@ -255,6 +282,12 @@ pub struct Processor {
     /// home — linear scan).
     lock_srv: Vec<(u16, LockSrv)>,
     finished_at: Option<Cycle>,
+    /// True when the fault plan injects delivery faults (drop / dup /
+    /// reorder): arms end-to-end timers on AMO-layer requests and
+    /// tolerates stale or duplicate replies instead of treating them as
+    /// protocol bugs. Off (the default) keeps the strict asserts and
+    /// adds zero events, so fault-free timing is untouched.
+    delivery_hardened: bool,
 }
 
 impl Processor {
@@ -289,6 +322,7 @@ impl Processor {
             service_counters: Vec::new(),
             lock_srv: Vec::new(),
             finished_at: None,
+            delivery_hardened: cfg.faults.delivery_enabled(),
         }
     }
 
@@ -463,6 +497,19 @@ impl Processor {
 
     fn wait(&mut self, req: ReqId, cont: Cont) {
         self.kstate = KState::Waiting { req, cont };
+    }
+
+    /// Arm the end-to-end delivery timer on a freshly issued AMO-layer
+    /// request. No-op unless delivery faults are active, so the
+    /// fault-free machine schedules zero extra events.
+    fn arm_e2e(&self, req: ReqId, now: Cycle, eff: &mut Vec<ProcEffect>) {
+        if self.delivery_hardened {
+            eff.push(ProcEffect::TimeoutAt {
+                req,
+                when: now + Self::retry_delay(req, 0, self.cfg.faults.e2e_timeout),
+                kind: TimerKind::E2e { attempt: 1 },
+            });
+        }
     }
 
     /// Overwrite-or-insert the minimum-residence window of a block.
@@ -820,6 +867,7 @@ impl Processor {
                         attempt: 0,
                     },
                 );
+                self.arm_e2e(req, now, eff);
             }
             Op::Mao {
                 kind,
@@ -847,6 +895,7 @@ impl Processor {
                         attempt: 0,
                     },
                 );
+                self.arm_e2e(req, now, eff);
             }
             Op::UncachedLoad { addr } => {
                 let req = self.alloc_req();
@@ -860,6 +909,7 @@ impl Processor {
                     eff,
                 );
                 self.wait(req, Cont::UncachedLoad { addr, attempt: 0 });
+                self.arm_e2e(req, now, eff);
             }
             Op::UncachedStore { addr, value } => {
                 let req = self.alloc_req();
@@ -881,6 +931,7 @@ impl Processor {
                         attempt: 0,
                     },
                 );
+                self.arm_e2e(req, now, eff);
             }
             Op::ActiveMsg { home, handler } => {
                 let req = self.alloc_req();
@@ -902,6 +953,7 @@ impl Processor {
                 eff.push(ProcEffect::TimeoutAt {
                     req,
                     when: now + Self::retry_delay(req, 0, self.cfg.actmsg.timeout),
+                    kind: TimerKind::Retry,
                 });
                 self.wait(
                     req,
@@ -1407,7 +1459,17 @@ impl Processor {
         stats: &mut Stats,
         eff: &mut Vec<ProcEffect>,
     ) {
-        assert_eq!(self.waiting_req(), Some(req), "unmatched reply");
+        if self.waiting_req() != Some(req) {
+            // Under delivery faults, a duplicated reply (or the reply to
+            // a request an e2e retransmission already completed) is
+            // expected traffic: swallow it. In clean mode an unmatched
+            // reply is a protocol bug and must stay loud.
+            if self.delivery_hardened {
+                stats.dup_suppressed += 1;
+                return;
+            }
+            panic!("unmatched reply {req:?} at {}", self.id);
+        }
         self.finish_local(outcome, now + 1, stats, eff);
     }
 
@@ -1500,13 +1562,20 @@ impl Processor {
         eff.push(ProcEffect::TimeoutAt {
             req,
             when: now + Self::retry_delay(req, attempt, self.cfg.amu.nack_backoff),
+            kind: TimerKind::Retry,
         });
     }
 
     /// A retransmission timer fired.
-    pub fn timeout(&mut self, req: ReqId, now: Cycle, stats: &mut Stats) -> Vec<ProcEffect> {
+    pub fn timeout(
+        &mut self,
+        req: ReqId,
+        kind: TimerKind,
+        now: Cycle,
+        stats: &mut Stats,
+    ) -> Vec<ProcEffect> {
         let mut eff = Vec::new();
-        self.timeout_into(req, now, stats, &mut eff);
+        self.timeout_into(req, kind, now, stats, &mut eff);
         eff
     }
 
@@ -1514,6 +1583,7 @@ impl Processor {
     pub fn timeout_into(
         &mut self,
         req: ReqId,
+        kind: TimerKind,
         now: Cycle,
         stats: &mut Stats,
         eff: &mut Vec<ProcEffect>,
@@ -1524,6 +1594,10 @@ impl Processor {
         let KState::Waiting { cont, .. } = self.kstate else {
             return;
         };
+        if let TimerKind::E2e { attempt } = kind {
+            self.e2e_expired(req, cont, attempt, now, stats, eff);
+            return;
+        }
         match cont {
             Cont::ActMsg {
                 home,
@@ -1557,6 +1631,7 @@ impl Processor {
                 eff.push(ProcEffect::TimeoutAt {
                     req,
                     when: now + Self::retry_delay(req, attempt, self.cfg.actmsg.timeout),
+                    kind: TimerKind::Retry,
                 });
                 self.wait(
                     req,
@@ -1637,6 +1712,92 @@ impl Processor {
             }
             _ => {}
         }
+    }
+
+    /// An end-to-end delivery timer expired with its request still
+    /// outstanding: some copy of the request or its reply vanished (or
+    /// is crawling through a reorder window). Retransmit under the same
+    /// tag — the AMU's dedup window makes the resend idempotent — with
+    /// the actmsg exponential-backoff-plus-jitter schedule, and
+    /// escalate to a typed `RequestTimedOut` past the budget.
+    fn e2e_expired(
+        &mut self,
+        req: ReqId,
+        cont: Cont,
+        attempt: u32,
+        now: Cycle,
+        stats: &mut Stats,
+        eff: &mut Vec<ProcEffect>,
+    ) {
+        let payload = match cont {
+            Cont::Amo {
+                kind,
+                addr,
+                operand,
+                test,
+                ..
+            } => Payload::AmoReq {
+                req,
+                requester: self.id,
+                kind,
+                addr,
+                operand,
+                test,
+            },
+            Cont::Mao {
+                kind,
+                addr,
+                operand,
+                ..
+            } => Payload::MaoReq {
+                req,
+                requester: self.id,
+                kind,
+                addr,
+                operand,
+            },
+            Cont::UncachedLoad { addr, .. } => Payload::UncachedRead {
+                req,
+                requester: self.id,
+                addr,
+            },
+            Cont::UncachedStore { addr, value, .. } => Payload::UncachedWrite {
+                req,
+                requester: self.id,
+                addr,
+                value,
+            },
+            // Active messages run their own retransmission machinery;
+            // coherence continuations ride the reliable channel and
+            // never arm this timer.
+            _ => return,
+        };
+        stats.e2e_timeouts += 1;
+        if attempt > self.cfg.faults.max_e2e_retries {
+            eff.push(ProcEffect::Fault {
+                kind: ProcFault::RequestTimedOut {
+                    attempts: attempt - 1,
+                },
+                when: now,
+            });
+            return;
+        }
+        stats.e2e_retransmissions += 1;
+        let home = match &payload {
+            Payload::AmoReq { addr, .. }
+            | Payload::MaoReq { addr, .. }
+            | Payload::UncachedRead { addr, .. }
+            | Payload::UncachedWrite { addr, .. } => addr.home(),
+            _ => unreachable!(),
+        };
+        self.send_home(home, payload, eff);
+        eff.push(ProcEffect::TimeoutAt {
+            req,
+            when: now + Self::retry_delay(req, attempt, self.cfg.faults.e2e_timeout),
+            kind: TimerKind::E2e {
+                attempt: attempt + 1,
+            },
+        });
     }
 
     /// Retransmission delay for the given attempt: exponential backoff
@@ -2444,13 +2605,13 @@ mod tests {
             [ProcEffect::Send {
                 payload: Payload::ActiveMsg { req, .. },
                 ..
-            }, ProcEffect::TimeoutAt { req: r2, when }] => {
+            }, ProcEffect::TimeoutAt { req: r2, when, .. }] => {
                 assert_eq!(req, r2);
                 (*req, *when)
             }
             other => panic!("unexpected {other:?}"),
         };
-        let eff = p.timeout(req, when, &mut s);
+        let eff = p.timeout(req, TimerKind::Retry, when, &mut s);
         assert!(eff.iter().any(|e| matches!(
             e,
             ProcEffect::Send {
@@ -2461,7 +2622,7 @@ mod tests {
         assert_eq!(s.actmsg_retransmissions, 1);
         // Ack resolves it; later timers are ignored.
         p.handle(Payload::ActMsgAck { req, result: 5 }, 9000, &mut s);
-        assert!(p.timeout(req, 12000, &mut s).is_empty());
+        assert!(p.timeout(req, TimerKind::Retry, 12000, &mut s).is_empty());
     }
 
     #[test]

@@ -61,6 +61,16 @@ impl FaultPlan {
         self.cfg.amu_brownout_period > 0 && self.cfg.amu_brownout_len > 0
     }
 
+    /// True if any delivery-fault source (drop, duplication, reorder) is
+    /// active. Gates both the fabric's delivery-fault path and every
+    /// piece of end-to-end recovery machinery (e2e timers, dedup
+    /// windows), so the zero-rate plan stays bit-identical to the
+    /// unfaulted machine.
+    #[inline]
+    pub fn delivery_faults_enabled(&self) -> bool {
+        self.cfg.delivery_enabled()
+    }
+
     /// Link replay budget before a packet's link is declared failed.
     #[inline]
     pub fn max_link_retries(&self) -> u32 {
@@ -108,6 +118,74 @@ impl FaultPlan {
             .wrapping_add((dst as u64) << 48 | (src as u64) << 32)
             .wrapping_add(seq.rotate_left(29));
         mix(key) % (self.cfg.jitter_max + 1)
+    }
+
+    /// Effective delivery-fault rate (ppm) for `base` at time `now`:
+    /// burst windows boost delivery faults the same way they boost
+    /// corruption (a congested interface drops and duplicates in the
+    /// same correlated episodes it corrupts).
+    fn delivery_rate_ppm(&self, base: u32, now: Cycle) -> u64 {
+        let base = base as u64;
+        if self.cfg.burst_period > 0 && now % self.cfg.burst_period < self.cfg.burst_len {
+            (base * self.cfg.burst_multiplier as u64).min(PPM)
+        } else {
+            base
+        }
+    }
+
+    /// Is delivery `attempt` of packet (`src` → `dst`, sequence `seq`,
+    /// delivered at `now`) silently dropped at the destination
+    /// interface? The attempt index keys retransmissions of the same
+    /// sequence independently, so an end-to-end retry is not doomed to
+    /// the original's fate.
+    #[inline]
+    pub fn drops(&self, src: u16, dst: u16, now: Cycle, seq: u64, attempt: u32) -> bool {
+        let rate = self.delivery_rate_ppm(self.cfg.link_drop_ppm, now);
+        if rate == 0 {
+            return false;
+        }
+        let key = self
+            .cfg
+            .seed
+            .wrapping_mul(0x9E6C_63D0_876A_7A35)
+            .wrapping_add((src as u64) << 48 | (dst as u64) << 32 | attempt as u64)
+            .wrapping_add(seq.rotate_left(23));
+        mix(key) % PPM < rate
+    }
+
+    /// Is this delivery duplicated at the destination interface (both
+    /// copies handed to the handler)?
+    #[inline]
+    pub fn duplicates(&self, src: u16, dst: u16, now: Cycle, seq: u64, attempt: u32) -> bool {
+        let rate = self.delivery_rate_ppm(self.cfg.link_dup_ppm, now);
+        if rate == 0 {
+            return false;
+        }
+        let key = self
+            .cfg
+            .seed
+            .wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            .wrapping_add((dst as u64) << 48 | (src as u64) << 32 | attempt as u64)
+            .wrapping_add(seq.rotate_left(41));
+        mix(key) % PPM < rate
+    }
+
+    /// Extra delivery skew (cycles, 0..=`link_reorder_window`) this
+    /// packet picks up *after* its ingress reservation. The skew does
+    /// not advance the interface's reservation clock, so a later packet
+    /// with less skew overtakes it — bounded reordering.
+    #[inline]
+    pub fn reorder_skew(&self, src: u16, dst: u16, seq: u64) -> Cycle {
+        if self.cfg.link_reorder_window == 0 {
+            return 0;
+        }
+        let key = self
+            .cfg
+            .seed
+            .wrapping_mul(0x8EBC_6AF0_9C88_C6E3)
+            .wrapping_add((src as u64) << 48 | (dst as u64) << 32)
+            .wrapping_add(seq.rotate_left(31));
+        mix(key) % (self.cfg.link_reorder_window + 1)
     }
 
     /// Cycles one link-level replay costs: a full retransmission delay
@@ -229,6 +307,62 @@ mod tests {
         assert!(vals.iter().all(|&j| j <= 16));
         assert!(vals.iter().any(|&j| j > 0), "some jitter expected");
         assert!(vals.windows(2).any(|w| w[0] != w[1]), "jitter should vary");
+    }
+
+    #[test]
+    fn zero_rate_delivery_plan_answers_nothing() {
+        let p = FaultPlan::none();
+        assert!(!p.delivery_faults_enabled());
+        for seq in 0..1_000 {
+            assert!(!p.drops(0, 1, seq * 3, seq, 0));
+            assert!(!p.duplicates(0, 1, seq * 3, seq, 0));
+            assert_eq!(p.reorder_skew(0, 1, seq), 0);
+        }
+    }
+
+    #[test]
+    fn delivery_rates_track_config() {
+        let p = plan(FaultConfig {
+            link_drop_ppm: 200_000, // 20%
+            link_dup_ppm: 100_000,  // 10%
+            seed: 13,
+            ..FaultConfig::none()
+        });
+        assert!(p.delivery_faults_enabled());
+        let n = 20_000u64;
+        let drops = (0..n).filter(|&s| p.drops(1, 2, s, s, 0)).count() as f64 / n as f64;
+        let dups = (0..n).filter(|&s| p.duplicates(1, 2, s, s, 0)).count() as f64 / n as f64;
+        assert!((0.17..0.23).contains(&drops), "observed drop rate {drops}");
+        assert!((0.08..0.12).contains(&dups), "observed dup rate {dups}");
+    }
+
+    #[test]
+    fn retransmission_attempts_draw_independently() {
+        let p = plan(FaultConfig {
+            link_drop_ppm: 500_000,
+            seed: 5,
+            ..FaultConfig::none()
+        });
+        // A sequence doomed on attempt 0 must not be doomed on every
+        // attempt: some retry of every packet eventually gets through.
+        let escapes = (0..200).all(|seq| (0..32).any(|a| !p.drops(0, 1, 100, seq, a)));
+        assert!(escapes, "every packet must have a surviving attempt");
+    }
+
+    #[test]
+    fn reorder_skew_bounded_varied_and_deterministic() {
+        let p = plan(FaultConfig {
+            link_reorder_window: 48,
+            seed: 17,
+            ..FaultConfig::none()
+        });
+        let vals: Vec<Cycle> = (0..300).map(|s| p.reorder_skew(2, 5, s)).collect();
+        assert!(vals.iter().all(|&v| v <= 48));
+        assert!(vals.iter().any(|&v| v > 0));
+        assert!(vals.windows(2).any(|w| w[0] != w[1]));
+        for s in 0..300 {
+            assert_eq!(p.reorder_skew(2, 5, s), vals[s as usize]);
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use crate::topology::Topology;
 use amo_faults::FaultPlan;
-use amo_types::{Cycle, MsgEndpoint, NetworkConfig, NodeId, Payload, Stats};
+use amo_types::{Cycle, MsgClass, MsgEndpoint, NetworkConfig, NodeId, Payload, Stats};
 
 /// An unrecoverable link fault: one packet exhausted its replay budget.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,6 +31,44 @@ pub struct LinkFailure {
     pub attempts: u32,
     /// Cycle at which the packet first departed.
     pub at: Cycle,
+}
+
+/// What the delivery-fault layer did to one send. The link-level CRC
+/// machinery saw a clean (or replayed-to-clean) transmission either
+/// way; delivery faults happen *after* that, at the destination
+/// interface, which is why they are invisible to link replay and must
+/// be healed end to end by the protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delivery {
+    /// The message reaches its handler once, at this cycle (the only
+    /// outcome when delivery faults are off or the class is exempt).
+    One(Cycle),
+    /// The message was silently dropped at the destination interface;
+    /// carries the cycle it would have been delivered (for tracing).
+    Dropped(Cycle),
+    /// The message was duplicated at the destination interface: both
+    /// copies reach the handler, at these cycles.
+    Dup(Cycle, Cycle),
+}
+
+impl Delivery {
+    /// The primary delivery cycle (or would-be cycle, for a drop).
+    pub fn primary(self) -> Cycle {
+        match self {
+            Delivery::One(t) | Delivery::Dropped(t) | Delivery::Dup(t, _) => t,
+        }
+    }
+}
+
+/// Is this message class exposed to delivery faults? Only the AMO-layer
+/// request/reply channel (AMO, MAO/uncached, active messages) — the
+/// traffic the protocol can heal end to end with idempotent
+/// retransmission. Coherence traffic and the word-update fanout ride
+/// the link-layer CRC+replay-protected channel: the paper's directory
+/// protocol is specified over reliable ordered delivery, and a dropped
+/// invalidation or word update has no requester-side timer to notice it.
+fn delivery_faultable(class: MsgClass) -> bool {
+    matches!(class, MsgClass::Amo | MsgClass::Mao | MsgClass::ActMsg)
 }
 
 /// Per-node network-interface state: when the egress and ingress links
@@ -83,6 +121,9 @@ pub struct Fabric {
     faults: FaultPlan,
     /// Remote-transmission sequence number; part of each fault-plan key.
     fault_seq: u64,
+    /// Monotonic sequence number keying the delivery-fault oracle; only
+    /// advanced while delivery faults are enabled for an eligible class.
+    delivery_seq: u64,
     /// First unrecoverable link fault, if one occurred.
     pending_failure: Option<LinkFailure>,
 }
@@ -140,6 +181,7 @@ impl Fabric {
             path_links,
             faults,
             fault_seq: 0,
+            delivery_seq: 0,
             pending_failure: None,
         }
     }
@@ -284,6 +326,54 @@ impl Fabric {
         let deliver = arrive.max(ingress.ingress_free) + ser;
         ingress.ingress_free = deliver;
         deliver
+    }
+
+    /// [`send`](Self::send) through the delivery-fault layer: the
+    /// message physically traverses the fabric exactly as `send`
+    /// computes (all reservations, link replays, and traffic counters
+    /// apply), then the destination interface may drop it, duplicate
+    /// it, or skew its hand-off to the handler. The caller schedules
+    /// zero, one, or two delivery events per the returned [`Delivery`].
+    ///
+    /// Reorder skew is added *after* the ingress reservation and does
+    /// not advance the reservation clock, so a later packet with less
+    /// skew overtakes this one — bounded reordering within
+    /// `link_reorder_window` cycles. Node-local loopback is exempt
+    /// (it never crosses a network interface), as is every class the
+    /// protocol cannot heal end to end (see [`delivery_faultable`]).
+    pub fn send_delivery(
+        &mut self,
+        now: Cycle,
+        src: NodeId,
+        dst: NodeId,
+        payload: &Payload,
+        far_end: MsgEndpoint,
+        stats: &mut Stats,
+    ) -> Delivery {
+        let deliver = self.send(now, src, dst, payload, far_end, stats);
+        if src == dst
+            || !self.faults.delivery_faults_enabled()
+            || !delivery_faultable(payload.class())
+        {
+            return Delivery::One(deliver);
+        }
+        self.delivery_seq += 1;
+        let seq = self.delivery_seq;
+        let skew = self.faults.reorder_skew(src.0, dst.0, seq);
+        if skew > 0 {
+            stats.msgs_reordered += 1;
+        }
+        let deliver = deliver + skew;
+        if self.faults.drops(src.0, dst.0, now, seq, 0) {
+            stats.msgs_dropped += 1;
+            return Delivery::Dropped(deliver);
+        }
+        if self.faults.duplicates(src.0, dst.0, now, seq, 0) {
+            stats.msgs_duplicated += 1;
+            let ser = self.serialize(payload.size_bytes(&self.cfg));
+            return Delivery::Dup(deliver, deliver + ser);
+        }
+        Delivery::One(deliver)
     }
 
     /// Per-node traffic snapshot.

@@ -17,5 +17,5 @@
 pub mod fabric;
 pub mod topology;
 
-pub use fabric::{Fabric, LinkFailure};
+pub use fabric::{Delivery, Fabric, LinkFailure};
 pub use topology::Topology;

@@ -60,7 +60,11 @@ fn track_and_name(ev: &TraceEvent, procs_per_node: u16) -> (u64, String) {
         }
     };
     let name = match ev.kind {
-        TraceKind::MsgSend | TraceKind::MsgRecv | TraceKind::ProcRecv => {
+        TraceKind::MsgSend
+        | TraceKind::MsgRecv
+        | TraceKind::ProcRecv
+        | TraceKind::MsgDrop
+        | TraceKind::MsgDup => {
             format!("{}:{}", ev.kind.label(), msg_label(ev.class))
         }
         TraceKind::DirService => format!("dir:{}", msg_label(ev.class)),
@@ -71,7 +75,8 @@ fn track_and_name(ev: &TraceEvent, procs_per_node: u16) -> (u64, String) {
         | TraceKind::KernelDone
         | TraceKind::LinkRetry
         | TraceKind::AmuNack
-        | TraceKind::Fault => ev.kind.label().to_string(),
+        | TraceKind::Fault
+        | TraceKind::E2eTimeout => ev.kind.label().to_string(),
     };
     (tid, name)
 }

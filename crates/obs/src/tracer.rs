@@ -46,6 +46,18 @@ pub enum TraceKind {
     /// The machine aborted with a typed error. Instant on node 0;
     /// `a` = cycle of the abort.
     Fault,
+    /// A delivery fault dropped a message at the destination interface.
+    /// Instant at the destination node; `class` = `MsgClass` index,
+    /// `a` = source node.
+    MsgDrop,
+    /// A delivery fault duplicated a message at the destination
+    /// interface. Instant at the destination node; `class` = `MsgClass`
+    /// index, `a` = source node.
+    MsgDup,
+    /// A requester-side end-to-end timeout fired on an outstanding
+    /// request. Instant at the requester's node; `a` = requesting
+    /// processor, `b` = retransmission attempt.
+    E2eTimeout,
 }
 
 impl TraceKind {
@@ -64,6 +76,9 @@ impl TraceKind {
             TraceKind::LinkRetry => "link-retry",
             TraceKind::AmuNack => "amu-nack",
             TraceKind::Fault => "fault",
+            TraceKind::MsgDrop => "msg-drop",
+            TraceKind::MsgDup => "msg-dup",
+            TraceKind::E2eTimeout => "e2e-timeout",
         }
     }
 }

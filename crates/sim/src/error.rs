@@ -33,6 +33,13 @@ pub struct DiagBundle {
     pub trace: Option<TraceBuf>,
     /// Events dispatched before the abort.
     pub events_processed: u64,
+    /// Rendered critical-path stage breakdown of the failed run,
+    /// attached by the runner when the trace ring is complete (no
+    /// dropped events) and the DAG analyzable. `None` when untraced,
+    /// when the ring wrapped, or when the analyzer's typed
+    /// `IncompleteDag` refusal fired — a partial attribution would
+    /// mis-blame stages.
+    pub critpath: Option<String>,
 }
 
 /// Why a run aborted.
@@ -93,6 +100,15 @@ pub enum SimErrorKind {
         /// Kernels that never reached `Op::Done`.
         unfinished: u32,
     },
+    /// An outstanding request exhausted its end-to-end retransmission
+    /// budget (`FaultConfig::max_e2e_retries`) under delivery faults —
+    /// every copy of the request or its reply kept vanishing.
+    RequestTimedOut {
+        /// The requester that gave up.
+        proc: ProcId,
+        /// End-to-end retransmissions attempted.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for SimErrorKind {
@@ -128,6 +144,10 @@ impl std::fmt::Display for SimErrorKind {
                     "event queue drained with {unfinished} kernels unfinished — deadlock"
                 )
             }
+            SimErrorKind::RequestTimedOut { proc, attempts } => write!(
+                f,
+                "request from {proc} timed out end-to-end after {attempts} retransmissions"
+            ),
         }
     }
 }

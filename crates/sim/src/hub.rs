@@ -30,13 +30,19 @@ impl Hub {
     pub fn new(node: NodeId, cfg: &SystemConfig) -> Self {
         Hub {
             node,
-            directory: Directory::new(node, cfg.procs_per_node),
+            directory: Directory::new(node, cfg.procs_per_node)
+                .with_dup_guard(cfg.faults.delivery_enabled()),
             amu: Amu::new(
                 cfg.amu.cache_words,
                 cfg.amu.op_hub_cycles * cfg.hub_cycle,
                 cfg.amu.queue_cap,
                 cfg.l2.line_bytes,
-            ),
+            )
+            .with_dedup(if cfg.faults.delivery_enabled() {
+                cfg.faults.dedup_window
+            } else {
+                0
+            }),
             dram: DramTimer::new(
                 cfg.dram_channels,
                 cfg.dram_latency,

@@ -3,12 +3,12 @@
 use crate::error::{DiagBundle, NodeDepths, SimError, SimErrorKind};
 use crate::hub::Hub;
 use amo_amu::AmuEffect;
-use amo_cpu::{Kernel, ProcEffect, ProcFault, Processor};
+use amo_cpu::{Kernel, ProcEffect, ProcFault, Processor, TimerKind};
 use amo_directory::{DirAction, DirRequest};
 use amo_engine::{Clock, EventQueue, QueueKind};
 use amo_faults::FaultPlan;
 use amo_noc::fabric::NodeTraffic;
-use amo_noc::Fabric;
+use amo_noc::{Delivery, Fabric};
 use amo_obs::timeseries::{NodeSample, Tick, TimeSeries};
 use amo_obs::{NopTracer, TraceBuf, TraceEvent, TraceKind, Tracer};
 use amo_types::{
@@ -57,7 +57,7 @@ define_events! {
         /// Call `Processor::handler_done`.
         ProcHandlerDone(ProcId),
         /// Call `Processor::timeout`.
-        ProcTimeout(ProcId, ReqId),
+        ProcTimeout(ProcId, ReqId, TimerKind),
         /// Apply a word update at a processor (bus latency included).
         ProcWordUpdate(ProcId, Addr, Word),
         /// A message arrived at a hub's network interface.
@@ -598,6 +598,7 @@ impl<T: Tracer> Machine<T> {
                 queue_depths,
                 trace: self.tracer.take_buf(),
                 events_processed: events,
+                critpath: None,
             },
         }
     }
@@ -669,9 +670,22 @@ impl<T: Tracer> Machine<T> {
                 // The kernel may have been blocked behind the handler.
                 self.queue.schedule(now, Event::ProcWake(p));
             }
-            Event::ProcTimeout(p, req) => {
+            Event::ProcTimeout(p, req, kind) => {
+                let fired_before = self.stats.e2e_timeouts;
                 let mut eff = self.proc_eff_pool.pop().unwrap_or_default();
-                self.procs[p.index()].timeout_into(req, now, &mut self.stats, &mut eff);
+                self.procs[p.index()].timeout_into(req, kind, now, &mut self.stats, &mut eff);
+                if T::ENABLED && self.stats.e2e_timeouts > fired_before {
+                    let attempt = match kind {
+                        TimerKind::E2e { attempt } => attempt as u64,
+                        TimerKind::Retry => 0,
+                    };
+                    self.tracer.record(
+                        TraceEvent::instant(TraceKind::E2eTimeout, self.node_of(p).0, now)
+                            .on_proc(p.0)
+                            .args(p.0 as u64, attempt)
+                            .flow(req.flow()),
+                    );
+                }
                 self.run_proc_effects(p, &mut eff, now);
                 self.proc_eff_pool.push(eff);
             }
@@ -1165,9 +1179,10 @@ impl<T: Tracer> Machine<T> {
         } else {
             (0, 0)
         };
-        let arrival =
+        let delivery =
             self.fabric
-                .send(now, from, dst, &payload, MsgEndpoint::Proc, &mut self.stats);
+                .send_delivery(now, from, dst, &payload, MsgEndpoint::Proc, &mut self.stats);
+        let arrival = delivery.primary();
         if T::ENABLED {
             self.trace_link_retry(from, now, retx);
             let bytes = payload.size_bytes(&self.cfg.network);
@@ -1181,8 +1196,38 @@ impl<T: Tracer> Machine<T> {
                     .flow(flow_of(&payload)),
             );
         }
-        self.queue
-            .schedule(arrival + self.cfg.bus_latency, Event::ToProc(proc, payload));
+        match delivery {
+            Delivery::One(arrival) => {
+                self.queue
+                    .schedule(arrival + self.cfg.bus_latency, Event::ToProc(proc, payload));
+            }
+            Delivery::Dropped(arrival) => {
+                if T::ENABLED {
+                    self.tracer.record(
+                        TraceEvent::instant(TraceKind::MsgDrop, dst.0, arrival)
+                            .class(payload.class().index())
+                            .args(from.0 as u64, 0)
+                            .flow(flow_of(&payload)),
+                    );
+                }
+            }
+            Delivery::Dup(first, second) => {
+                if T::ENABLED {
+                    self.tracer.record(
+                        TraceEvent::instant(TraceKind::MsgDup, dst.0, second)
+                            .class(payload.class().index())
+                            .args(from.0 as u64, 0)
+                            .flow(flow_of(&payload)),
+                    );
+                }
+                self.queue.schedule(
+                    first + self.cfg.bus_latency,
+                    Event::ToProc(proc, payload.clone()),
+                );
+                self.queue
+                    .schedule(second + self.cfg.bus_latency, Event::ToProc(proc, payload));
+            }
+        }
     }
 
     fn run_proc_effects(&mut self, p: ProcId, effects: &mut Vec<ProcEffect>, now: Cycle) {
@@ -1199,9 +1244,15 @@ impl<T: Tracer> Machine<T> {
                     } else {
                         (0, 0)
                     };
-                    let arrival =
-                        self.fabric
-                            .send(t, src, dst, &payload, MsgEndpoint::Proc, &mut self.stats);
+                    let delivery = self.fabric.send_delivery(
+                        t,
+                        src,
+                        dst,
+                        &payload,
+                        MsgEndpoint::Proc,
+                        &mut self.stats,
+                    );
+                    let arrival = delivery.primary();
                     if T::ENABLED {
                         self.trace_link_retry(src, t, retx);
                         let bytes = payload.size_bytes(&self.cfg.network);
@@ -1214,7 +1265,34 @@ impl<T: Tracer> Machine<T> {
                                 .parent(self.procs[p.index()].flow_parent(&payload)),
                         );
                     }
-                    self.queue.schedule(arrival, Event::ToHub(dst, payload));
+                    match delivery {
+                        Delivery::One(arrival) => {
+                            self.queue.schedule(arrival, Event::ToHub(dst, payload));
+                        }
+                        Delivery::Dropped(arrival) => {
+                            if T::ENABLED {
+                                self.tracer.record(
+                                    TraceEvent::instant(TraceKind::MsgDrop, dst.0, arrival)
+                                        .class(payload.class().index())
+                                        .args(src.0 as u64, 0)
+                                        .flow(flow_of(&payload)),
+                                );
+                            }
+                        }
+                        Delivery::Dup(first, second) => {
+                            if T::ENABLED {
+                                self.tracer.record(
+                                    TraceEvent::instant(TraceKind::MsgDup, dst.0, second)
+                                        .class(payload.class().index())
+                                        .args(src.0 as u64, 0)
+                                        .flow(flow_of(&payload)),
+                                );
+                            }
+                            self.queue
+                                .schedule(first, Event::ToHub(dst, payload.clone()));
+                            self.queue.schedule(second, Event::ToHub(dst, payload));
+                        }
+                    }
                 }
                 ProcEffect::Wake { when } => {
                     self.queue.schedule(when, Event::ProcWake(p));
@@ -1222,8 +1300,8 @@ impl<T: Tracer> Machine<T> {
                 ProcEffect::HandlerWake { when } => {
                     self.queue.schedule(when, Event::ProcHandlerDone(p));
                 }
-                ProcEffect::TimeoutAt { req, when } => {
-                    self.queue.schedule(when, Event::ProcTimeout(p, req));
+                ProcEffect::TimeoutAt { req, when, kind } => {
+                    self.queue.schedule(when, Event::ProcTimeout(p, req, kind));
                 }
                 ProcEffect::Finished { when } => {
                     if T::ENABLED {
@@ -1253,6 +1331,9 @@ impl<T: Tracer> Machine<T> {
                         }
                         ProcFault::AmuStarved { attempts } => {
                             SimErrorKind::AmuStarved { proc: p, attempts }
+                        }
+                        ProcFault::RequestTimedOut { attempts } => {
+                            SimErrorKind::RequestTimedOut { proc: p, attempts }
                         }
                     };
                     self.pending_fault.get_or_insert((kind, when));

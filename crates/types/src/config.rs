@@ -126,6 +126,34 @@ pub struct FaultConfig {
     /// Length of the window (at the start of each period) during which a
     /// node's AMU NACKs every new dispatch.
     pub amu_brownout_len: Cycle,
+    /// Probability (ppm) that a delivered AMO/MAO/ActMsg packet is
+    /// silently dropped at the destination interface (delivery fault:
+    /// the link-level CRC saw a clean transmission, but the message
+    /// never reaches the handler). 0 disables drops.
+    pub link_drop_ppm: u32,
+    /// Probability (ppm) that a delivered AMO/MAO/ActMsg packet is
+    /// duplicated at the destination interface (both copies reach the
+    /// handler). 0 disables duplication.
+    pub link_dup_ppm: u32,
+    /// Maximum extra delivery skew (cycles) a delivered AMO/MAO/ActMsg
+    /// packet may pick up *after* its ingress reservation — later
+    /// packets can overtake it, so nonzero windows permit bounded
+    /// reordering. 0 disables reordering.
+    pub link_reorder_window: Cycle,
+    /// Requester-side end-to-end timeout (cycles) on an outstanding
+    /// AMO/MAO/uncached request. Armed only while delivery faults are
+    /// active; the retransmission schedule reuses the actmsg
+    /// exponential-backoff-plus-jitter shape.
+    pub e2e_timeout: Cycle,
+    /// End-to-end retransmission budget: timeouts of one request beyond
+    /// this escalate to a typed `RequestTimedOut` fault.
+    pub max_e2e_retries: u32,
+    /// Distinct requesters remembered by each AMU's at-most-once table
+    /// (the last reply served to each is cached, so a retransmitted
+    /// `fetch_and_add` is answered from the table, not re-applied).
+    /// Suppression is exact while this covers every processor —
+    /// validation rejects delivery faults with a smaller window.
+    pub dedup_window: u32,
     /// Seed for the fault plan's keyed hashing. Same seed + same config
     /// => bit-identical fault pattern.
     pub seed: u64,
@@ -144,16 +172,32 @@ impl FaultConfig {
             link_retry_backoff: 64,
             amu_brownout_period: 0,
             amu_brownout_len: 0,
+            link_drop_ppm: 0,
+            link_dup_ppm: 0,
+            link_reorder_window: 0,
+            e2e_timeout: 20_000,
+            max_e2e_retries: 16,
+            dedup_window: 64,
             seed: 0,
         }
     }
 
-    /// True if any fault source is active (link errors, jitter, or AMU
-    /// brown-outs).
+    /// True if any fault source is active (link errors, jitter, AMU
+    /// brown-outs, or delivery faults).
     pub fn any_enabled(&self) -> bool {
         self.link_error_ppm > 0
             || self.jitter_max > 0
             || (self.amu_brownout_period > 0 && self.amu_brownout_len > 0)
+            || self.delivery_enabled()
+    }
+
+    /// True if any delivery-fault source (drop, duplication, reordering)
+    /// is active. This is the gate for all end-to-end recovery
+    /// machinery: with every rate zero, no e2e timers are armed, no
+    /// dedup windows are maintained, and the simulated timing stays
+    /// bit-identical to the unfaulted machine.
+    pub fn delivery_enabled(&self) -> bool {
+        self.link_drop_ppm > 0 || self.link_dup_ppm > 0 || self.link_reorder_window > 0
     }
 }
 
@@ -325,6 +369,24 @@ impl SystemConfig {
             self.faults.burst_multiplier >= 1,
             "burst multiplier of 0 would disable errors inside bursts"
         );
+        if self.faults.delivery_enabled() {
+            assert!(
+                self.faults.e2e_timeout > 0,
+                "delivery faults need a nonzero end-to-end timeout to recover"
+            );
+            assert!(
+                self.faults.dedup_window >= self.num_procs as u32,
+                "delivery faults need a dedup window covering every requester \
+                 (window {} < {} procs): an evicted slot lets a retransmission \
+                 double-apply",
+                self.faults.dedup_window,
+                self.num_procs
+            );
+            assert!(
+                self.faults.link_drop_ppm < 1_000_000,
+                "dropping every delivery can never complete"
+            );
+        }
     }
 
     /// Every scalar field of the configuration as `(dotted path, value)`
@@ -393,6 +455,15 @@ impl SystemConfig {
             self.faults.amu_brownout_period,
         );
         f("faults.amu_brownout_len", self.faults.amu_brownout_len);
+        f("faults.link_drop_ppm", self.faults.link_drop_ppm as u64);
+        f("faults.link_dup_ppm", self.faults.link_dup_ppm as u64);
+        f(
+            "faults.link_reorder_window",
+            self.faults.link_reorder_window,
+        );
+        f("faults.e2e_timeout", self.faults.e2e_timeout);
+        f("faults.max_e2e_retries", self.faults.max_e2e_retries as u64);
+        f("faults.dedup_window", self.faults.dedup_window as u64);
         f("faults.seed", self.faults.seed);
     }
 
@@ -473,6 +544,20 @@ impl SystemConfig {
             "faults.link_retry_backoff" => self.faults.link_retry_backoff = value,
             "faults.amu_brownout_period" => self.faults.amu_brownout_period = value,
             "faults.amu_brownout_len" => self.faults.amu_brownout_len = value,
+            "faults.link_drop_ppm" => {
+                self.faults.link_drop_ppm = narrow(path, u32::MAX as u64)? as u32
+            }
+            "faults.link_dup_ppm" => {
+                self.faults.link_dup_ppm = narrow(path, u32::MAX as u64)? as u32
+            }
+            "faults.link_reorder_window" => self.faults.link_reorder_window = value,
+            "faults.e2e_timeout" => self.faults.e2e_timeout = value,
+            "faults.max_e2e_retries" => {
+                self.faults.max_e2e_retries = narrow(path, u32::MAX as u64)? as u32
+            }
+            "faults.dedup_window" => {
+                self.faults.dedup_window = narrow(path, u32::MAX as u64)? as u32
+            }
             "faults.seed" => self.faults.seed = value,
             other => return Err(format!("unknown SystemConfig field `{other}`")),
         }

@@ -529,6 +529,24 @@ define_stats! {
         pub amu_brownout_nacks: u64,
         /// Processor resends of an AMO/MAO after an AMU NACK.
         pub amu_nack_retries: u64,
+        /// AMO/MAO/ActMsg packets silently dropped at the destination
+        /// interface (delivery fault).
+        pub msgs_dropped: u64,
+        /// AMO/MAO/ActMsg packets duplicated at the destination
+        /// interface (both copies delivered).
+        pub msgs_duplicated: u64,
+        /// Deliveries that picked up nonzero reorder skew (and so could
+        /// be overtaken by a later packet).
+        pub msgs_reordered: u64,
+        /// Duplicate requests/replies suppressed by a dedup window
+        /// (AMU served-window hits, directory same-txn re-requests,
+        /// stale replies ignored at the requester).
+        pub dup_suppressed: u64,
+        /// Requester-side end-to-end timeouts that fired on a still
+        /// outstanding AMO/MAO/uncached request.
+        pub e2e_timeouts: u64,
+        /// End-to-end retransmissions issued after those timeouts.
+        pub e2e_retransmissions: u64,
 
         /// Per-operation-class completion latency: total cycles, by
         /// [`OpClass`] index.

@@ -8,6 +8,7 @@
 //! and chaos studies where one faulted cell must not kill the sweep).
 
 use crate::measure::{barrier_measurement, lock_measurement, BarrierMeasurement, LockMeasurement};
+use amo_obs::critpath::{self, Workload};
 use amo_obs::{RingTracer, TimeSeries, TraceBuf, Tracer};
 use amo_sim::{Machine, QueueKind, RunResult, SimError};
 use amo_sync::lock::ExclusionCheck;
@@ -128,6 +129,24 @@ impl std::fmt::Display for RunFailure {
 }
 
 impl std::error::Error for RunFailure {}
+
+/// Attach the critical-path stage breakdown of a failed traced run to
+/// its `DiagBundle`. Only when the trace ring is complete (no dropped
+/// events) and the DAG analyzable: the analyzer's typed `IncompleteDag`
+/// refusal is honoured, since a partial attribution would mis-blame
+/// stages. Untraced or unanalyzable aborts leave `critpath` as `None`.
+fn attach_critpath(error: &mut Option<Box<SimError>>, workload: Workload) {
+    let Some(err) = error else { return };
+    let Some(trace) = &err.bundle.trace else {
+        return;
+    };
+    if trace.dropped > 0 {
+        return;
+    }
+    if let Ok(report) = critpath::analyze(trace, workload) {
+        err.bundle.critpath = Some(report.render_text());
+    }
+}
 
 /// Which barrier algorithm a [`BarrierBench`] runs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -389,13 +408,16 @@ fn run_barrier_on<T: Tracer>(
 
     let res = machine.run(MAX_CYCLES);
     if !res.all_finished || res.error.is_some() {
+        let info = RunInfo::from_result(&res);
+        let mut error = res.error.map(Box::new);
+        attach_critpath(&mut error, Workload::Barrier);
         return Err(Box::new(RunFailure {
             what: format!("barrier {:?} at {} procs", bench.mech, bench.procs),
             stall_report: machine.stall_report(),
             stats: machine.stats().clone(),
-            info: RunInfo::from_result(&res),
+            info,
             hit_limit: res.hit_limit,
-            error: res.error.map(Box::new),
+            error,
         }));
     }
     let timing = barrier_measurement(machine.marks(), bench.procs, bench.episodes, bench.warmup);
@@ -652,13 +674,16 @@ fn run_lock_on<T: Tracer>(
         bench.mech, bench.kind, bench.procs
     );
     if !res.all_finished || res.error.is_some() {
+        let info = RunInfo::from_result(&res);
+        let mut error = res.error.map(Box::new);
+        attach_critpath(&mut error, Workload::Lock);
         return Err(Box::new(RunFailure {
             what,
             stall_report: machine.stall_report(),
             stats: machine.stats().clone(),
-            info: RunInfo::from_result(&res),
+            info,
             hit_limit: res.hit_limit,
-            error: res.error.map(Box::new),
+            error,
         }));
     }
     let violations = check.map_or(0, |c| c.violations.get());
