@@ -27,3 +27,12 @@
 pub mod unit;
 
 pub use unit::{Amu, AmuEffect, AmuError, AmuOp};
+
+/// One recorded true apply: `(request, requester, address, pre-apply
+/// value)` — see [`Amu::drain_applies_into`].
+pub type AmuApplyRec = (
+    amo_types::ReqId,
+    amo_types::ProcId,
+    amo_types::Addr,
+    amo_types::Word,
+);

@@ -234,6 +234,20 @@ pub struct Amu {
     /// nothing).
     served: VecDeque<(ProcId, ReqId, Payload)>,
     served_cap: usize,
+    /// When [`Self::set_log_applies`] is on, every *true* apply of an
+    /// AMO/MAO — never a dedup-suppressed replay — is recorded here as
+    /// `(request, requester, address, pre-apply value)` for the machine
+    /// to drain into the trace stream. Off (and unallocated) by
+    /// default, so untraced runs pay nothing.
+    apply_log: Vec<(ReqId, ProcId, Addr, Word)>,
+    log_applies: bool,
+    /// Test-only planted bug: when set, the dedup-replay path *also*
+    /// logs an apply record, making the at-most-once monitor see a
+    /// double apply on any schedule that retransmits a completed
+    /// request. The protocol state itself is untouched — only the
+    /// observation stream lies — so this exercises the monitors and
+    /// explorer without corrupting unrelated invariants.
+    planted_double_apply: bool,
 }
 
 impl Amu {
@@ -254,6 +268,33 @@ impl Amu {
             next_token: 0,
             served: VecDeque::new(),
             served_cap: 0,
+            apply_log: Vec::new(),
+            log_applies: false,
+            planted_double_apply: false,
+        }
+    }
+
+    /// Record true applies for the trace stream (see `apply_log`).
+    pub fn set_log_applies(&mut self, on: bool) {
+        self.log_applies = on;
+    }
+
+    /// Plant the observation-stream double-apply bug (test hook; see
+    /// `planted_double_apply`).
+    pub fn plant_double_apply(&mut self) {
+        self.planted_double_apply = true;
+    }
+
+    /// Drain recorded applies (request, requester, address, pre-apply
+    /// value) into `out`, oldest first.
+    pub fn drain_applies_into(&mut self, out: &mut Vec<(ReqId, ProcId, Addr, Word)>) {
+        out.append(&mut self.apply_log);
+    }
+
+    #[inline]
+    fn log_apply(&mut self, req: ReqId, proc: ProcId, addr: Addr, pre: Word) {
+        if self.log_applies {
+            self.apply_log.push((req, proc, addr, pre));
         }
     }
 
@@ -386,6 +427,17 @@ impl Amu {
                 Some((_, served, payload)) if *served == req => {
                     stats.dup_suppressed += 1;
                     let payload = payload.clone();
+                    if self.planted_double_apply {
+                        // Planted bug: report the replay as if it were a
+                        // fresh apply (see `planted_double_apply`).
+                        let addr = match op {
+                            AmuOp::Amo { addr, .. }
+                            | AmuOp::Mao { addr, .. }
+                            | AmuOp::UncachedRead { addr, .. }
+                            | AmuOp::UncachedWrite { addr, .. } => addr,
+                        };
+                        self.log_apply(req, requester, addr, 0);
+                    }
                     effects.push(AmuEffect::ReplyAt {
                         when: now + self.op_latency,
                         proc: requester,
@@ -465,6 +517,7 @@ impl Amu {
                         let put = Self::should_put(kind, test, old, new);
                         self.cache[idx].value = new;
                         self.cache[idx].dirty = !put;
+                        self.log_apply(req, requester, addr, old);
                         let done = now + self.op_latency;
                         if put {
                             effects.push(AmuEffect::FinePut {
@@ -501,6 +554,7 @@ impl Amu {
                         let old = self.cache[idx].value;
                         let new = kind.apply(old, operand);
                         self.cache[idx].value = new;
+                        self.log_apply(req, requester, addr, old);
                         // MAO is non-coherent: write through to memory,
                         // nobody is updated or invalidated.
                         let done = now + self.op_latency;
@@ -630,6 +684,7 @@ impl Amu {
         let put = Self::should_put(kind, test, old, new);
         self.cache[idx].value = new;
         self.cache[idx].dirty = !put;
+        self.log_apply(req, requester, addr, old);
         let done = now + self.op_latency;
         effects.push(AmuEffect::FineComplete {
             block: addr.block(self.line_bytes),
@@ -686,6 +741,7 @@ impl Amu {
                 let old = value;
                 let new = kind.apply(old, operand);
                 self.cache[idx].value = new;
+                self.log_apply(req, requester, addr, old);
                 effects.push(AmuEffect::WriteMemWord { addr, value: new });
                 self.reply_at(done, requester, Payload::MaoReply { req, old }, effects);
             }

@@ -1,0 +1,262 @@
+//! Verification CLI: run monitored schedule explorations, verification
+//! matrices, passivity checks, and schedule-document replays.
+//!
+//! ```sh
+//! # One model, exhaustively (bounded), as JSON:
+//! cargo run --release -p amo-bench --bin verify -- \
+//!     --explore --mech AMO --workload ticket-lock --procs 2
+//!
+//! # The committed matrix, through the campaign result cache:
+//! cargo run --release -p amo-bench --bin verify -- \
+//!     --matrix specs/verify-matrix.json
+//!
+//! # Replay a committed amo-schedule-v1 document (also proves the
+//! # decode∘encode round trip is byte-identical to the file):
+//! cargo run --release -p amo-bench --bin verify -- \
+//!     --replay specs/verify-known-good.json
+//!
+//! # Monitors are passive: monitored and unmonitored runs agree
+//! # cycle for cycle at 64 procs:
+//! cargo run --release -p amo-bench --bin verify -- --passivity --procs 64
+//! ```
+//!
+//! Flags for `--explore`: `--mech LABEL` (AMO, MAO, LL/SC, ActMsg,
+//! Atomic), `--workload barrier|ticket-lock`, `--procs N`,
+//! `--episodes N` / `--rounds N`, `--skew-choices N`, `--skew-step C`,
+//! `--reorder-window C`, `--dups`, `--planted-double-apply`,
+//! `--max-runs N`, `--max-choice-points N`, `--emit-doc FILE` (write
+//! the first counterexample's minimal schedule — or, when the model is
+//! clean, the empty-tape known-good schedule — as `amo-schedule-v1`).
+//! `--matrix` honors `--no-cache` / `--cache-dir DIR`; `--out FILE`
+//! redirects any report. Exit status is 1 when violations were found,
+//! so CI can gate on it as well as on the `"violations":0` field.
+
+use amo_bench::cli::Args;
+use amo_campaign::ResultCache;
+use amo_types::{Cycle, JsonWriter};
+use amo_verify::doc::parse_mech;
+use amo_verify::{
+    explore, render_matrix_report, run_matrix, ExploreLimits, ExploreReport, ScheduleDoc,
+    VerifyMatrix, VerifyModel, VerifyWorkload,
+};
+
+fn die(msg: impl AsRef<str>) -> ! {
+    eprintln!("verify: {}", msg.as_ref());
+    std::process::exit(2);
+}
+
+fn emit(out: Option<&str>, doc: &str) {
+    match out {
+        None => println!("{doc}"),
+        Some(path) => std::fs::write(path, format!("{doc}\n"))
+            .unwrap_or_else(|e| die(format!("cannot write {path}: {e}"))),
+    }
+}
+
+fn num<T: std::str::FromStr>(args: &Args, name: &str, default: T) -> T {
+    args.num(name, default).unwrap_or_else(|e| die(e))
+}
+
+/// Build the `--explore` model from flags.
+fn model_from_flags(args: &Args) -> VerifyModel {
+    let mech = parse_mech(args.get("mech").unwrap_or("AMO")).unwrap_or_else(|e| die(e));
+    let workload = match args.get("workload").unwrap_or("barrier") {
+        "barrier" => VerifyWorkload::Barrier {
+            episodes: num(args, "episodes", 2u32),
+        },
+        "ticket-lock" => VerifyWorkload::TicketLock {
+            rounds: num(args, "rounds", 1u32),
+        },
+        other => die(format!("--workload: unknown workload '{other}'")),
+    };
+    let mut model = VerifyModel::new(mech, workload, num(args, "procs", 2u16));
+    model.skew_choices = num(args, "skew-choices", model.skew_choices);
+    model.skew_step = num(args, "skew-step", model.skew_step);
+    model.reorder_window = num(args, "reorder-window", model.reorder_window);
+    model.max_choice_points = num(args, "max-choice-points", model.max_choice_points);
+    model.watchdog = num(args, "watchdog", model.watchdog);
+    model.explore_dups = args.has("dups");
+    model.planted_double_apply = args.has("planted-double-apply");
+    model
+}
+
+fn explore_report_json(model: &VerifyModel, report: &ExploreReport) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.kv_str("schema", "amo-verify-explore-v1");
+    w.kv_str("mech", model.mech.label());
+    w.kv_str("workload", model.workload.tag());
+    w.kv_u64("procs", model.procs as u64);
+    w.kv_u64("schedules", report.schedules);
+    w.kv_u64("distinct", report.distinct);
+    w.kv_u64("pruned", report.pruned);
+    w.key("truncated");
+    w.bool_val(report.truncated);
+    w.kv_u64("violations", report.violations());
+    w.key("counterexamples");
+    w.begin_arr();
+    for cx in &report.counterexamples {
+        w.begin_obj();
+        w.kv_str("monitor", &cx.monitor);
+        w.kv_str("kind", &cx.kind);
+        w.kv_str("detail", &cx.detail);
+        w.key("tape");
+        w.begin_arr();
+        for &v in &cx.tape {
+            w.u64_val(v as u64);
+        }
+        w.end_arr();
+        w.key("minimal");
+        w.begin_arr();
+        for &v in &cx.minimal {
+            w.u64_val(v as u64);
+        }
+        w.end_arr();
+        w.kv_u64("shrink_probes", cx.shrink_probes as u64);
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
+fn run_explore(args: &Args) -> i32 {
+    let model = model_from_flags(args);
+    let mut limits = ExploreLimits::default();
+    limits.max_runs = num(args, "max-runs", limits.max_runs);
+    let report = explore(&model, &limits);
+    emit(args.get("out"), &explore_report_json(&model, &report));
+
+    if let Some(path) = args.get("emit-doc") {
+        let doc = match report.counterexamples.first() {
+            Some(cx) => {
+                let out = model.run_once(&cx.minimal);
+                ScheduleDoc::new(model, cx.minimal.clone(), &out)
+            }
+            None => {
+                let out = model.run_once(&[]);
+                ScheduleDoc::new(model, Vec::new(), &out)
+            }
+        };
+        std::fs::write(path, format!("{}\n", doc.to_json()))
+            .unwrap_or_else(|e| die(format!("cannot write {path}: {e}")));
+        eprintln!(
+            "verify: wrote {path} kind={} fingerprint={}",
+            doc.kind, doc.fingerprint
+        );
+    }
+    (report.violations() > 0) as i32
+}
+
+fn run_matrix_mode(args: &Args, path: &str) -> i32 {
+    let spec =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(format!("cannot read {path}: {e}")));
+    let matrix = VerifyMatrix::from_json(&spec).unwrap_or_else(|e| die(e));
+    let cache = if args.has("no-cache") {
+        None
+    } else {
+        let dir = args
+            .get("cache-dir")
+            .map(Into::into)
+            .unwrap_or_else(ResultCache::default_dir);
+        Some(ResultCache::new(dir))
+    };
+    let outcomes = run_matrix(&matrix, cache.as_ref());
+    emit(args.get("out"), &render_matrix_report(&outcomes));
+    (outcomes.iter().map(|o| o.violations).sum::<u64>() > 0) as i32
+}
+
+fn run_replay(path: &str) -> i32 {
+    let raw =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(format!("cannot read {path}: {e}")));
+    let doc = ScheduleDoc::from_json(&raw).unwrap_or_else(|e| die(e));
+    // The committed document must be exactly what this simulator would
+    // mint: decode∘encode is byte-identity (modulo one trailing
+    // newline), so stale hand-edits cannot hide behind a lenient parse.
+    if doc.to_json() != raw.trim_end_matches('\n') {
+        eprintln!("verify: {path} is not byte-identical to its re-encoding — regenerate it");
+        return 1;
+    }
+    match doc.replay() {
+        Ok(out) => {
+            println!(
+                "replay: ok kind={} monitor={} end={} schedule={path}",
+                doc.kind,
+                if doc.monitor.is_empty() {
+                    "-"
+                } else {
+                    &doc.monitor
+                },
+                out.end
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("verify: {e}");
+            1
+        }
+    }
+}
+
+fn run_passivity(args: &Args) -> i32 {
+    let procs = num(args, "procs", 64u16);
+    let models = [
+        VerifyModel::new(
+            parse_mech(args.get("mech").unwrap_or("AMO")).unwrap_or_else(|e| die(e)),
+            VerifyWorkload::Barrier {
+                episodes: num(args, "episodes", 2u32),
+            },
+            procs,
+        ),
+        VerifyModel::new(
+            parse_mech(args.get("mech").unwrap_or("AMO")).unwrap_or_else(|e| die(e)),
+            VerifyWorkload::TicketLock {
+                rounds: num(args, "rounds", 1u32),
+            },
+            procs,
+        ),
+    ];
+    let mut status = 0;
+    for model in models {
+        let monitored = model.run_once(&[]);
+        let (end, fingerprint): (Cycle, (u64, u64)) = model.run_unmonitored(&[]);
+        if monitored.end == end && monitored.fingerprint == fingerprint {
+            println!(
+                "passivity: ok workload={} procs={} end={}",
+                model.workload.tag(),
+                procs,
+                end
+            );
+        } else {
+            eprintln!(
+                "passivity: VIOLATED workload={} procs={} monitored_end={} unmonitored_end={}",
+                model.workload.tag(),
+                procs,
+                monitored.end,
+                end
+            );
+            status = 1;
+        }
+    }
+    status
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::parse(&raw);
+    if !args.errors.is_empty() {
+        die(format!("unexpected arguments: {}", args.errors.join(" ")));
+    }
+    let status = if let Some(path) = args.get("matrix") {
+        run_matrix_mode(&args, path)
+    } else if let Some(path) = args.get("replay") {
+        run_replay(path)
+    } else if args.has("passivity") {
+        run_passivity(&args)
+    } else if args.has("explore") {
+        run_explore(&args)
+    } else {
+        die("one of --explore, --matrix FILE, --replay FILE, --passivity is required");
+    };
+    std::process::exit(status);
+}

@@ -181,6 +181,7 @@ pub fn kind_name(kind: &SimErrorKind) -> &'static str {
         SimErrorKind::NoProgress { .. } => "NoProgress",
         SimErrorKind::Deadlock { .. } => "Deadlock",
         SimErrorKind::RequestTimedOut { .. } => "RequestTimedOut",
+        SimErrorKind::MonitorViolation { .. } => "MonitorViolation",
     }
 }
 

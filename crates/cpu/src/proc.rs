@@ -4,9 +4,10 @@
 use crate::kernel::{Kernel, Op, Outcome};
 use amo_cache::{CacheHierarchy, Evicted, LineState, LlReservation, Probe};
 use amo_types::stats::OpClass;
+use amo_types::tape::ChoiceKind;
 use amo_types::{
     Addr, BlockAddr, Cycle, HandlerKind, InterventionKind, InterventionResp, NodeId, Payload,
-    ProcId, ReqId, SpinPred, Stats, SystemConfig, Word,
+    ProcId, ReqId, SharedTape, SpinPred, Stats, SystemConfig, Word,
 };
 use std::collections::VecDeque;
 
@@ -126,6 +127,9 @@ pub enum ProcFault {
     /// An outstanding request exhausted `FaultConfig::max_e2e_retries`
     /// end-to-end retransmissions under delivery faults.
     RequestTimedOut {
+        /// The request that never completed (its tag pins the exact
+        /// backoff schedule — see [`Processor::e2e_retx_schedule`]).
+        req: ReqId,
         /// End-to-end retransmissions attempted before giving up.
         attempts: u32,
     },
@@ -288,6 +292,11 @@ pub struct Processor {
     /// protocol bugs. Off (the default) keeps the strict asserts and
     /// adds zero events, so fault-free timing is untouched.
     delivery_hardened: bool,
+    /// Schedule-explorer choice tape. When attached, retransmission
+    /// jitter is an explicit tape choice instead of the keyed hash (see
+    /// `amo_types::tape`); `None` (the default) keeps the hashed
+    /// schedule bit-identical to the untaped engine.
+    tape: Option<SharedTape>,
 }
 
 impl Processor {
@@ -323,7 +332,14 @@ impl Processor {
             lock_srv: Vec::new(),
             finished_at: None,
             delivery_hardened: cfg.faults.delivery_enabled(),
+            tape: None,
         }
+    }
+
+    /// Attach a schedule-explorer choice tape: retry-jitter picks become
+    /// explicit tape choices (see `amo_types::tape`).
+    pub fn set_schedule_tape(&mut self, tape: SharedTape) {
+        self.tape = Some(tape);
     }
 
     /// This processor's id.
@@ -506,7 +522,7 @@ impl Processor {
         if self.delivery_hardened {
             eff.push(ProcEffect::TimeoutAt {
                 req,
-                when: now + Self::retry_delay(req, 0, self.cfg.faults.e2e_timeout),
+                when: now + self.retry_delay_for(req, 0, self.cfg.faults.e2e_timeout),
                 kind: TimerKind::E2e { attempt: 1 },
             });
         }
@@ -952,7 +968,7 @@ impl Processor {
                 );
                 eff.push(ProcEffect::TimeoutAt {
                     req,
-                    when: now + Self::retry_delay(req, 0, self.cfg.actmsg.timeout),
+                    when: now + self.retry_delay_for(req, 0, self.cfg.actmsg.timeout),
                     kind: TimerKind::Retry,
                 });
                 self.wait(
@@ -1561,7 +1577,7 @@ impl Processor {
         self.wait(req, cont);
         eff.push(ProcEffect::TimeoutAt {
             req,
-            when: now + Self::retry_delay(req, attempt, self.cfg.amu.nack_backoff),
+            when: now + self.retry_delay_for(req, attempt, self.cfg.amu.nack_backoff),
             kind: TimerKind::Retry,
         });
     }
@@ -1630,7 +1646,7 @@ impl Processor {
                 );
                 eff.push(ProcEffect::TimeoutAt {
                     req,
-                    when: now + Self::retry_delay(req, attempt, self.cfg.actmsg.timeout),
+                    when: now + self.retry_delay_for(req, attempt, self.cfg.actmsg.timeout),
                     kind: TimerKind::Retry,
                 });
                 self.wait(
@@ -1776,6 +1792,7 @@ impl Processor {
         if attempt > self.cfg.faults.max_e2e_retries {
             eff.push(ProcEffect::Fault {
                 kind: ProcFault::RequestTimedOut {
+                    req,
                     attempts: attempt - 1,
                 },
                 when: now,
@@ -1793,7 +1810,7 @@ impl Processor {
         self.send_home(home, payload, eff);
         eff.push(ProcEffect::TimeoutAt {
             req,
-            when: now + Self::retry_delay(req, attempt, self.cfg.faults.e2e_timeout),
+            when: now + self.retry_delay_for(req, attempt, self.cfg.faults.e2e_timeout),
             kind: TimerKind::E2e {
                 attempt: attempt + 1,
             },
@@ -1813,6 +1830,33 @@ impl Processor {
         x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
         x ^= x >> 27;
         backoff + x % (backoff / 2).max(1)
+    }
+
+    /// [`Self::retry_delay`] with the jitter resolved through the
+    /// attached choice tape, when one is present: the pick spreads over
+    /// the same `[0, backoff/2)` band the keyed hash draws from, but the
+    /// schedule explorer decides which alternative is taken.
+    fn retry_delay_for(&self, req: ReqId, attempt: u32, timeout: Cycle) -> Cycle {
+        let Some(tape) = &self.tape else {
+            return Self::retry_delay(req, attempt, timeout);
+        };
+        let backoff = timeout << attempt.min(4);
+        let mut t = tape.borrow_mut();
+        let arity = t.cfg.jitter_choices.max(1);
+        let pick = t.choose(ChoiceKind::RetryJitter, arity) as Cycle;
+        backoff + pick * ((backoff / 2) / arity as Cycle).max(1)
+    }
+
+    /// The end-to-end retransmission schedule a request walks before a
+    /// `RequestTimedOut` escalation under the hashed (untaped) jitter:
+    /// the backoff delay of the initial arm (attempt 0) and of every
+    /// retransmission `1..=attempts`. Diagnostics only — the machine
+    /// attaches this to the timeout's error bundle so counterexamples
+    /// are self-describing.
+    pub fn e2e_retx_schedule(req: ReqId, attempts: u32, timeout: Cycle) -> Vec<Cycle> {
+        (0..=attempts)
+            .map(|a| Self::retry_delay(req, a, timeout))
+            .collect()
     }
 
     fn on_incoming_actmsg(

@@ -227,6 +227,14 @@ pub struct Directory {
     /// default: under reliable delivery a duplicate can only be a
     /// protocol bug, and silently eating it would mask the bug.
     dup_guard: bool,
+    /// When [`Self::set_log_reclaims`] is on, every entry removal is
+    /// recorded here as `(block, was_idle)` for the machine to drain
+    /// into the trace stream. The idle flag is recomputed at the
+    /// removal site, so the directory-sanity monitor checks a real
+    /// invariant (no entry reclaimed mid-transaction) rather than a
+    /// tautology. Off by default: untraced runs pay one branch.
+    reclaim_log: Vec<(BlockAddr, bool)>,
+    log_reclaims: bool,
 }
 
 /// Identity of a processor-originated request for duplicate
@@ -262,7 +270,21 @@ impl Directory {
             index: FxHashMap::default(),
             mru: None,
             dup_guard: false,
+            reclaim_log: Vec::new(),
+            log_reclaims: false,
         }
+    }
+
+    /// Record idle-entry reclaims for the trace stream (see
+    /// `reclaim_log`).
+    pub fn set_log_reclaims(&mut self, on: bool) {
+        self.log_reclaims = on;
+    }
+
+    /// Drain recorded reclaims into `out`, oldest first. Each record is
+    /// `(block, was_idle_at_removal)`.
+    pub fn drain_reclaims_into(&mut self, out: &mut Vec<(BlockAddr, bool)>) {
+        out.append(&mut self.reclaim_log);
     }
 
     /// Enable idempotent duplicate suppression at the request ingress:
@@ -314,11 +336,22 @@ impl Directory {
         };
         let idle = self.entries.get(id).is_some_and(Entry::is_idle);
         if idle {
-            self.entries.remove(id);
-            self.index.remove(&block.0);
-            if self.mru.is_some_and(|(b, _)| b == block.0) {
-                self.mru = None;
-            }
+            self.reclaim(block, id);
+        }
+    }
+
+    /// Remove an entry from the arena, recording `(block, was_idle)` —
+    /// every removal path must come through here so the sanity monitor
+    /// sees any future reclaim of a non-idle entry.
+    fn reclaim(&mut self, block: BlockAddr, id: SlotId) {
+        let idle = self.entries.get(id).is_some_and(Entry::is_idle);
+        self.entries.remove(id);
+        self.index.remove(&block.0);
+        if self.mru.is_some_and(|(b, _)| b == block.0) {
+            self.mru = None;
+        }
+        if self.log_reclaims {
+            self.reclaim_log.push((block, idle));
         }
     }
 

@@ -17,7 +17,8 @@
 #![warn(missing_docs)]
 
 use amo_types::seed::splitmix64 as mix;
-use amo_types::{Cycle, FaultConfig};
+use amo_types::tape::ChoiceKind;
+use amo_types::{Cycle, FaultConfig, SharedTape};
 
 /// One part-per-million denominator for error-rate draws.
 const PPM: u64 = 1_000_000;
@@ -205,6 +206,79 @@ impl FaultPlan {
         // machine-synchronous (that would just look like a global pause).
         let phase = mix(self.cfg.seed.wrapping_add(node as u64)) % self.cfg.amu_brownout_period;
         (now + phase) % self.cfg.amu_brownout_period < self.cfg.amu_brownout_len
+    }
+}
+
+/// Resolves the delivery layer's discrete schedule choices — reorder
+/// skew, duplication — either *implicitly* (the [`FaultPlan`]'s keyed
+/// hash, the default) or *explicitly* (an attached choice tape the
+/// schedule explorer controls; see `amo_types::tape`). The fabric asks
+/// this oracle instead of the plan directly, so "which interleaving are
+/// we in?" has exactly one answer site that enumeration can take over.
+#[derive(Clone, Debug, Default)]
+pub enum ScheduleOracle {
+    /// Implicit choices from the fault plan's keyed hash.
+    #[default]
+    Hashed,
+    /// Explicit choices popped from the shared tape.
+    Taped(SharedTape),
+}
+
+impl ScheduleOracle {
+    /// True when a tape is attached (the explorer is driving).
+    pub fn is_taped(&self) -> bool {
+        matches!(self, ScheduleOracle::Taped(_))
+    }
+
+    /// Should the delivery-fault layer run at all? Hashed mode follows
+    /// the plan's rates; taped mode always engages it (the tape decides
+    /// per message, even with every rate at zero).
+    #[inline]
+    pub fn delivery_active(&self, plan: &FaultPlan) -> bool {
+        match self {
+            ScheduleOracle::Hashed => plan.delivery_faults_enabled(),
+            ScheduleOracle::Taped(_) => true,
+        }
+    }
+
+    /// Reorder skew for this delivery: hashed draw, or a tape choice in
+    /// `0..=link_reorder_window`.
+    #[inline]
+    pub fn reorder_skew(&self, plan: &FaultPlan, src: u16, dst: u16, seq: u64) -> Cycle {
+        match self {
+            ScheduleOracle::Hashed => plan.reorder_skew(src, dst, seq),
+            ScheduleOracle::Taped(tape) => {
+                let window = plan.config().link_reorder_window.min(u16::MAX as u64 - 1);
+                tape.borrow_mut()
+                    .choose(ChoiceKind::ReorderSkew, window as u16 + 1) as Cycle
+            }
+        }
+    }
+
+    /// Is this delivery dropped? Tape mode never drops — a drop only
+    /// stretches a run through the e2e-recovery path the chaos layer
+    /// already probes, so the explorer leaves it out of the choice space
+    /// (documented soundness boundary).
+    #[inline]
+    pub fn drops(&self, plan: &FaultPlan, src: u16, dst: u16, now: Cycle, seq: u64) -> bool {
+        match self {
+            ScheduleOracle::Hashed => plan.drops(src, dst, now, seq, 0),
+            ScheduleOracle::Taped(_) => false,
+        }
+    }
+
+    /// Is this delivery duplicated? In tape mode this is a two-way
+    /// choice point when the tape's config explores duplicates, else
+    /// never.
+    #[inline]
+    pub fn duplicates(&self, plan: &FaultPlan, src: u16, dst: u16, now: Cycle, seq: u64) -> bool {
+        match self {
+            ScheduleOracle::Hashed => plan.duplicates(src, dst, now, seq, 0),
+            ScheduleOracle::Taped(tape) => {
+                let mut t = tape.borrow_mut();
+                t.cfg.explore_dups && t.choose(ChoiceKind::Duplicate, 2) == 1
+            }
+        }
     }
 }
 

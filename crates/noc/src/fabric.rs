@@ -17,8 +17,8 @@
 //! machine built without fault support.
 
 use crate::topology::Topology;
-use amo_faults::FaultPlan;
-use amo_types::{Cycle, MsgClass, MsgEndpoint, NetworkConfig, NodeId, Payload, Stats};
+use amo_faults::{FaultPlan, ScheduleOracle};
+use amo_types::{Cycle, MsgClass, MsgEndpoint, NetworkConfig, NodeId, Payload, SharedTape, Stats};
 
 /// An unrecoverable link fault: one packet exhausted its replay budget.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -124,6 +124,9 @@ pub struct Fabric {
     /// Monotonic sequence number keying the delivery-fault oracle; only
     /// advanced while delivery faults are enabled for an eligible class.
     delivery_seq: u64,
+    /// Who answers delivery-schedule questions: the plan's keyed hash
+    /// (default) or an attached choice tape (the schedule explorer).
+    oracle: ScheduleOracle,
     /// First unrecoverable link fault, if one occurred.
     pending_failure: Option<LinkFailure>,
 }
@@ -182,8 +185,18 @@ impl Fabric {
             faults,
             fault_seq: 0,
             delivery_seq: 0,
+            oracle: ScheduleOracle::Hashed,
             pending_failure: None,
         }
+    }
+
+    /// Route delivery-schedule choices through `tape` instead of the
+    /// fault plan's keyed hash. While attached, the delivery layer is
+    /// active for every eligible class even with all fault rates at
+    /// zero: the tape decides reorder skew (and, when its config says
+    /// so, duplication) per message. Drops are never taped.
+    pub fn set_schedule_tape(&mut self, tape: SharedTape) {
+        self.oracle = ScheduleOracle::Taped(tape);
     }
 
     /// The underlying topology.
@@ -352,23 +365,23 @@ impl Fabric {
     ) -> Delivery {
         let deliver = self.send(now, src, dst, payload, far_end, stats);
         if src == dst
-            || !self.faults.delivery_faults_enabled()
+            || !self.oracle.delivery_active(&self.faults)
             || !delivery_faultable(payload.class())
         {
             return Delivery::One(deliver);
         }
         self.delivery_seq += 1;
         let seq = self.delivery_seq;
-        let skew = self.faults.reorder_skew(src.0, dst.0, seq);
+        let skew = self.oracle.reorder_skew(&self.faults, src.0, dst.0, seq);
         if skew > 0 {
             stats.msgs_reordered += 1;
         }
         let deliver = deliver + skew;
-        if self.faults.drops(src.0, dst.0, now, seq, 0) {
+        if self.oracle.drops(&self.faults, src.0, dst.0, now, seq) {
             stats.msgs_dropped += 1;
             return Delivery::Dropped(deliver);
         }
-        if self.faults.duplicates(src.0, dst.0, now, seq, 0) {
+        if self.oracle.duplicates(&self.faults, src.0, dst.0, now, seq) {
             stats.msgs_duplicated += 1;
             let ser = self.serialize(payload.size_bytes(&self.cfg));
             return Delivery::Dup(deliver, deliver + ser);

@@ -46,4 +46,4 @@ pub use jsonv::Json;
 pub use perfetto::{perfetto_json, text_dump, validate_perfetto, PerfettoSummary};
 pub use report::{campaign_metrics_json, metrics_json, CampaignSummary};
 pub use timeseries::{Metric, NodeSample, Tick, TimeSeries};
-pub use tracer::{NopTracer, RingTracer, TraceBuf, TraceEvent, TraceKind, Tracer};
+pub use tracer::{NopTracer, RingTracer, TraceBuf, TraceEvent, TraceKind, Tracer, Violation};

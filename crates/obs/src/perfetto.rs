@@ -54,8 +54,8 @@ fn track_and_name(ev: &TraceEvent, procs_per_node: u16) -> (u64, String) {
         TID_PROC_BASE + (ev.proc % procs_per_node.max(1)) as u64
     } else {
         match ev.kind {
-            TraceKind::DirService | TraceKind::DirTxnEnd => TID_DIR,
-            TraceKind::AmuOp | TraceKind::AmuNack => TID_AMU,
+            TraceKind::DirService | TraceKind::DirTxnEnd | TraceKind::DirReclaim => TID_DIR,
+            TraceKind::AmuOp | TraceKind::AmuNack | TraceKind::AmuApply => TID_AMU,
             _ => TID_NOC,
         }
     };
@@ -76,7 +76,9 @@ fn track_and_name(ev: &TraceEvent, procs_per_node: u16) -> (u64, String) {
         | TraceKind::LinkRetry
         | TraceKind::AmuNack
         | TraceKind::Fault
-        | TraceKind::E2eTimeout => ev.kind.label().to_string(),
+        | TraceKind::E2eTimeout
+        | TraceKind::AmuApply
+        | TraceKind::DirReclaim => ev.kind.label().to_string(),
     };
     (tid, name)
 }

@@ -58,6 +58,18 @@ pub enum TraceKind {
     /// request. Instant at the requester's node; `a` = requesting
     /// processor, `b` = retransmission attempt.
     E2eTimeout,
+    /// The home AMU *applied* one operation to memory (dedup-suppressed
+    /// replays of an already-served request do **not** produce this
+    /// event — that asymmetry is exactly what the at-most-once monitor
+    /// checks). Instant at the home node; `proc` = requester, `flow` =
+    /// the request's tag, `a` = target address, `b` = the pre-apply
+    /// word value.
+    AmuApply,
+    /// The directory removed an entry from its slab arena. Instant at
+    /// the home node; `a` = the block address released, `b` = 1 if the
+    /// entry was idle at removal (the directory-sanity monitor flags
+    /// `b = 0`: an entry reclaimed mid-transaction).
+    DirReclaim,
 }
 
 impl TraceKind {
@@ -79,8 +91,24 @@ impl TraceKind {
             TraceKind::MsgDrop => "msg-drop",
             TraceKind::MsgDup => "msg-dup",
             TraceKind::E2eTimeout => "e2e-timeout",
+            TraceKind::AmuApply => "amu-apply",
+            TraceKind::DirReclaim => "dir-reclaim",
         }
     }
+}
+
+/// A semantic-invariant violation detected by an online monitor while
+/// observing the trace stream. The machine converts this into a typed
+/// `SimError` (kind `MonitorViolation`) and aborts the run.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Stable name of the monitor that fired (e.g. `"mutual-exclusion"`).
+    pub monitor: &'static str,
+    /// Human-readable account of the violated invariant, with the
+    /// witnessing values.
+    pub detail: String,
+    /// Cycle of the witnessing event.
+    pub at: Cycle,
 }
 
 /// One trace record. Fixed-size and `Copy` so the ring buffer never
@@ -202,6 +230,14 @@ pub trait Tracer {
 
     /// Drain the recorded events, if this tracer keeps any.
     fn take_buf(&mut self) -> Option<TraceBuf> {
+        None
+    }
+
+    /// Consume the first monitor violation this tracer has detected, if
+    /// it runs online monitors (see `amo-verify`). Polled by the machine
+    /// after every dispatched batch — but only under `Self::ENABLED`, so
+    /// the default `NopTracer` path never even branches on it.
+    fn take_violation(&mut self) -> Option<Violation> {
         None
     }
 }

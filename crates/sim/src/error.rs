@@ -40,6 +40,15 @@ pub struct DiagBundle {
     /// `IncompleteDag` refusal fired — a partial attribution would
     /// mis-blame stages.
     pub critpath: Option<String>,
+    /// For `RequestTimedOut` aborts: the full end-to-end retransmission
+    /// schedule the requester executed before giving up — attempt count
+    /// plus the per-attempt backoff delay in cycles — so a timeout
+    /// counterexample is self-describing without re-deriving the backoff
+    /// policy.
+    pub retx_schedule: Option<String>,
+    /// For `MonitorViolation` aborts: the monitor's full account of the
+    /// violated invariant with the witnessing values.
+    pub violation: Option<String>,
 }
 
 /// Why a run aborted.
@@ -109,6 +118,13 @@ pub enum SimErrorKind {
         /// End-to-end retransmissions attempted.
         attempts: u32,
     },
+    /// An online protocol monitor (see `amo-verify`) observed a
+    /// semantic-invariant violation in the trace stream. The full
+    /// account lives in [`DiagBundle::violation`].
+    MonitorViolation {
+        /// Stable name of the monitor that fired.
+        monitor: &'static str,
+    },
 }
 
 impl std::fmt::Display for SimErrorKind {
@@ -148,6 +164,9 @@ impl std::fmt::Display for SimErrorKind {
                 f,
                 "request from {proc} timed out end-to-end after {attempts} retransmissions"
             ),
+            SimErrorKind::MonitorViolation { monitor } => {
+                write!(f, "protocol monitor '{monitor}' detected a violation")
+            }
         }
     }
 }

@@ -12,8 +12,8 @@ use amo_noc::{Delivery, Fabric};
 use amo_obs::timeseries::{NodeSample, Tick, TimeSeries};
 use amo_obs::{NopTracer, TraceBuf, TraceEvent, TraceKind, Tracer};
 use amo_types::{
-    Addr, BlockAddr, Cycle, MsgClass, MsgEndpoint, NodeId, Payload, ProcId, ReqId, Stats,
-    SystemConfig, Word,
+    Addr, BlockAddr, Cycle, MsgClass, MsgEndpoint, NodeId, Payload, ProcId, ReqId, SharedTape,
+    Stats, SystemConfig, Word,
 };
 
 /// Declares the event enum together with a fieldless mirror enum whose
@@ -197,6 +197,20 @@ pub struct Machine<T: Tracer = NopTracer> {
     /// First typed fault raised during dispatch; the run loop stops on
     /// it at the next event boundary.
     pending_fault: Option<(SimErrorKind, Cycle)>,
+    /// Rendered retransmission schedule for a pending
+    /// `RequestTimedOut`, attached to the bundle by `make_error`.
+    pending_retx: Option<String>,
+    /// Full detail of a pending `MonitorViolation`, attached to the
+    /// bundle by `make_error`.
+    pending_violation: Option<String>,
+    /// True once a schedule tape was attached (the explorer drives the
+    /// delivery layer and retry jitter; see
+    /// [`Machine::set_schedule_tape`]).
+    taped: bool,
+    /// Reusable drain buffers for the AMU apply log and directory
+    /// reclaim log (traced builds only; stay empty under `NopTracer`).
+    apply_buf: Vec<(ReqId, ProcId, Addr, Word)>,
+    reclaim_buf: Vec<(BlockAddr, bool)>,
     /// Watchdog no-progress window; 0 = watchdog off.
     watchdog_window: Cycle,
     /// Progress metric value at the last observed change.
@@ -250,10 +264,20 @@ impl<T: Tracer> Machine<T> {
                 p.set_op_tracing(true);
             }
         }
+        let mut hubs: Vec<Hub> = (0..nodes).map(|n| Hub::new(NodeId(n), &cfg)).collect();
+        if T::ENABLED {
+            // Protocol-monitor observability: record true AMU applies
+            // and directory idle reclaims so the trace stream carries
+            // the semantic events the monitors check.
+            for h in &mut hubs {
+                h.amu.set_log_applies(true);
+                h.directory.set_log_reclaims(true);
+            }
+        }
         Machine {
             fabric: Fabric::with_faults(nodes, cfg.network, FaultPlan::new(cfg.faults)),
             procs,
-            hubs: (0..nodes).map(|n| Hub::new(NodeId(n), &cfg)).collect(),
+            hubs,
             clock: Clock::new(),
             queue: EventQueue::with_capacity_and_kind(queue_capacity(&cfg), kind),
             stats: Stats::new(),
@@ -274,6 +298,11 @@ impl<T: Tracer> Machine<T> {
             timeseries: None,
             faults: FaultPlan::new(cfg.faults),
             pending_fault: None,
+            pending_retx: None,
+            pending_violation: None,
+            taped: false,
+            apply_buf: Vec::new(),
+            reclaim_buf: Vec::new(),
             watchdog_window: 0,
             wd_last_progress: 0,
             wd_last_progress_at: 0,
@@ -307,6 +336,31 @@ impl<T: Tracer> Machine<T> {
     /// Mutable access to the attached tracer (e.g. to read drop counts).
     pub fn tracer_mut(&mut self) -> &mut T {
         &mut self.tracer
+    }
+
+    /// Attach a schedule tape: every delivery-layer choice (reorder
+    /// skew, duplication) and every retry-jitter draw is resolved by
+    /// `tape` instead of the fault plan's keyed hash, making the
+    /// interleaving an explicit, enumerable input. Used by the
+    /// `amo-verify` schedule explorer; see `amo_types::tape`. Call
+    /// before [`run`](Self::run).
+    pub fn set_schedule_tape(&mut self, tape: SharedTape) {
+        self.fabric.set_schedule_tape(tape.clone());
+        for p in &mut self.procs {
+            p.set_schedule_tape(tape.clone());
+        }
+        self.taped = true;
+    }
+
+    /// Test-only planted bug for the `amo-verify` explorer: make every
+    /// AMU's dedup-suppressed replay *log* an apply record as if it had
+    /// executed twice. Protocol state is untouched — only the
+    /// observation stream lies — so the at-most-once monitor must catch
+    /// it from the trace alone.
+    pub fn plant_amu_double_apply(&mut self) {
+        for h in &mut self.hubs {
+            h.amu.plant_double_apply();
+        }
     }
 
     /// Drain the recorded event trace, if the tracer keeps one (`None`
@@ -495,6 +549,15 @@ impl<T: Tracer> Machine<T> {
                 }
                 self.event_counts[ev.index()] += 1;
                 self.dispatch(ev, when);
+                if T::ENABLED {
+                    if let Some(v) = self.tracer.take_violation() {
+                        self.pending_violation = Some(v.detail);
+                        self.pending_fault.get_or_insert((
+                            SimErrorKind::MonitorViolation { monitor: v.monitor },
+                            v.at,
+                        ));
+                    }
+                }
                 if self.pending_fault.is_some() || self.fabric.has_failure() {
                     if let Some(f) = self.fabric.take_failure() {
                         self.pending_fault.get_or_insert((
@@ -599,6 +662,8 @@ impl<T: Tracer> Machine<T> {
                 trace: self.tracer.take_buf(),
                 events_processed: events,
                 critpath: None,
+                retx_schedule: self.pending_retx.take(),
+                violation: self.pending_violation.take(),
             },
         }
     }
@@ -651,6 +716,32 @@ impl<T: Tracer> Machine<T> {
                     );
                 }
             }
+            // Drain the semantic protocol events the node's components
+            // logged during this dispatch: true AMU applies (never
+            // dedup replays) and directory idle reclaims. These feed
+            // the `amo-verify` monitors.
+            let mut applies = std::mem::take(&mut self.apply_buf);
+            self.hubs[node.index()].amu.drain_applies_into(&mut applies);
+            for (req, proc, addr, pre) in applies.drain(..) {
+                self.tracer.record(
+                    TraceEvent::instant(TraceKind::AmuApply, node.0, now)
+                        .on_proc(proc.0)
+                        .args(addr.0, pre)
+                        .flow(req.flow()),
+                );
+            }
+            self.apply_buf = applies;
+            let mut reclaims = std::mem::take(&mut self.reclaim_buf);
+            self.hubs[node.index()]
+                .directory
+                .drain_reclaims_into(&mut reclaims);
+            for (block, idle) in reclaims.drain(..) {
+                self.tracer.record(
+                    TraceEvent::instant(TraceKind::DirReclaim, node.0, now)
+                        .args(block.0, idle as u64),
+                );
+            }
+            self.reclaim_buf = reclaims;
         }
     }
 
@@ -1332,7 +1423,28 @@ impl<T: Tracer> Machine<T> {
                         ProcFault::AmuStarved { attempts } => {
                             SimErrorKind::AmuStarved { proc: p, attempts }
                         }
-                        ProcFault::RequestTimedOut { attempts } => {
+                        ProcFault::RequestTimedOut { req, attempts } => {
+                            // Satellite diagnosability: a timeout
+                            // counterexample carries the exact backoff
+                            // schedule the requester executed, so nobody
+                            // has to re-derive the policy from config.
+                            let timeout = self.cfg.faults.e2e_timeout;
+                            let delays = Processor::e2e_retx_schedule(req, attempts, timeout);
+                            let mut s = format!(
+                                "req {:#x} from {p}: {attempts} e2e retransmissions \
+                                 (timeout base {timeout}); per-attempt backoff cycles: ",
+                                req.0
+                            );
+                            for (i, d) in delays.iter().enumerate() {
+                                if i > 0 {
+                                    s.push_str(", ");
+                                }
+                                s.push_str(&d.to_string());
+                            }
+                            if self.taped {
+                                s.push_str(" (hashed-mode schedule; run was tape-driven)");
+                            }
+                            self.pending_retx = Some(s);
                             SimErrorKind::RequestTimedOut { proc: p, attempts }
                         }
                     };

@@ -376,10 +376,11 @@ impl SystemConfig {
             );
             assert!(
                 self.faults.dedup_window >= self.num_procs as u32,
-                "delivery faults need a dedup window covering every requester \
-                 (window {} < {} procs): an evicted slot lets a retransmission \
-                 double-apply",
+                "faults.dedup_window = {} is below the required minimum of {} \
+                 (num_procs = {}; the window needs one slot per requester): \
+                 an evicted slot lets a retransmission double-apply",
                 self.faults.dedup_window,
+                self.num_procs,
                 self.num_procs
             );
             assert!(
@@ -628,6 +629,28 @@ mod tests {
             ..FaultConfig::none()
         };
         assert!(faulty.any_enabled());
+    }
+
+    /// Pins the full undersized-dedup-window message: it must name the
+    /// offending value, the required minimum, and where the minimum
+    /// comes from, so a failing campaign cell is self-explanatory.
+    #[test]
+    fn undersized_dedup_window_message_states_minimum_and_values() {
+        let mut c = SystemConfig::with_procs(8);
+        c.faults.link_drop_ppm = 1_000;
+        c.faults.dedup_window = 3;
+        let err = std::panic::catch_unwind(|| c.validate()).unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a message");
+        assert_eq!(
+            msg,
+            "faults.dedup_window = 3 is below the required minimum of 8 \
+             (num_procs = 8; the window needs one slot per requester): \
+             an evicted slot lets a retransmission double-apply"
+        );
     }
 
     #[test]

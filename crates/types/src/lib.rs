@@ -28,6 +28,7 @@ pub mod msg;
 pub mod seed;
 pub mod slab;
 pub mod stats;
+pub mod tape;
 
 pub use addr::{Addr, BlockAddr};
 pub use bitset::ProcSet;
@@ -43,6 +44,7 @@ pub use msg::{
 };
 pub use slab::{Slab, SlotId};
 pub use stats::{MsgClass, MsgEndpoint, OpClass, Stats};
+pub use tape::{ChoiceKind, ChoiceRec, SharedTape, TapeConfig, TapeState};
 
 /// Simulation time, measured in CPU clock cycles (the paper's processors
 /// run at 2 GHz; every latency in [`SystemConfig`] is expressed in these
