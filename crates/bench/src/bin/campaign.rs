@@ -30,15 +30,23 @@
 //!   critical-path report. The per-mechanism reports are cached
 //!   content-addressed next to the run results (`<cache>/critpath/`),
 //!   so a warm re-run re-renders them without simulating.
+//! * `--hostprof-out FILE` — write an `amo-hostprof-v1` host
+//!   self-profile of one AMO barrier at the campaign's largest size.
+//!   Host wall-clock is not content-addressable, so this run is never
+//!   cached; it is a single cold run (see EXPERIMENTS.md on
+//!   cold-vs-steady profiles).
 
 use amo_bench::cli::Args;
+use amo_bench::Stopwatch;
 use amo_campaign::{
     artifacts, render, ArtifactProfile, Campaign, CampaignPlan, CampaignSpec, ResultCache, RunSpec,
 };
-use amo_obs::{analyze, campaign_metrics_json, CampaignSummary, Workload};
+use amo_obs::{
+    analyze, campaign_metrics_json, hostprof_json, validate_hostprof, CampaignSummary,
+    HostProfSection, Workload,
+};
 use amo_sync::Mechanism;
 use amo_workloads::{try_run_barrier_obs, BarrierBench, ObsSpec};
-use std::time::Instant;
 
 fn die(msg: String) -> ! {
     eprintln!("campaign: {msg}");
@@ -63,6 +71,7 @@ fn critpath_report(cache: Option<&ResultCache>, bench: BarrierBench) -> String {
         ObsSpec {
             trace_cap: 1 << 21,
             sample_interval: 0,
+            hostprof: false,
         },
     )
     .unwrap_or_else(|f| die(format!("critpath run failed: {f}")));
@@ -129,7 +138,7 @@ fn main() {
     let mut campaign = Campaign::new(cache);
     let csv = args.has("csv");
 
-    let t0 = Instant::now();
+    let clock = Stopwatch::new();
     let doc = match &plan {
         CampaignPlan::Artifacts {
             artifacts: names,
@@ -186,6 +195,51 @@ fn main() {
         eprintln!("wrote {path}");
     }
 
+    if let Some(path) = args.get("hostprof-out") {
+        // Host-side cost is a property of this machine and this run,
+        // not of the spec — never served from the result cache.
+        let (procs, episodes, warmup) = match &plan {
+            CampaignPlan::Artifacts { profile, .. } => (
+                *profile.sizes.last().expect("profile has sizes"),
+                profile.episodes,
+                profile.warmup,
+            ),
+            CampaignPlan::Grid(_) => (64, 6, 1),
+        };
+        let bench = BarrierBench {
+            episodes,
+            warmup,
+            ..BarrierBench::paper(Mechanism::Amo, procs)
+        };
+        let r = try_run_barrier_obs(
+            bench,
+            ObsSpec {
+                trace_cap: 0,
+                sample_interval: 0,
+                hostprof: true,
+            },
+        )
+        .unwrap_or_else(|f| die(format!("hostprof run failed: {f}")));
+        let report = r.obs.hostprof.as_ref().expect("profiling was enabled");
+        let meta = [
+            ("campaign", name.clone()),
+            ("workload", "barrier".into()),
+            ("mech", "amo".into()),
+            ("procs", procs.to_string()),
+        ];
+        let section = HostProfSection {
+            name: "amo_barrier",
+            phase: "cold",
+            events: r.info.events,
+            report,
+        };
+        let doc = hostprof_json(&meta, &[section]);
+        validate_hostprof(&doc).unwrap_or_else(|e| die(format!("{path}: invalid hostprof: {e}")));
+        std::fs::write(path, &doc).unwrap_or_else(|e| die(format!("{path}: {e}")));
+        eprint!("{}", report.self_time_table());
+        eprintln!("wrote {path}");
+    }
+
     let c = campaign.counters;
     if let Some(path) = args.get("metrics-json") {
         let summary = CampaignSummary {
@@ -202,13 +256,13 @@ fn main() {
     }
 
     eprintln!(
-        "campaign '{name}': {} runs ({} unique), cache: {} hits, {} misses, {} errors (in {:.1?})",
+        "campaign '{name}': {} runs ({} unique), cache: {} hits, {} misses, {} errors (in {:.1}s)",
         c.requested,
         c.unique,
         c.cache_hits,
         c.cache_misses,
         c.errors,
-        t0.elapsed()
+        clock.elapsed_secs()
     );
     if c.errors > 0 {
         std::process::exit(1);

@@ -12,7 +12,10 @@
 //!
 //! Exits nonzero with a usage message on malformed arguments.
 
-use amo_obs::{analyze, metrics_json, perfetto_json, validate_perfetto, Workload};
+use amo_obs::{
+    analyze, hostprof_json, metrics_json, perfetto_json, validate_hostprof, validate_perfetto,
+    HostProfSection, Workload,
+};
 use amo_sync::Mechanism;
 use amo_types::stats::{OpClass, OP_CLASSES};
 use amo_types::{Stats, SystemConfig};
@@ -32,7 +35,8 @@ fn usage() -> ! {
          \x20observability (both subcommands):\n\
          \x20          [--trace-out FILE.json] [--trace-cap N] \\\n\
          \x20          [--critpath-out FILE.json] \\\n\
-         \x20          [--metrics-json FILE.json] [--sample-interval CYC]"
+         \x20          [--metrics-json FILE.json] [--sample-interval CYC] \\\n\
+         \x20          [--hostprof-out FILE.json]"
     );
     exit(2);
 }
@@ -126,6 +130,7 @@ fn parse_obs(args: &Args) -> ObsSpec {
         } else {
             0
         },
+        hostprof: args.get("hostprof-out").is_some(),
     }
 }
 
@@ -136,6 +141,7 @@ fn emit_obs(
     args: &Args,
     cfg: &SystemConfig,
     stats: &Stats,
+    events: u64,
     obs: &ObsReport,
     workload: Workload,
     meta: &[(&str, String)],
@@ -193,6 +199,37 @@ fn emit_obs(
         });
         eprintln!("wrote {path}");
     }
+    if let Some(path) = args.get("hostprof-out") {
+        let report = obs.hostprof.as_ref().expect("host profiling was requested");
+        // A single uncached run has no warm-up pass, so container
+        // growth is in-profile: this is a "cold" section by definition.
+        let section = HostProfSection {
+            name: meta
+                .first()
+                .map(|(_, v)| v.as_str())
+                .unwrap_or("experiment"),
+            phase: "cold",
+            events,
+            report,
+        };
+        let doc = hostprof_json(meta, &[section]);
+        let summaries = validate_hostprof(&doc).unwrap_or_else(|e| {
+            eprintln!("{path}: invalid hostprof doc: {e}");
+            exit(1);
+        });
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+        eprint!("{}", report.self_time_table());
+        let s = &summaries[0];
+        eprintln!(
+            "wrote {path}: {} section, {:.1} ms profiled wall-clock, alloc tracking {}",
+            s.phase,
+            s.wall_ns as f64 / 1e6,
+            if s.alloc_tracking { "on" } else { "off" }
+        );
+    }
 }
 
 fn main() {
@@ -231,6 +268,7 @@ fn main() {
                 &args,
                 &cfg,
                 &r.stats,
+                r.info.events,
                 &r.obs,
                 Workload::Barrier,
                 &[
@@ -295,6 +333,7 @@ fn main() {
                 &args,
                 &cfg,
                 &r.stats,
+                r.info.events,
                 &r.obs,
                 Workload::Lock,
                 &[

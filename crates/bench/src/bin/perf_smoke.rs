@@ -6,23 +6,53 @@
 //! sweep executor, and records the numbers to `BENCH_engine.json` so
 //! future PRs have a perf trajectory to beat.
 //!
-//! Usage: `cargo run --release -p amo-bench --bin perf_smoke [out.json]`
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p amo-bench --bin perf_smoke -- \
+//!     [out.json] [--hostprof-out FILE.json] [--history FILE.jsonl]
+//! ```
+//!
+//! Results print as one end-of-run summary table (per-workload
+//! events/s, delta vs the committed baseline, verdict).
+//!
+//! `--hostprof-out` additionally profiles each workload's *steady
+//! state* (warm-up pass, counter reset, identical re-run) and writes a
+//! validated `amo-hostprof-v1` document. This binary installs the
+//! counting global allocator, so the profile's allocation numbers are
+//! real — and the steady-state dispatch scopes are asserted to
+//! allocate nothing. `--history` appends an `amo-bench-history-v1`
+//! record (default `BENCH_history.jsonl`) for `perfdash` to trend.
 //!
 //! Regression guard: set `AMO_PERF_BASELINE=path/to/BENCH_engine.json`
 //! (typically the committed record) and the run exits nonzero if any
 //! workload's calendar-queue throughput falls more than
 //! `AMO_PERF_TOLERANCE` (default 0.05 = 5%) below its recorded number.
-//! This is what keeps the `NopTracer` instrumentation hooks honest
-//! about being free. A baseline in the old single-workload schema (no
-//! `workloads` object) marks a pre-overhaul record: against one of
-//! those, at least one workload must additionally clear 1.25x — the
-//! layout overhaul's enforced win. Regenerating the record switches it
-//! to the new schema, which disarms that one-time requirement.
+//! This is what keeps the `NopTracer` / `NopHostProf` instrumentation
+//! hooks honest about being free. A baseline in the old
+//! single-workload schema (no `workloads` object) marks a pre-overhaul
+//! record: against one of those, at least one workload must
+//! additionally clear 1.25x — the layout overhaul's enforced win.
+//! Regenerating the record switches it to the new schema, which
+//! disarms that one-time requirement.
 
+use amo_bench::cli::Args;
+use amo_bench::history::{
+    append_record, git_describe, host_fingerprint, unix_time, HistoryRecord, HostProfDigest,
+    WorkloadPoint,
+};
+use amo_bench::hostprof::profile_steady;
+use amo_bench::timed;
+use amo_obs::{hostprof_json, validate_hostprof, CountingAlloc, HostProfSection};
 use amo_sim::{Machine, QueueKind};
 use amo_sync::{BarrierKernel, BarrierSpec, Mechanism, TicketLockKernel, TicketLockSpec, VarAlloc};
 use amo_types::{Cycle, NodeId, ProcId, SystemConfig, Word};
-use std::time::Instant;
+
+/// The profiled binary opts into allocation counting; the two relaxed
+/// atomic adds per allocation are noise for a suite whose hot path
+/// allocates nothing (which is exactly what the profile verifies).
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 const PROCS: u16 = 64;
 const REPS: usize = 7;
@@ -49,29 +79,29 @@ fn seed_baseline() -> Option<f64> {
         .and_then(|v| v.parse().ok())
 }
 
-/// One timed run of a barrier workload; returns (events, seconds).
-fn barrier_run(mech: Mechanism, kind: QueueKind) -> (u64, f64) {
-    let episodes = episodes();
-    let mut m = Machine::new_with_queue(SystemConfig::with_procs(PROCS), kind);
+/// Install one barrier run's kernels, starting at `start`.
+fn install_barrier<T: amo_obs::Tracer, P: amo_obs::HostProf>(
+    m: &mut Machine<T, P>,
+    mech: Mechanism,
+    episodes: usize,
+    start: Cycle,
+) {
     let mut alloc = VarAlloc::new();
     let spec = BarrierSpec::build(&mut alloc, mech, NodeId(0), PROCS, episodes as u32);
     for p in 0..PROCS {
         let work = vec![200; episodes];
-        m.install_kernel(ProcId(p), Box::new(BarrierKernel::new(spec, work)), 0);
+        m.install_kernel(ProcId(p), Box::new(BarrierKernel::new(spec, work)), start);
     }
-    let t0 = Instant::now();
-    let res = m.run(10_000_000_000);
-    let secs = t0.elapsed().as_secs_f64();
-    assert!(res.all_finished, "benchmark workload must complete");
-    (res.events, secs)
 }
 
-/// One timed run of the contended ticket-lock workload: every processor
+/// Install one contended ticket-lock run's kernels: every processor
 /// fights for one AMO-sequenced lock, which hammers the home directory,
 /// the AMU fetch-add path, and the word-update fanout.
-fn lock_run(kind: QueueKind) -> (u64, f64) {
-    let rounds = (episodes() / 20).max(4) as u32;
-    let mut m = Machine::new_with_queue(SystemConfig::with_procs(PROCS), kind);
+fn install_lock<T: amo_obs::Tracer, P: amo_obs::HostProf>(
+    m: &mut Machine<T, P>,
+    rounds: u32,
+    start: Cycle,
+) {
     let mut alloc = VarAlloc::new();
     let spec = TicketLockSpec::build(&mut alloc, Mechanism::Amo, NodeId(0), rounds, 150);
     for p in 0..PROCS {
@@ -81,22 +111,36 @@ fn lock_run(kind: QueueKind) -> (u64, f64) {
         m.install_kernel(
             ProcId(p),
             Box::new(TicketLockKernel::new(spec, think, p as Word + 1, None)),
-            0,
+            start,
         );
     }
-    let t0 = Instant::now();
-    let res = m.run(10_000_000_000);
-    let secs = t0.elapsed().as_secs_f64();
+}
+
+/// Lock rounds derived from the episode knob.
+fn lock_rounds() -> u32 {
+    (episodes() / 20).max(4) as u32
+}
+
+/// One timed run of a suite workload; returns (events, seconds).
+fn suite_run(key: &str, kind: QueueKind) -> (u64, f64) {
+    let mut m = Machine::new_with_queue(SystemConfig::with_procs(PROCS), kind);
+    match key {
+        "llsc_barrier" => install_barrier(&mut m, Mechanism::LlSc, episodes(), 0),
+        "amo_barrier" => install_barrier(&mut m, Mechanism::Amo, episodes(), 0),
+        "ticket_lock" => install_lock(&mut m, lock_rounds(), 0),
+        other => unreachable!("unknown workload {other}"),
+    }
+    let (res, secs) = timed(|| m.run(10_000_000_000));
     assert!(res.all_finished, "benchmark workload must complete");
     (res.events, secs)
 }
 
 /// Best-of-N events/sec for one workload and queue implementation.
-fn throughput(run: impl Fn(QueueKind) -> (u64, f64), kind: QueueKind) -> (u64, f64, f64) {
+fn throughput(key: &str, kind: QueueKind) -> (u64, f64, f64) {
     let mut best = f64::INFINITY;
     let mut events = 0;
     for _ in 0..REPS {
-        let (ev, secs) = run(kind);
+        let (ev, secs) = suite_run(key, kind);
         events = ev;
         best = best.min(secs);
     }
@@ -109,18 +153,21 @@ struct Measured {
     events: u64,
     heap_eps: f64,
     cal_eps: f64,
+    /// Committed-baseline events/s, when the record has this workload.
+    baseline: Option<f64>,
 }
 
 /// A moderate table sweep, used to measure the executor's effect. Runs
 /// through an uncached campaign so every cell is simulated.
 fn sweep() -> f64 {
-    let t0 = Instant::now();
-    let mut c = amo_campaign::Campaign::uncached();
-    let t2 = amo_campaign::artifacts::table2(&mut c, &[4, 8, 16, 32, 64], 5, 1);
-    let t4 = amo_campaign::artifacts::table4(&mut c, &[4, 8, 16, 32], 4);
-    assert_eq!(t2.len(), 5);
-    assert_eq!(t4.len(), 4);
-    t0.elapsed().as_secs_f64()
+    let (_, secs) = timed(|| {
+        let mut c = amo_campaign::Campaign::uncached();
+        let t2 = amo_campaign::artifacts::table2(&mut c, &[4, 8, 16, 32, 64], 5, 1);
+        let t4 = amo_campaign::artifacts::table4(&mut c, &[4, 8, 16, 32], 4);
+        assert_eq!(t2.len(), 5);
+        assert_eq!(t4.len(), 4);
+    });
+    secs
 }
 
 /// Committed-record regression guard, per workload. Returns the parsed
@@ -151,46 +198,103 @@ fn baseline_for(doc: &amo_obs::Json, key: &str) -> Option<f64> {
     None
 }
 
-/// One suite entry: (record key, human label, workload runner).
-type Workload = (&'static str, String, Box<dyn Fn(QueueKind) -> (u64, f64)>);
+/// Profile every suite workload's steady state and return the rendered
+/// `amo-hostprof-v1` document plus the digest the history record
+/// carries. Asserts the steady-state zero-allocation claim.
+fn hostprof_doc() -> (String, HostProfDigest) {
+    let eps = episodes();
+    let cfg = SystemConfig::with_procs(PROCS);
+    let runs: Vec<(&str, amo_bench::hostprof::ProfiledRun)> = vec![
+        (
+            "llsc_barrier",
+            profile_steady(cfg, QueueKind::Calendar, 10_000_000_000, |m, start| {
+                install_barrier(m, Mechanism::LlSc, eps, start)
+            }),
+        ),
+        (
+            "amo_barrier",
+            profile_steady(cfg, QueueKind::Calendar, 10_000_000_000, |m, start| {
+                install_barrier(m, Mechanism::Amo, eps, start)
+            }),
+        ),
+        (
+            "ticket_lock",
+            profile_steady(cfg, QueueKind::Calendar, 10_000_000_000, |m, start| {
+                install_lock(m, lock_rounds(), start)
+            }),
+        ),
+    ];
+    let sections: Vec<HostProfSection> = runs
+        .iter()
+        .map(|(key, run)| HostProfSection {
+            name: key,
+            phase: "steady",
+            events: run.events,
+            report: &run.report,
+        })
+        .collect();
+    let meta = [
+        ("suite", "perf_smoke".to_string()),
+        ("procs", PROCS.to_string()),
+        ("episodes", eps.to_string()),
+    ];
+    let doc = hostprof_json(&meta, &sections);
+    let summaries = validate_hostprof(&doc).expect("perf_smoke emits a valid hostprof doc");
+    let mut digest = HostProfDigest {
+        wall_ns: 0,
+        dispatch_self_allocs: 0,
+        alloc_tracking: true,
+    };
+    for s in &summaries {
+        assert!(
+            s.alloc_tracking,
+            "perf_smoke installs CountingAlloc; allocation numbers must be real"
+        );
+        assert_eq!(
+            s.dispatch_self_allocs, 0,
+            "{}: steady-state dispatch must allocate nothing",
+            s.name
+        );
+        digest.wall_ns += s.wall_ns;
+        digest.dispatch_self_allocs += s.dispatch_self_allocs;
+    }
+    (doc, digest)
+}
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::parse(&raw);
+    let out_path = args
+        .errors
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_engine.json".into());
 
     let eps = episodes();
-    let lock_rounds = (eps / 20).max(4);
     println!("engine throughput: three workloads, best of {REPS} each");
-    let suite: Vec<Workload> = vec![
+    let suite: Vec<(&'static str, String)> = vec![
         (
             "llsc_barrier",
             format!("llsc_barrier_{PROCS}procs_{eps}episodes"),
-            Box::new(|k| barrier_run(Mechanism::LlSc, k)),
         ),
         (
             "amo_barrier",
             format!("amo_barrier_{PROCS}procs_{eps}episodes"),
-            Box::new(|k| barrier_run(Mechanism::Amo, k)),
         ),
         (
             "ticket_lock",
-            format!("amo_ticket_lock_{PROCS}procs_{lock_rounds}rounds"),
-            Box::new(lock_run),
+            format!("amo_ticket_lock_{PROCS}procs_{}rounds", lock_rounds()),
         ),
     ];
 
+    let guard = committed_baseline();
     let mut results = Vec::new();
-    for (key, desc, run) in suite {
-        let (heap_events, _heap_secs, heap_eps) = throughput(&run, QueueKind::Heap);
-        let (cal_events, cal_secs, cal_eps) = throughput(&run, QueueKind::Calendar);
+    for (key, desc) in suite {
+        let (heap_events, _heap_secs, heap_eps) = throughput(key, QueueKind::Heap);
+        let (cal_events, _cal_secs, cal_eps) = throughput(key, QueueKind::Calendar);
         assert_eq!(
             heap_events, cal_events,
             "queue implementations must dispatch identical event streams ({key})"
-        );
-        println!(
-            "  {key:<12} heap {heap_eps:>12.0} ev/s   calendar {cal_eps:>12.0} ev/s  \
-             ({cal_events} events, {cal_secs:.4}s)"
         );
         results.push(Measured {
             key,
@@ -198,33 +302,45 @@ fn main() {
             events: cal_events,
             heap_eps,
             cal_eps,
+            baseline: guard.as_ref().and_then(|(doc, _)| baseline_for(doc, key)),
         });
     }
 
-    if let Some((doc, tol)) = committed_baseline() {
+    // The single end-of-run summary table: every workload's numbers and
+    // verdict in one place. Regressions are asserted *after* the table
+    // prints so a failing run still shows the full picture.
+    let tol = guard.as_ref().map_or(0.05, |(_, t)| *t);
+    println!(
+        "\n  {:<12} {:>9} {:>14} {:>14} {:>14} {:>8}  verdict",
+        "workload", "events", "heap ev/s", "calendar ev/s", "baseline", "delta"
+    );
+    for r in &results {
+        let (base, delta, verdict) = match r.baseline {
+            Some(base) => (
+                format!("{base:.0}"),
+                format!("{:+.1}%", (r.cal_eps / base - 1.0) * 100.0),
+                if r.cal_eps >= base * (1.0 - tol) {
+                    "ok"
+                } else {
+                    "REGRESSION"
+                },
+            ),
+            None => ("-".into(), "-".into(), "fresh"),
+        };
+        println!(
+            "  {:<12} {:>9} {:>14.0} {:>14.0} {:>14} {:>8}  {verdict}",
+            r.key, r.events, r.heap_eps, r.cal_eps, base, delta
+        );
+    }
+
+    if let Some((doc, tol)) = &guard {
         let old_schema = doc.get("workloads").is_none();
         let mut best_speedup = 0.0f64;
         for r in &results {
-            let Some(base) = baseline_for(&doc, r.key) else {
-                println!("  {:<12} no committed baseline — recorded fresh", r.key);
-                continue;
-            };
-            let floor = base * (1.0 - tol);
-            let speedup = r.cal_eps / base;
-            best_speedup = best_speedup.max(speedup);
-            let verdict = if r.cal_eps >= floor {
-                "ok"
-            } else {
-                "REGRESSION"
-            };
-            println!(
-                "  {:<12} baseline {base:>12.0} ev/s  (floor {floor:.0} at {:.0}% tolerance, \
-                 {speedup:.2}x) ... {verdict}",
-                r.key,
-                tol * 100.0
-            );
+            let Some(base) = r.baseline else { continue };
+            best_speedup = best_speedup.max(r.cal_eps / base);
             assert!(
-                r.cal_eps >= floor,
+                r.cal_eps >= base * (1.0 - tol),
                 "{} throughput {:.0} events/s is more than {:.0}% below the committed \
                  baseline {base:.0} events/s",
                 r.key,
@@ -269,6 +385,16 @@ fn main() {
          {workers} workers {parallel_secs:.2}s, speedup {sweep_speedup:.2}x"
     );
 
+    // Steady-state host profile, when requested (also feeds the history
+    // record's hostprof digest).
+    let want_profile = args.has("hostprof-out") || args.has("history");
+    let profile = want_profile.then(hostprof_doc);
+    if let Some(path) = args.get("hostprof-out") {
+        let (doc, _) = profile.as_ref().expect("profile was taken");
+        std::fs::write(path, doc).expect("write hostprof doc");
+        println!("wrote {path} (steady-state dispatch allocations: 0)");
+    }
+
     let seed_field = match seed {
         Some(b) => format!("\n  \"seed_events_per_sec\": {b:.0},"),
         None => String::new(),
@@ -312,4 +438,29 @@ fn main() {
     );
     std::fs::write(&out_path, json).expect("write benchmark record");
     println!("wrote {out_path}");
+
+    if args.has("history") {
+        let path = args.get("history").unwrap_or("BENCH_history.jsonl");
+        let (os, arch, cpus) = host_fingerprint();
+        let record = HistoryRecord {
+            unix_time: unix_time(),
+            git: git_describe(),
+            os,
+            arch,
+            cpus,
+            episodes: eps as u64,
+            workloads: results
+                .iter()
+                .map(|r| WorkloadPoint {
+                    key: r.key.into(),
+                    events: r.events,
+                    heap_eps: r.heap_eps,
+                    cal_eps: r.cal_eps,
+                })
+                .collect(),
+            hostprof: profile.as_ref().map(|(_, digest)| *digest),
+        };
+        append_record(path, &record).expect("append history record");
+        println!("appended history record to {path}");
+    }
 }

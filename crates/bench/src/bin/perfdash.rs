@@ -1,0 +1,75 @@
+//! Render the perf-history trajectory and gate on regressions.
+//!
+//! ```sh
+//! cargo run --release -p amo-bench --bin perfdash                     # BENCH_history.jsonl
+//! cargo run --release -p amo-bench --bin perfdash -- --history FILE \
+//!     [--tolerance 0.05] [--window 10] [--out FILE.md]
+//! ```
+//!
+//! Prints a markdown table (one row per workload: latest calendar
+//! events/s, rolling median, delta, sparkline trend, verdict) and
+//! exits nonzero when any workload's newest record fell more than the
+//! tolerance below its rolling median — the CI gate on `perf_smoke
+//! --history` output.
+
+use amo_bench::cli::Args;
+use amo_bench::history::parse_history;
+use amo_bench::perfdash::{render, DEFAULT_TOLERANCE, DEFAULT_WINDOW};
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::parse(&raw);
+    if let Some(e) = args.errors.first() {
+        eprintln!("perfdash: unexpected argument: {e}");
+        eprintln!("usage: perfdash [--history FILE] [--tolerance F] [--window N] [--out FILE.md]");
+        std::process::exit(2);
+    }
+    let path = args.get("history").unwrap_or("BENCH_history.jsonl");
+    let tolerance = args
+        .num("tolerance", DEFAULT_TOLERANCE)
+        .unwrap_or_else(|e| {
+            eprintln!("perfdash: {e}");
+            std::process::exit(2);
+        });
+    let window = args.num("window", DEFAULT_WINDOW).unwrap_or_else(|e| {
+        eprintln!("perfdash: {e}");
+        std::process::exit(2);
+    });
+
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perfdash: {path}: {e}");
+        std::process::exit(2);
+    });
+    let records = parse_history(&text).unwrap_or_else(|e| {
+        eprintln!("perfdash: {path}: {e}");
+        std::process::exit(2);
+    });
+    if records.is_empty() {
+        eprintln!("perfdash: {path}: no records");
+        std::process::exit(2);
+    }
+
+    let dash = render(&records, tolerance, window);
+    match args.get("out") {
+        Some(out) => {
+            std::fs::write(out, &dash.markdown).unwrap_or_else(|e| {
+                eprintln!("perfdash: cannot write {out}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("wrote {out}");
+        }
+        None => print!("{}", dash.markdown),
+    }
+    for v in dash.verdicts.iter().filter(|v| v.regressed) {
+        eprintln!(
+            "perfdash: REGRESSION: {} latest {:.0} ev/s is {:.1}% below the rolling median {:.0}",
+            v.key,
+            v.series.last().copied().unwrap_or(0.0),
+            -v.delta.unwrap_or(0.0) * 100.0,
+            v.median.unwrap_or(0.0),
+        );
+    }
+    if dash.regressed() {
+        std::process::exit(1);
+    }
+}

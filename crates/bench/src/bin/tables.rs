@@ -16,12 +16,12 @@
 //! representative traced AMO barrier (the largest profile size) and
 //! write its Perfetto trace / metrics report.
 
+use amo_bench::Stopwatch;
 use amo_campaign::{artifacts, ArtifactProfile, Campaign};
 use amo_obs::{metrics_json, perfetto_json, validate_perfetto};
 use amo_sync::Mechanism;
 use amo_types::SystemConfig;
 use amo_workloads::{run_barrier_obs, BarrierBench, ObsSpec};
-use std::time::Instant;
 
 /// `--name FILE` flag lookup in the positional argument list.
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -49,6 +49,7 @@ fn emit_representative_obs(
         ObsSpec {
             trace_cap: if trace_out.is_some() { 1 << 20 } else { 0 },
             sample_interval: if metrics_out.is_some() { 500 } else { 0 },
+            hostprof: false,
         },
     );
     let cfg = SystemConfig::with_procs(procs);
@@ -98,7 +99,7 @@ fn main() {
         .collect();
     let want = |name: &str| wanted.is_empty() || wanted.iter().any(|w| *w == name || *w == "all");
 
-    let t0 = Instant::now();
+    let clock = Stopwatch::new();
 
     let mut campaign = Campaign::uncached();
     print!(
@@ -111,8 +112,8 @@ fn main() {
     }
 
     eprintln!(
-        "({} runs regenerated in {:.1?})",
+        "({} runs regenerated in {:.1}s)",
         campaign.counters.unique,
-        t0.elapsed()
+        clock.elapsed_secs()
     );
 }

@@ -1,0 +1,280 @@
+//! The perf-history ledger: `amo-bench-history-v1` records, one JSON
+//! object per line of `BENCH_history.jsonl`.
+//!
+//! Where `BENCH_engine.json` is a single snapshot (the floor the CI
+//! regression guard enforces), the history file is the *trajectory*:
+//! `perf_smoke --history` appends one record per run, and `perfdash`
+//! renders the series and judges the newest point against the rolling
+//! median. Records carry a host fingerprint so a number measured on a
+//! different machine is recognizable as such, and cold-start records
+//! (first run on a host, populated caches absent) are expected to sit
+//! below the warm trend — see EXPERIMENTS.md.
+
+use amo_types::{Json, JsonWriter};
+
+/// One workload's throughput measurement inside a history record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadPoint {
+    /// Record key (`llsc_barrier`, `amo_barrier`, `ticket_lock`).
+    pub key: String,
+    /// Simulated events per run.
+    pub events: u64,
+    /// Reference-heap engine throughput, events/second.
+    pub heap_eps: f64,
+    /// Calendar-queue engine throughput, events/second — the number
+    /// the regression verdicts are computed over.
+    pub cal_eps: f64,
+}
+
+/// Optional hostprof digest attached to a record when the run was also
+/// profiled.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HostProfDigest {
+    /// Profiled wall-clock nanoseconds (steady passes, all workloads).
+    pub wall_ns: u64,
+    /// Exclusive allocations across the `dispatch:*` scopes (the
+    /// steady-state zero-allocation claim; 0 when the claim holds).
+    pub dispatch_self_allocs: u64,
+    /// Whether [`amo_obs::CountingAlloc`] was counting.
+    pub alloc_tracking: bool,
+}
+
+/// One `amo-bench-history-v1` record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistoryRecord {
+    /// Seconds since the Unix epoch when the run finished.
+    pub unix_time: u64,
+    /// `git describe --always --dirty` of the measured tree, or
+    /// `"unknown"` outside a git checkout.
+    pub git: String,
+    /// Host OS (`std::env::consts::OS`).
+    pub os: String,
+    /// Host CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Available hardware parallelism.
+    pub cpus: u64,
+    /// Barrier episodes per run (the suite's sizing knob).
+    pub episodes: u64,
+    /// Per-workload measurements, in suite order.
+    pub workloads: Vec<WorkloadPoint>,
+    /// Hostprof digest, when the run was profiled.
+    pub hostprof: Option<HostProfDigest>,
+}
+
+impl HistoryRecord {
+    /// Serialize as a single JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.kv_str("schema", "amo-bench-history-v1");
+        w.kv_u64("unix_time", self.unix_time);
+        w.kv_str("git", &self.git);
+        w.key("host");
+        w.begin_obj();
+        w.kv_str("os", &self.os);
+        w.kv_str("arch", &self.arch);
+        w.kv_u64("cpus", self.cpus);
+        w.end_obj();
+        w.kv_u64("episodes", self.episodes);
+        w.key("workloads");
+        w.begin_obj();
+        for p in &self.workloads {
+            w.key(&p.key);
+            w.begin_obj();
+            w.kv_u64("events", p.events);
+            w.kv_f64("heap_events_per_sec", p.heap_eps);
+            w.kv_f64("calendar_events_per_sec", p.cal_eps);
+            w.end_obj();
+        }
+        w.end_obj();
+        if let Some(h) = &self.hostprof {
+            w.key("hostprof");
+            w.begin_obj();
+            w.kv_u64("wall_ns", h.wall_ns);
+            w.kv_u64("dispatch_self_allocs", h.dispatch_self_allocs);
+            w.kv_bool("alloc_tracking", h.alloc_tracking);
+            w.end_obj();
+        }
+        w.end_obj();
+        w.finish()
+    }
+
+    /// Parse one JSONL line.
+    pub fn parse_line(line: &str) -> Result<HistoryRecord, String> {
+        let v = Json::parse(line).map_err(|e| format!("history record: {e}"))?;
+        if v.get("schema").and_then(Json::as_str) != Some("amo-bench-history-v1") {
+            return Err("history record: wrong or missing schema tag".into());
+        }
+        let u64_field = |j: &Json, k: &str| {
+            j.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("history record: missing {k}"))
+        };
+        let host = v.get("host").ok_or("history record: missing host")?;
+        let workloads_obj = v
+            .get("workloads")
+            .ok_or("history record: missing workloads")?;
+        let mut workloads = Vec::new();
+        for key in workloads_obj.keys() {
+            let p = workloads_obj.get(key).expect("key came from the object");
+            workloads.push(WorkloadPoint {
+                key: key.to_string(),
+                events: u64_field(p, "events")?,
+                heap_eps: p
+                    .get("heap_events_per_sec")
+                    .and_then(Json::as_f64)
+                    .ok_or("history record: missing heap_events_per_sec")?,
+                cal_eps: p
+                    .get("calendar_events_per_sec")
+                    .and_then(Json::as_f64)
+                    .ok_or("history record: missing calendar_events_per_sec")?,
+            });
+        }
+        if workloads.is_empty() {
+            return Err("history record: no workloads".into());
+        }
+        let hostprof = match v.get("hostprof") {
+            None => None,
+            Some(h) => Some(HostProfDigest {
+                wall_ns: u64_field(h, "wall_ns")?,
+                dispatch_self_allocs: u64_field(h, "dispatch_self_allocs")?,
+                alloc_tracking: h
+                    .get("alloc_tracking")
+                    .and_then(Json::as_bool)
+                    .ok_or("history record: missing alloc_tracking")?,
+            }),
+        };
+        Ok(HistoryRecord {
+            unix_time: u64_field(&v, "unix_time")?,
+            git: v
+                .get("git")
+                .and_then(Json::as_str)
+                .ok_or("history record: missing git")?
+                .to_string(),
+            os: host
+                .get("os")
+                .and_then(Json::as_str)
+                .ok_or("history record: missing host.os")?
+                .to_string(),
+            arch: host
+                .get("arch")
+                .and_then(Json::as_str)
+                .ok_or("history record: missing host.arch")?
+                .to_string(),
+            cpus: u64_field(host, "cpus")?,
+            episodes: u64_field(&v, "episodes")?,
+            workloads,
+            hostprof,
+        })
+    }
+}
+
+/// Parse a whole history file (blank lines ignored). Errors carry the
+/// offending 1-based line number.
+pub fn parse_history(text: &str) -> Result<Vec<HistoryRecord>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(HistoryRecord::parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+/// Append one record to a history file, creating it if absent. The
+/// write is line-atomic in practice (single short `write` call).
+pub fn append_record(path: &str, record: &HistoryRecord) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{}", record.to_line())
+}
+
+/// `git describe --always --dirty`, or `"unknown"` when git or the
+/// repository is unavailable.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// The host fields of a fresh record: `(os, arch, cpus)`.
+pub fn host_fingerprint() -> (String, String, u64) {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    (
+        std::env::consts::OS.to_string(),
+        std::env::consts::ARCH.to_string(),
+        cpus,
+    )
+}
+
+/// Seconds since the Unix epoch.
+pub fn unix_time() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(cal: f64) -> HistoryRecord {
+        HistoryRecord {
+            unix_time: 1_700_000_000,
+            git: "abc1234".into(),
+            os: "linux".into(),
+            arch: "x86_64".into(),
+            cpus: 8,
+            episodes: 1000,
+            workloads: vec![WorkloadPoint {
+                key: "llsc_barrier".into(),
+                events: 1_271_322,
+                heap_eps: 5e6,
+                cal_eps: cal,
+            }],
+            hostprof: Some(HostProfDigest {
+                wall_ns: 123_456_789,
+                dispatch_self_allocs: 0,
+                alloc_tracking: true,
+            }),
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_its_line() {
+        let r = record(9_384_928.0);
+        let parsed = HistoryRecord::parse_line(&r.to_line()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn history_file_parses_with_blank_lines_and_reports_bad_ones() {
+        let text = format!("{}\n\n{}\n", record(1e6).to_line(), record(2e6).to_line());
+        let rs = parse_history(&text).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[1].workloads[0].cal_eps, 2e6);
+
+        let bad = format!("{}\nnot json\n", record(1e6).to_line());
+        let err = parse_history(&bad).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let line = record(1e6).to_line().replace("history-v1", "history-v9");
+        assert!(HistoryRecord::parse_line(&line).is_err());
+    }
+}

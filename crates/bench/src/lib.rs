@@ -1,9 +1,18 @@
-//! Shared helpers for the benchmark harness binaries. The experiment
-//! profiles live in `amo_campaign::ArtifactProfile`; this crate only
-//! keeps the dependency-free CLI parser.
+//! Shared helpers for the benchmark harness binaries: the
+//! dependency-free CLI parser, wall-clock timing, steady-state host
+//! profiling, and the perf-history ledger + dashboard that `perf_smoke
+//! --history` and `perfdash` are built on. The experiment profiles
+//! live in `amo_campaign::ArtifactProfile`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod history;
+pub mod hostprof;
+pub mod perfdash;
+pub mod timing;
+
+pub use timing::{timed, Stopwatch};
 
 /// Minimal command-line parsing for the `experiment` binary: `--name
 /// value` flags and `--bare` switches, no external dependencies.

@@ -1,0 +1,247 @@
+//! Perf-trajectory dashboard: render `BENCH_history.jsonl` as a
+//! markdown table with ASCII sparklines and judge the newest record
+//! against the rolling median.
+//!
+//! The verdict logic is the CI gate: for each workload, the latest
+//! calendar-queue throughput is compared to the median of the previous
+//! (up to `window`) records; falling more than `tolerance` below the
+//! median is a regression and [`Dashboard::regressed`] turns the
+//! `perfdash` exit code nonzero. The median — not the previous point —
+//! is the reference so one noisy record neither raises false alarms
+//! nor moves the bar.
+
+use crate::history::HistoryRecord;
+
+/// Default fractional slowdown tolerated before a point counts as a
+/// regression.
+pub const DEFAULT_TOLERANCE: f64 = 0.05;
+/// Default number of prior records the rolling median looks back over.
+pub const DEFAULT_WINDOW: usize = 10;
+
+/// One workload's row of the dashboard.
+#[derive(Clone, Debug)]
+pub struct WorkloadVerdict {
+    /// Workload key.
+    pub key: String,
+    /// The series of calendar-queue throughputs, oldest first (records
+    /// that lack this workload are skipped).
+    pub series: Vec<f64>,
+    /// Median of the previous `window` points (`None` with < 2 points).
+    pub median: Option<f64>,
+    /// `latest / median - 1`, when a median exists.
+    pub delta: Option<f64>,
+    /// True when the latest point fell more than the tolerance below
+    /// the rolling median.
+    pub regressed: bool,
+}
+
+/// A rendered dashboard plus its verdicts.
+#[derive(Clone, Debug)]
+pub struct Dashboard {
+    /// Markdown document: header, one table row per workload.
+    pub markdown: String,
+    /// Per-workload verdicts, in first-seen order.
+    pub verdicts: Vec<WorkloadVerdict>,
+}
+
+impl Dashboard {
+    /// True when any workload regressed (the CI gate).
+    pub fn regressed(&self) -> bool {
+        self.verdicts.iter().any(|v| v.regressed)
+    }
+}
+
+/// Median of a non-empty slice (mean of the middle pair when even).
+fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("throughputs are finite"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Render a series as Unicode block-element sparkline glyphs, scaled
+/// to the series' own min..max (a flat series renders mid-height).
+pub fn sparkline(series: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let (lo, hi) = series
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &x| {
+            (l.min(x), h.max(x))
+        });
+    series
+        .iter()
+        .map(|&x| {
+            if hi <= lo {
+                GLYPHS[3]
+            } else {
+                let t = (x - lo) / (hi - lo);
+                GLYPHS[((t * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Compute verdicts and render the markdown dashboard.
+pub fn render(records: &[HistoryRecord], tolerance: f64, window: usize) -> Dashboard {
+    // Workload keys in first-seen order across the whole history.
+    let mut keys: Vec<String> = Vec::new();
+    for r in records {
+        for w in &r.workloads {
+            if !keys.contains(&w.key) {
+                keys.push(w.key.clone());
+            }
+        }
+    }
+
+    let mut verdicts = Vec::new();
+    for key in &keys {
+        let series: Vec<f64> = records
+            .iter()
+            .flat_map(|r| r.workloads.iter().filter(|w| &w.key == key))
+            .map(|w| w.cal_eps)
+            .collect();
+        let (median, delta, regressed) = match series.split_last() {
+            Some((latest, prev)) if !prev.is_empty() => {
+                let tail = &prev[prev.len().saturating_sub(window)..];
+                let med = median(tail);
+                let delta = latest / med - 1.0;
+                (Some(med), Some(delta), delta < -tolerance)
+            }
+            _ => (None, None, false),
+        };
+        verdicts.push(WorkloadVerdict {
+            key: key.clone(),
+            series,
+            median,
+            delta,
+            regressed,
+        });
+    }
+
+    let mut md = String::new();
+    md.push_str(&format!(
+        "## Engine throughput trajectory ({} records, tolerance {:.0}%, window {window})\n\n",
+        records.len(),
+        tolerance * 100.0
+    ));
+    if let Some(last) = records.last() {
+        md.push_str(&format!(
+            "Latest: `{}` on {}/{} ({} cpus), {} episodes.\n\n",
+            last.git, last.os, last.arch, last.cpus, last.episodes
+        ));
+    }
+    md.push_str("| workload | latest ev/s | median ev/s | delta | trend | verdict |\n");
+    md.push_str("|---|---:|---:|---:|---|---|\n");
+    for v in &verdicts {
+        let latest = v.series.last().copied().unwrap_or(0.0);
+        let (med, delta, verdict) = match (v.median, v.delta) {
+            (Some(m), Some(d)) => (
+                format!("{m:.0}"),
+                format!("{:+.1}%", d * 100.0),
+                if v.regressed { "REGRESSION" } else { "ok" },
+            ),
+            _ => ("-".into(), "-".into(), "n/a (need ≥ 2 records)"),
+        };
+        md.push_str(&format!(
+            "| {} | {latest:.0} | {med} | {delta} | `{}` | {verdict} |\n",
+            v.key,
+            sparkline(&v.series)
+        ));
+    }
+    Dashboard {
+        markdown: md,
+        verdicts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::WorkloadPoint;
+
+    fn record(points: &[(&str, f64)]) -> HistoryRecord {
+        HistoryRecord {
+            unix_time: 1_700_000_000,
+            git: "abc1234".into(),
+            os: "linux".into(),
+            arch: "x86_64".into(),
+            cpus: 8,
+            episodes: 1000,
+            workloads: points
+                .iter()
+                .map(|(k, eps)| WorkloadPoint {
+                    key: (*k).into(),
+                    events: 1000,
+                    heap_eps: eps / 2.0,
+                    cal_eps: *eps,
+                })
+                .collect(),
+            hostprof: None,
+        }
+    }
+
+    #[test]
+    fn planted_regression_is_flagged_and_steady_series_is_ok() {
+        let mut records: Vec<HistoryRecord> = (0..5)
+            .map(|i| record(&[("llsc_barrier", 1e7 + i as f64), ("ticket_lock", 1.2e7)]))
+            .collect();
+        records.push(record(&[("llsc_barrier", 0.8e7), ("ticket_lock", 1.2e7)]));
+        let dash = render(&records, 0.05, DEFAULT_WINDOW);
+        assert!(dash.regressed());
+        let llsc = &dash.verdicts[0];
+        assert!(llsc.regressed && llsc.delta.unwrap() < -0.05);
+        assert!(!dash.verdicts[1].regressed, "flat series stays ok");
+        assert!(dash.markdown.contains("REGRESSION"));
+
+        // Within tolerance: a 3% dip is noise, not a regression.
+        let mut ok = records.clone();
+        ok.pop();
+        ok.push(record(&[("llsc_barrier", 0.97e7), ("ticket_lock", 1.2e7)]));
+        assert!(!render(&ok, 0.05, DEFAULT_WINDOW).regressed());
+    }
+
+    #[test]
+    fn single_record_renders_without_verdict() {
+        let dash = render(&[record(&[("llsc_barrier", 1e7)])], 0.05, DEFAULT_WINDOW);
+        assert!(!dash.regressed());
+        assert_eq!(dash.verdicts[0].median, None);
+        assert!(dash.markdown.contains("n/a"));
+    }
+
+    #[test]
+    fn median_is_robust_to_one_noisy_record() {
+        // One absurdly fast middle record must not raise the bar.
+        let records: Vec<HistoryRecord> = [1e7, 1e7, 9e7, 1e7, 1.01e7]
+            .iter()
+            .map(|&e| record(&[("llsc_barrier", e)]))
+            .collect();
+        assert!(!render(&records, 0.05, DEFAULT_WINDOW).regressed());
+    }
+
+    #[test]
+    fn window_bounds_the_lookback() {
+        // Ancient slow records outside the window must not drag the
+        // median down and mask a real regression.
+        let mut records: Vec<HistoryRecord> = (0..20)
+            .map(|i| {
+                let eps = if i < 10 { 1e6 } else { 1e7 };
+                record(&[("llsc_barrier", eps)])
+            })
+            .collect();
+        records.push(record(&[("llsc_barrier", 0.9e7)]));
+        let dash = render(&records, 0.05, 5);
+        assert!(dash.regressed(), "10% below the recent median");
+    }
+
+    #[test]
+    fn sparkline_tracks_shape() {
+        assert_eq!(sparkline(&[1.0, 1.0, 1.0]), "▄▄▄");
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+    }
+}

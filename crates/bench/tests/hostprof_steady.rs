@@ -1,0 +1,65 @@
+//! The runtime check behind the "steady-state dispatch allocates
+//! nothing" claim: with [`amo_obs::CountingAlloc`] installed as this
+//! test binary's global allocator, a warmed-up barrier run's dispatch
+//! scopes must report zero allocations — the calendar queue recycles
+//! slab slots, effect buffers are pooled, and L1 fills are tag-only.
+
+use amo_bench::hostprof::profile_steady;
+use amo_obs::{hostprof_json, validate_hostprof, CountingAlloc, HostProfSection};
+use amo_sim::QueueKind;
+use amo_sync::{BarrierKernel, BarrierSpec, Mechanism, VarAlloc};
+use amo_types::{NodeId, ProcId, SystemConfig};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_dispatch_allocates_nothing() {
+    let procs: u16 = 64;
+    let episodes = 8usize;
+    let mut alloc = VarAlloc::new();
+    let spec = BarrierSpec::build(
+        &mut alloc,
+        Mechanism::Amo,
+        NodeId(0),
+        procs,
+        episodes as u32,
+    );
+    let run = profile_steady(
+        SystemConfig::with_procs(procs),
+        QueueKind::Calendar,
+        10_000_000_000,
+        |m, start| {
+            for p in 0..procs {
+                m.install_kernel(
+                    ProcId(p),
+                    Box::new(BarrierKernel::new(spec, vec![200; episodes])),
+                    start,
+                );
+            }
+        },
+    );
+    assert!(
+        run.report.alloc_tracking,
+        "CountingAlloc is installed, so allocation numbers must be real"
+    );
+
+    let doc = hostprof_json(
+        &[("workload", "barrier".into())],
+        &[HostProfSection {
+            name: "amo_barrier",
+            phase: "steady",
+            events: run.events,
+            report: &run.report,
+        }],
+    );
+    let summaries = validate_hostprof(&doc).expect("document must validate");
+    assert_eq!(summaries.len(), 1);
+    assert!(summaries[0].alloc_tracking);
+    assert_eq!(
+        summaries[0].dispatch_self_allocs,
+        0,
+        "steady-state dispatch must not touch the allocator:\n{}",
+        run.report.self_time_table()
+    );
+}

@@ -133,12 +133,23 @@ impl SetAssocCache {
 
     /// Insert (or replace) a block. Returns the victim if one was evicted.
     pub fn insert(&mut self, block: u64, state: LineState, data: BlockData) -> Option<Evicted> {
-        assert!(state.is_valid(), "cannot insert an Invalid line");
         assert_eq!(
             data.len() as u64 * 8,
             self.cfg.line_bytes,
             "data size must match line size"
         );
+        self.insert_line(block, state, data)
+    }
+
+    /// Insert (or replace) a block with no data — for tag-only levels
+    /// (the L1 latency filter) whose values always come from the level
+    /// below. Allocation-free: an empty [`BlockData`] owns no storage.
+    pub fn insert_tag(&mut self, block: u64, state: LineState) -> Option<Evicted> {
+        self.insert_line(block, state, BlockData::empty())
+    }
+
+    fn insert_line(&mut self, block: u64, state: LineState, data: BlockData) -> Option<Evicted> {
+        assert!(state.is_valid(), "cannot insert an Invalid line");
         self.tick += 1;
         let tick = self.tick;
         if let Some(line) = self.find(block) {

@@ -87,9 +87,9 @@ impl CacheHierarchy {
     }
 
     fn fill_l1(&mut self, l1b: u64, state: LineState) {
-        let words = (self.l1_line / 8) as usize;
-        // Tag-only: the L1 data is never read, values come from L2.
-        self.l1.insert(l1b, state, BlockData::zeroed(words));
+        // Tag-only: the L1 data is never read, values come from L2, so
+        // the fill stores no block (keeps the steady-state allocation-free).
+        self.l1.insert_tag(l1b, state);
     }
 
     /// Probe for a store of `value`. On a hit with write permission the

@@ -128,76 +128,52 @@ const WIDTH_SHIFT: u32 = 4;
 /// round trips, so the overflow list stays cold except for timeouts.
 const DEFAULT_BUCKETS: usize = 512;
 
-/// One timing-wheel bucket. `items[head..]` are the live entries,
-/// sorted ascending by `(when, seq)`; slots before `head` were popped
-/// (taken, left as `None`). The `Option` wrapper lets a front pop move
-/// the entry out in O(1) without disturbing the sorted tail.
-struct Bucket<E> {
-    items: Vec<Option<Entry<E>>>,
-    head: usize,
+/// Sentinel slab index: end of a chain / empty bucket / empty free list.
+const NIL: u32 = u32::MAX;
+
+/// One slab slot: a scheduled entry threaded into a bucket chain, or —
+/// when `event` is `None` — a recycled slot threaded into the free list.
+struct Slot<E> {
+    when: Cycle,
+    seq: u64,
+    /// Next slot in this bucket's chain (or in the free list).
+    next: u32,
+    event: Option<E>,
 }
 
-impl<E> Bucket<E> {
-    const fn new() -> Self {
-        Bucket {
-            items: Vec::new(),
-            head: 0,
-        }
-    }
-
+impl<E> Slot<E> {
     #[inline]
-    fn is_drained(&self) -> bool {
-        self.head >= self.items.len()
-    }
-
-    #[inline]
-    fn front(&self) -> Option<&Entry<E>> {
-        self.items.get(self.head).map(|s| {
-            s.as_ref()
-                .expect("live bucket region holds only occupied slots")
-        })
-    }
-
-    /// Insert preserving sorted order. Because sequence numbers grow
-    /// monotonically, the common schedule-at-now case appends.
-    fn insert(&mut self, entry: Entry<E>) {
-        let key = entry.key();
-        let live = &self.items[self.head..];
-        if live
-            .last()
-            .is_none_or(|last| last.as_ref().expect("live slot").key() < key)
-        {
-            self.items.push(Some(entry));
-            return;
-        }
-        let pos = self.head + live.partition_point(|s| s.as_ref().expect("live slot").key() < key);
-        self.items.insert(pos, Some(entry));
-    }
-
-    /// Remove and return the earliest remaining entry.
-    #[inline]
-    fn take_front(&mut self) -> Entry<E> {
-        let e = self.items[self.head]
-            .take()
-            .expect("take_front on drained bucket");
-        self.head += 1;
-        if self.head == self.items.len() {
-            self.items.clear();
-            self.head = 0;
-        }
-        e
+    fn key(&self) -> (Cycle, u64) {
+        (self.when, self.seq)
     }
 }
 
 /// A two-level calendar/ladder future-event list.
+///
+/// In-window entries live in one shared slab and each bucket is an
+/// intrusive singly-linked chain of slab indices (head/tail per bucket).
+/// The slab's length tracks the *peak* pending-event count and freed
+/// slots recycle through a free list, so once a workload has warmed the
+/// queue, steady-state schedule/pop traffic never touches the
+/// allocator — per-bucket growable storage would instead re-grow
+/// whenever the window's tick→bucket mapping shifted load onto a
+/// previously cold bucket.
 struct CalendarQueue<E> {
-    /// Timing-wheel buckets for the near window.
-    buckets: Vec<Bucket<E>>,
+    /// Entry slab; bucket chains and the free list index into it.
+    slots: Vec<Slot<E>>,
+    /// Head of the free-slot list (`NIL` when empty).
+    free: u32,
+    /// Per-bucket chain head (slab index, `NIL` when the bucket is
+    /// empty). Chains are sorted ascending by `(when, seq)`.
+    head: Vec<u32>,
+    /// Per-bucket chain tail, for O(1) appends (the common case:
+    /// sequence numbers grow monotonically).
+    tail: Vec<u32>,
     /// One bit per bucket: set while the bucket has live entries. Pop
     /// finds the earliest bucket with a wrapped find-next-set scan
     /// (≤ `buckets/64` word reads) instead of walking empty buckets.
     occupied: Vec<u64>,
-    /// `buckets.len() - 1`; bucket count is a power of two.
+    /// `nbuckets - 1`; bucket count is a power of two.
     mask: usize,
     /// First tick (`when >> WIDTH_SHIFT`) of the near window.
     win_start_tick: u64,
@@ -221,7 +197,10 @@ impl<E> CalendarQueue<E> {
     fn with_buckets(nbuckets: usize) -> Self {
         assert!(nbuckets.is_power_of_two() && nbuckets >= 64);
         CalendarQueue {
-            buckets: (0..nbuckets).map(|_| Bucket::new()).collect(),
+            slots: Vec::new(),
+            free: NIL,
+            head: vec![NIL; nbuckets],
+            tail: vec![NIL; nbuckets],
             occupied: vec![0; nbuckets / 64],
             mask: nbuckets - 1,
             win_start_tick: 0,
@@ -231,6 +210,88 @@ impl<E> CalendarQueue<E> {
             far_min_when: Cycle::MAX,
             len: 0,
         }
+    }
+
+    /// Claim a slab slot for `entry`, recycling a freed one if possible.
+    #[inline]
+    fn alloc_slot(&mut self, entry: Entry<E>) -> u32 {
+        let Entry { when, seq, event } = entry;
+        if self.free != NIL {
+            let i = self.free;
+            let s = &mut self.slots[i as usize];
+            self.free = s.next;
+            s.when = when;
+            s.seq = seq;
+            s.next = NIL;
+            s.event = Some(event);
+            i
+        } else {
+            let i = u32::try_from(self.slots.len()).expect("slab indices fit in u32");
+            self.slots.push(Slot {
+                when,
+                seq,
+                next: NIL,
+                event: Some(event),
+            });
+            i
+        }
+    }
+
+    /// Release slot `i` to the free list, returning its event.
+    #[inline]
+    fn free_slot(&mut self, i: u32) -> E {
+        let s = &mut self.slots[i as usize];
+        let event = s.event.take().expect("freeing an occupied slot");
+        s.next = self.free;
+        self.free = i;
+        event
+    }
+
+    /// Thread slot `i` into bucket `idx`'s chain, preserving `(when,
+    /// seq)` order. The common schedule-at-now case appends at the tail.
+    fn chain_insert(&mut self, idx: usize, i: u32) {
+        let key = self.slots[i as usize].key();
+        let t = self.tail[idx];
+        if t == NIL {
+            self.head[idx] = i;
+            self.tail[idx] = i;
+            return;
+        }
+        if self.slots[t as usize].key() < key {
+            self.slots[t as usize].next = i;
+            self.tail[idx] = i;
+            return;
+        }
+        // Out-of-order within the bucket (an earlier in-tick time
+        // arriving after a later one): walk to the insertion point.
+        let mut prev = NIL;
+        let mut cur = self.head[idx];
+        while cur != NIL && self.slots[cur as usize].key() < key {
+            prev = cur;
+            cur = self.slots[cur as usize].next;
+        }
+        self.slots[i as usize].next = cur;
+        if prev == NIL {
+            self.head[idx] = i;
+        } else {
+            self.slots[prev as usize].next = i;
+        }
+        // The tail is unchanged: the tail key compared >= `key`, so the
+        // walk stopped at or before it.
+    }
+
+    /// Unlink and free bucket `idx`'s earliest entry.
+    #[inline]
+    fn chain_take_front(&mut self, idx: usize) -> (Cycle, E) {
+        let i = self.head[idx];
+        debug_assert_ne!(i, NIL, "take_front on an empty bucket");
+        let next = self.slots[i as usize].next;
+        self.head[idx] = next;
+        if next == NIL {
+            self.tail[idx] = NIL;
+        }
+        let when = self.slots[i as usize].when;
+        (when, self.free_slot(i))
     }
 
     #[inline]
@@ -298,7 +359,8 @@ impl<E> CalendarQueue<E> {
                 self.cursor = off;
             }
             let idx = self.bucket_index(tick);
-            self.buckets[idx].insert(entry);
+            let slot = self.alloc_slot(entry);
+            self.chain_insert(idx, slot);
             self.set_occupied(idx);
         } else {
             self.far_min_when = self.far_min_when.min(when);
@@ -318,13 +380,12 @@ impl<E> CalendarQueue<E> {
             let start = self.bucket_index(self.win_start_tick + self.cursor as u64);
             if let Some(idx) = self.next_occupied_from(start) {
                 self.cursor = idx.wrapping_sub(self.bucket_index(self.win_start_tick)) & self.mask;
-                let bucket = &mut self.buckets[idx];
-                let e = bucket.take_front();
-                if bucket.is_drained() {
+                let (when, event) = self.chain_take_front(idx);
+                if self.head[idx] == NIL {
                     self.clear_occupied(idx);
                 }
                 self.len -= 1;
-                return Some((e.when, e.event));
+                return Some((when, event));
             }
             // Near window exhausted: jump it to the earliest far event
             // and redistribute whatever now fits.
@@ -360,16 +421,14 @@ impl<E> CalendarQueue<E> {
             let start = self.bucket_index(self.win_start_tick + self.cursor as u64);
             if let Some(idx) = self.next_occupied_from(start) {
                 self.cursor = idx.wrapping_sub(self.bucket_index(self.win_start_tick)) & self.mask;
-                let bucket = &mut self.buckets[idx];
-                let first = bucket.take_front();
-                let when = first.when;
-                out.push(first.event);
+                let (when, event) = self.chain_take_front(idx);
+                out.push(event);
                 self.len -= 1;
-                while bucket.front().is_some_and(|e| e.when == when) {
-                    out.push(bucket.take_front().event);
+                while self.head[idx] != NIL && self.slots[self.head[idx] as usize].when == when {
+                    out.push(self.chain_take_front(idx).1);
                     self.len -= 1;
                 }
-                if bucket.is_drained() {
+                if self.head[idx] == NIL {
                     self.clear_occupied(idx);
                 }
                 return Some(when);
@@ -396,7 +455,8 @@ impl<E> CalendarQueue<E> {
             if tick - win_start <= span {
                 let entry = self.far.swap_remove(i);
                 let idx = self.bucket_index(tick);
-                self.buckets[idx].insert(entry);
+                let slot = self.alloc_slot(entry);
+                self.chain_insert(idx, slot);
                 self.set_occupied(idx);
             } else {
                 next_min = next_min.min(self.far[i].when);
@@ -415,7 +475,7 @@ impl<E> CalendarQueue<E> {
         }
         let start = self.bucket_index(self.win_start_tick + self.cursor as u64);
         if let Some(idx) = self.next_occupied_from(start) {
-            return self.buckets[idx].front().map(|e| e.when);
+            return Some(self.slots[self.head[idx] as usize].when);
         }
         debug_assert!(self.far_min_when != Cycle::MAX);
         Some(self.far_min_when)
@@ -485,7 +545,11 @@ impl<E> EventQueue<E> {
                 // chains stay short; clamp to keep per-machine memory
                 // bounded during wide parallel sweeps.
                 let nbuckets = (cap / 4).next_power_of_two().clamp(DEFAULT_BUCKETS, 4096);
-                Imp::Calendar(CalendarQueue::with_buckets(nbuckets))
+                let mut q = CalendarQueue::with_buckets(nbuckets);
+                // Pre-size the slab for the expected pending-event peak
+                // so even the first pass through a workload rarely grows.
+                q.slots.reserve(cap);
+                Imp::Calendar(q)
             }
             QueueKind::Heap => Imp::Heap(HeapQueue::with_capacity(cap)),
         };

@@ -28,11 +28,18 @@
 //!   the time series, for `--metrics-json`.
 //! * [`jsonv::Json`] — a small JSON value parser used by tests and CI to
 //!   validate everything this crate emits.
+//! * [`hostprof`] — *host-side* self-profiling: the same
+//!   compile-time-gated pattern applied to the simulator's own
+//!   wall-clock and allocations (`amo-hostprof-v1` reports).
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one sanctioned exception is the
+// `GlobalAlloc` impl in `hostprof` (an unsafe trait by definition),
+// which carries its own narrowly-scoped `#[allow(unsafe_code)]`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod critpath;
+pub mod hostprof;
 pub mod jsonv;
 pub mod perfetto;
 pub mod report;
@@ -41,6 +48,11 @@ pub mod tracer;
 
 pub use critpath::{
     analyze, CritPathError, CritPathReport, EpisodePath, Stage, Workload, ALL_STAGES, STAGES,
+};
+pub use hostprof::{
+    alloc_counters, hostprof_json, validate_hostprof, CountingAlloc, EdgeReport, HostProf,
+    HostProfReport, HostProfSection, HostProfSectionSummary, HostProfiler, NopHostProf, Scope,
+    ScopeReport,
 };
 pub use jsonv::Json;
 pub use perfetto::{perfetto_json, text_dump, validate_perfetto, PerfettoSummary};

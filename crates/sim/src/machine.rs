@@ -9,6 +9,7 @@ use amo_engine::{Clock, EventQueue, QueueKind};
 use amo_faults::FaultPlan;
 use amo_noc::fabric::NodeTraffic;
 use amo_noc::{Delivery, Fabric};
+use amo_obs::hostprof::{HostProf, HostProfReport, NopHostProf, Scope};
 use amo_obs::timeseries::{NodeSample, Tick, TimeSeries};
 use amo_obs::{NopTracer, TraceBuf, TraceEvent, TraceKind, Tracer};
 use amo_types::{
@@ -144,7 +145,7 @@ impl RunResult {
 /// assert!(result.all_finished);
 /// assert!(m.stats().total_msgs() > 0);
 /// ```
-pub struct Machine<T: Tracer = NopTracer> {
+pub struct Machine<T: Tracer = NopTracer, P: HostProf = NopHostProf> {
     cfg: SystemConfig,
     clock: Clock,
     queue: EventQueue<Event>,
@@ -185,6 +186,12 @@ pub struct Machine<T: Tracer = NopTracer> {
     /// `amo-obs` for the contract. [`Machine::with_tracer`] swaps in a
     /// recording implementation.
     tracer: T,
+    /// The host-profiling switch: the same compile-time pattern as the
+    /// tracer, but attributing the simulator's *own* wall-clock and
+    /// allocations (`if P::ENABLED { self.prof.enter(..) }`). The
+    /// default [`NopHostProf`] folds every hook away;
+    /// [`Machine::with_parts`] swaps in `amo_obs::HostProfiler`.
+    prof: P,
     /// Time-series sampling cadence; 0 until enabled.
     sample_interval: Cycle,
     /// Next sampling boundary (`Cycle::MAX` = sampling off, so the run
@@ -254,6 +261,16 @@ impl<T: Tracer> Machine<T> {
     /// is switched on here so issue→completion spans reach the trace;
     /// the plain constructors leave it off.
     pub fn with_tracer(cfg: SystemConfig, kind: QueueKind, tracer: T) -> Self {
+        Machine::with_parts(cfg, kind, tracer, NopHostProf)
+    }
+}
+
+impl<T: Tracer, P: HostProf> Machine<T, P> {
+    /// Build a machine with both instrumentation switches explicit: a
+    /// tracer for simulated-time observability and a host profiler for
+    /// wall-clock/allocation attribution (`amo_obs::HostProfiler`).
+    /// Either can be the zero-sized nop.
+    pub fn with_parts(cfg: SystemConfig, kind: QueueKind, tracer: T, prof: P) -> Self {
         cfg.validate();
         let nodes = cfg.num_nodes();
         let mut procs: Vec<Processor> = (0..cfg.num_procs)
@@ -293,6 +310,7 @@ impl<T: Tracer> Machine<T> {
             amu_eff_pool: Vec::new(),
             dir_act_pool: Vec::new(),
             tracer,
+            prof,
             sample_interval: 0,
             next_sample: Cycle::MAX,
             timeseries: None,
@@ -336,6 +354,26 @@ impl<T: Tracer> Machine<T> {
     /// Mutable access to the attached tracer (e.g. to read drop counts).
     pub fn tracer_mut(&mut self) -> &mut T {
         &mut self.tracer
+    }
+
+    /// Mutable access to the attached host profiler (e.g. to `reset()`
+    /// it between a warm-up run and the steady-state run it profiles).
+    pub fn profiler_mut(&mut self) -> &mut P {
+        &mut self.prof
+    }
+
+    /// Drain the accumulated host profile, if the profiler keeps one
+    /// (`None` for [`NopHostProf`]).
+    pub fn take_hostprof(&mut self) -> Option<HostProfReport> {
+        self.prof.take_report()
+    }
+
+    /// Clear the recorded `Op::Mark` history, retaining the buffer's
+    /// capacity. Used between a warm-up run and a profiled steady-state
+    /// run so the mark sink doesn't regrow (and re-allocate) from
+    /// scratch.
+    pub fn clear_marks(&mut self) {
+        self.marks.clear();
     }
 
     /// Attach a schedule tape: every delivery-layer choice (reorder
@@ -509,6 +547,17 @@ impl<T: Tracer> Machine<T> {
     /// typed fault aborts the run (reported in [`RunResult::error`],
     /// never a panic). Returns timing and completion information.
     pub fn run(&mut self, max_cycles: Cycle) -> RunResult {
+        if P::ENABLED {
+            self.prof.enter(Scope::Run);
+        }
+        let res = self.run_inner(max_cycles);
+        if P::ENABLED {
+            self.prof.exit(Scope::Run);
+        }
+        res
+    }
+
+    fn run_inner(&mut self, max_cycles: Cycle) -> RunResult {
         let mut events = 0u64;
         let mut hit_limit = false;
         // Outer loop refills the same-cycle batch; the inner loop
@@ -518,27 +567,45 @@ impl<T: Tracer> Machine<T> {
         // dispatch order is bit-identical to per-event popping.
         'run: loop {
             if self.batch.is_empty() {
-                let Some(next) = self.queue.peek_time() else {
+                if P::ENABLED {
+                    self.prof.enter(Scope::Drain);
+                }
+                let refilled = match self.queue.peek_time() {
+                    None => None,
+                    Some(next) if next > max_cycles => {
+                        hit_limit = true;
+                        None
+                    }
+                    Some(next) => {
+                        if self.batched {
+                            self.queue.pop_batch_into(&mut self.batch);
+                            self.batch.reverse();
+                        } else {
+                            // Forced per-event path: a one-event
+                            // "batch", kept for differential determinism
+                            // testing against the batched drain.
+                            let (_, ev) = self.queue.pop().expect("peeked event");
+                            self.batch.push(ev);
+                        }
+                        Some(next)
+                    }
+                };
+                if P::ENABLED {
+                    self.prof.exit(Scope::Drain);
+                }
+                let Some(next) = refilled else {
                     break;
                 };
-                if next > max_cycles {
-                    hit_limit = true;
-                    break;
-                }
-                if self.batched {
-                    self.queue.pop_batch_into(&mut self.batch);
-                    self.batch.reverse();
-                } else {
-                    // Forced per-event path: a one-event "batch", kept
-                    // for differential determinism testing against the
-                    // batched drain.
-                    let (_, ev) = self.queue.pop().expect("peeked event");
-                    self.batch.push(ev);
-                }
                 self.batch_when = next;
                 self.clock.advance_to(next);
                 if next >= self.next_sample {
+                    if P::ENABLED {
+                        self.prof.enter(Scope::Sample);
+                    }
                     self.sample_now(next);
+                    if P::ENABLED {
+                        self.prof.exit(Scope::Sample);
+                    }
                 }
             }
             let when = self.batch_when;
@@ -547,8 +614,15 @@ impl<T: Tracer> Machine<T> {
                 if let Some(t) = self.trace.as_mut() {
                     t.push(format!("{when}: {ev:?}"));
                 }
-                self.event_counts[ev.index()] += 1;
+                let idx = ev.index();
+                self.event_counts[idx] += 1;
+                if P::ENABLED {
+                    self.prof.enter(Scope::dispatch(idx));
+                }
                 self.dispatch(ev, when);
+                if P::ENABLED {
+                    self.prof.exit(Scope::dispatch(idx));
+                }
                 if T::ENABLED {
                     if let Some(v) = self.tracer.take_violation() {
                         self.pending_violation = Some(v.detail);
@@ -590,13 +664,14 @@ impl<T: Tracer> Machine<T> {
             }
         }
         self.collect_cache_stats();
-        let finished: Vec<Option<Cycle>> = self
-            .procs
-            .iter()
-            .zip(&self.installed)
-            .filter(|(_, inst)| **inst)
-            .map(|(p, _)| p.finished_at())
-            .collect();
+        let mut finished: Vec<Option<Cycle>> = Vec::with_capacity(self.procs.len());
+        finished.extend(
+            self.procs
+                .iter()
+                .zip(&self.installed)
+                .filter(|(_, inst)| **inst)
+                .map(|(p, _)| p.finished_at()),
+        );
         let all_finished = finished.iter().all(|f| f.is_some());
         if self.watchdog_window > 0 && self.pending_fault.is_none() && !hit_limit && !all_finished {
             let unfinished = finished.iter().filter(|f| f.is_none()).count() as u32;
@@ -706,6 +781,9 @@ impl<T: Tracer> Machine<T> {
         };
         let txn_before = self.stats.dir_transactions;
         self.dispatch_inner(ev, now);
+        if P::ENABLED {
+            self.prof.enter(Scope::TracerHooks);
+        }
         if let Some(node) = ev_node {
             let retired = self.stats.dir_transactions - txn_before;
             if retired > 0 {
@@ -742,6 +820,9 @@ impl<T: Tracer> Machine<T> {
                 );
             }
             self.reclaim_buf = reclaims;
+        }
+        if P::ENABLED {
+            self.prof.exit(Scope::TracerHooks);
         }
     }
 
@@ -808,24 +889,39 @@ impl<T: Tracer> Machine<T> {
                 let words = self.cfg.l2.line_words();
                 let data = self.hubs[node.index()].memory.read_block(block, words);
                 let mut actions = self.dir_act_pool.pop().unwrap_or_default();
+                if P::ENABLED {
+                    self.prof.enter(Scope::DirProtocol);
+                }
                 self.hubs[node.index()].directory.dram_done_into(
                     block,
                     data,
                     &mut self.stats,
                     &mut actions,
                 );
+                if P::ENABLED {
+                    self.prof.exit(Scope::DirProtocol);
+                }
                 self.run_dir_actions(node, &mut actions, now);
                 self.dir_act_pool.push(actions);
             }
             Event::AmuWake(node) => {
                 let mut eff = self.amu_eff_pool.pop().unwrap_or_default();
+                if P::ENABLED {
+                    self.prof.enter(Scope::AmuExec);
+                }
                 self.hubs[node.index()]
                     .amu
                     .advance_into(now, &mut self.stats, &mut eff);
+                if P::ENABLED {
+                    self.prof.exit(Scope::AmuExec);
+                }
                 self.run_amu_effects(node, &mut eff, now);
                 self.amu_eff_pool.push(eff);
             }
             Event::AmuMemValue(node, token, addr) => {
+                if P::ENABLED {
+                    self.prof.enter(Scope::AmuExec);
+                }
                 let value = self.hubs[node.index()].memory.read_word(addr);
                 let mut eff = self.amu_eff_pool.pop().unwrap_or_default();
                 if let Err(err) = self.hubs[node.index()].amu.mem_value_into(
@@ -837,6 +933,9 @@ impl<T: Tracer> Machine<T> {
                 ) {
                     self.pending_fault
                         .get_or_insert((SimErrorKind::AmuProtocol { node, err }, now));
+                }
+                if P::ENABLED {
+                    self.prof.exit(Scope::AmuExec);
                 }
                 self.run_amu_effects(node, &mut eff, now);
                 self.amu_eff_pool.push(eff);
@@ -878,9 +977,15 @@ impl<T: Tracer> Machine<T> {
         let browned = self.faults.brownouts_enabled() && self.faults.amu_browned_out(node.0, now);
         let ok = !browned && {
             let mut eff = self.amu_eff_pool.pop().unwrap_or_default();
+            if P::ENABLED {
+                self.prof.enter(Scope::AmuExec);
+            }
             let ok = self.hubs[node.index()]
                 .amu
                 .submit_into(op, now, &mut self.stats, &mut eff);
+            if P::ENABLED {
+                self.prof.exit(Scope::AmuExec);
+            }
             self.run_amu_effects(node, &mut eff, now);
             self.amu_eff_pool.push(eff);
             ok
@@ -1024,6 +1129,9 @@ impl<T: Tracer> Machine<T> {
     /// A directory-bound message cleared the occupancy pipeline.
     fn dir_process(&mut self, node: NodeId, payload: Payload, now: Cycle) {
         let mut actions = self.dir_act_pool.pop().unwrap_or_default();
+        if P::ENABLED {
+            self.prof.enter(Scope::DirProtocol);
+        }
         let hub = &mut self.hubs[node.index()];
         match payload {
             Payload::GetS {
@@ -1081,11 +1189,17 @@ impl<T: Tracer> Machine<T> {
                 ));
             }
         }
+        if P::ENABLED {
+            self.prof.exit(Scope::DirProtocol);
+        }
         self.run_dir_actions(node, &mut actions, now);
         self.dir_act_pool.push(actions);
     }
 
     fn run_dir_actions(&mut self, node: NodeId, actions: &mut Vec<DirAction>, now: Cycle) {
+        if P::ENABLED {
+            self.prof.enter(Scope::DirProtocol);
+        }
         for action in actions.drain(..) {
             match action {
                 DirAction::ToProc { proc, payload } => {
@@ -1106,6 +1220,9 @@ impl<T: Tracer> Machine<T> {
                     } else {
                         (0, 0)
                     };
+                    if P::ENABLED {
+                        self.prof.enter(Scope::NocSend);
+                    }
                     let arrival = self.fabric.send(
                         now,
                         node,
@@ -1114,6 +1231,9 @@ impl<T: Tracer> Machine<T> {
                         MsgEndpoint::Hub,
                         &mut self.stats,
                     );
+                    if P::ENABLED {
+                        self.prof.exit(Scope::NocSend);
+                    }
                     if T::ENABLED {
                         self.trace_link_retry(node, now, retx);
                         let bytes = payload.size_bytes(&self.cfg.network);
@@ -1151,6 +1271,9 @@ impl<T: Tracer> Machine<T> {
                 }
                 DirAction::FineValue { token, addr, value } => {
                     let mut eff = self.amu_eff_pool.pop().unwrap_or_default();
+                    if P::ENABLED {
+                        self.prof.enter(Scope::AmuExec);
+                    }
                     if let Err(err) = self.hubs[node.index()].amu.fine_value_into(
                         token,
                         addr,
@@ -1162,14 +1285,23 @@ impl<T: Tracer> Machine<T> {
                         self.pending_fault
                             .get_or_insert((SimErrorKind::AmuProtocol { node, err }, now));
                     }
+                    if P::ENABLED {
+                        self.prof.exit(Scope::AmuExec);
+                    }
                     self.run_amu_effects(node, &mut eff, now);
                     self.amu_eff_pool.push(eff);
                 }
             }
         }
+        if P::ENABLED {
+            self.prof.exit(Scope::DirProtocol);
+        }
     }
 
     fn run_amu_effects(&mut self, node: NodeId, effects: &mut Vec<AmuEffect>, now: Cycle) {
+        if P::ENABLED {
+            self.prof.enter(Scope::AmuExec);
+        }
         for eff in effects.drain(..) {
             match eff {
                 AmuEffect::ReplyAt {
@@ -1243,6 +1375,9 @@ impl<T: Tracer> Machine<T> {
                 }
             }
         }
+        if P::ENABLED {
+            self.prof.exit(Scope::AmuExec);
+        }
     }
 
     /// Emit a [`TraceKind::LinkRetry`] instant if the send that just
@@ -1270,9 +1405,15 @@ impl<T: Tracer> Machine<T> {
         } else {
             (0, 0)
         };
+        if P::ENABLED {
+            self.prof.enter(Scope::NocSend);
+        }
         let delivery =
             self.fabric
                 .send_delivery(now, from, dst, &payload, MsgEndpoint::Proc, &mut self.stats);
+        if P::ENABLED {
+            self.prof.exit(Scope::NocSend);
+        }
         let arrival = delivery.primary();
         if T::ENABLED {
             self.trace_link_retry(from, now, retx);
@@ -1335,6 +1476,9 @@ impl<T: Tracer> Machine<T> {
                     } else {
                         (0, 0)
                     };
+                    if P::ENABLED {
+                        self.prof.enter(Scope::NocSend);
+                    }
                     let delivery = self.fabric.send_delivery(
                         t,
                         src,
@@ -1343,6 +1487,9 @@ impl<T: Tracer> Machine<T> {
                         MsgEndpoint::Proc,
                         &mut self.stats,
                     );
+                    if P::ENABLED {
+                        self.prof.exit(Scope::NocSend);
+                    }
                     let arrival = delivery.primary();
                     if T::ENABLED {
                         self.trace_link_retry(src, t, retx);
@@ -1571,6 +1718,84 @@ mod tests {
             RingTracer::new(1 << 12),
         ));
         assert_eq!(plain, traced, "tracing must not perturb timing");
+    }
+
+    #[test]
+    fn dispatch_scope_names_match_event_names() {
+        // The hostprof dispatch scopes are declared in amo-obs, blind to
+        // this crate's private Event enum; this pins the correspondence
+        // (count, order, and names) so neither side can drift.
+        assert_eq!(amo_obs::hostprof::DISPATCH_SCOPES, Event::COUNT);
+        for (i, name) in Event::NAMES.iter().enumerate() {
+            assert_eq!(
+                Scope::dispatch(i).name(),
+                format!("dispatch:{name}"),
+                "dispatch scope {i} does not match event variant {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn profiled_and_plain_runs_produce_identical_machines() {
+        use amo_obs::hostprof::HostProfiler;
+        fn drive<P: HostProf>(
+            mut m: Machine<NopTracer, P>,
+        ) -> (Cycle, u64, String, Machine<NopTracer, P>) {
+            for p in 0..8u16 {
+                let a = var(p % 2, 0x40 * (p as u64 + 1));
+                let (k, _) = Script::new(vec![
+                    Op::AtomicRmw {
+                        kind: AmoKind::FetchAdd,
+                        addr: a,
+                        operand: 1,
+                    };
+                    3
+                ]);
+                m.install_kernel(ProcId(p), Box::new(k), 0);
+            }
+            let res = m.run(1_000_000);
+            assert!(res.all_finished);
+            let stats = format!("{:?}", m.stats());
+            (res.end, res.events, stats, m)
+        }
+        let (pe, pn, ps, _) = drive(Machine::new(SystemConfig::with_procs(8)));
+        let (qe, qn, qs, mut m) = drive(Machine::with_parts(
+            SystemConfig::with_procs(8),
+            QueueKind::Calendar,
+            NopTracer,
+            HostProfiler::new(),
+        ));
+        assert_eq!((pe, pn, ps), (qe, qn, qs), "profiling must be passive");
+        let report = m.take_hostprof().expect("profiler keeps a report");
+        // Every dispatched event was wrapped in exactly one dispatch
+        // scope entry.
+        let dispatch_count: u64 = report
+            .scopes
+            .iter()
+            .filter(|s| s.scope.is_dispatch())
+            .map(|s| s.count)
+            .sum();
+        assert_eq!(dispatch_count, qn, "one dispatch scope entry per event");
+        // The run scope is the single root, and self-times telescope to
+        // the profiled wall-clock within rounding.
+        let run = report
+            .scopes
+            .iter()
+            .find(|s| s.scope == Scope::Run)
+            .expect("run scope present");
+        assert_eq!(run.count, 1);
+        assert_eq!(report.wall_ns, run.total_ns);
+        let self_sum: u64 = report
+            .scopes
+            .iter()
+            .map(amo_obs::hostprof::ScopeReport::self_ns)
+            .sum();
+        let tolerance = (report.wall_ns / 1000).max(10_000);
+        assert!(
+            self_sum.abs_diff(report.wall_ns) <= tolerance,
+            "self-time sum {self_sum} vs wall {}",
+            report.wall_ns
+        );
     }
 
     #[test]

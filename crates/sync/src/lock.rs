@@ -389,7 +389,10 @@ impl ArrayLockSpec {
 
     /// Program initialization: slot 0 starts granted (the lock is free).
     /// Must be applied to the machine before the run.
-    pub fn init<T: amo_obs::Tracer>(&self, machine: &mut amo_sim::Machine<T>) {
+    pub fn init<T: amo_obs::Tracer, P: amo_obs::HostProf>(
+        &self,
+        machine: &mut amo_sim::Machine<T, P>,
+    ) {
         machine.init_word(self.flags[0], 1);
     }
 

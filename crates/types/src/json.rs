@@ -135,6 +135,12 @@ impl JsonWriter {
         self.str_val(v);
     }
 
+    /// `"k": v` with a boolean value.
+    pub fn kv_bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.bool_val(v);
+    }
+
     /// Finish and return the rendered JSON.
     pub fn finish(self) -> String {
         debug_assert!(self.stack.is_empty(), "unclosed JSON container");

@@ -59,6 +59,15 @@ impl Json {
         }
     }
 
+    /// The member names in insertion order, if this is an object.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        let members = match self {
+            Json::Obj(m) => m.as_slice(),
+            _ => &[],
+        };
+        members.iter().map(|(k, _)| k.as_str())
+    }
+
     /// The string contents, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -25,12 +25,19 @@ impl BlockData {
         BlockData(vec![0; words].into_boxed_slice())
     }
 
+    /// A zero-length block. Allocation-free (an empty boxed slice holds
+    /// no heap storage) — used by tag-only cache levels whose data is
+    /// never read.
+    pub fn empty() -> Self {
+        BlockData(Box::from([]))
+    }
+
     /// Word count of the block.
     pub fn len(&self) -> usize {
         self.0.len()
     }
 
-    /// True when the block holds no words (never the case in practice).
+    /// True when the block holds no words (only tag-only cache entries).
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
     }

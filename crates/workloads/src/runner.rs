@@ -9,7 +9,8 @@
 
 use crate::measure::{barrier_measurement, lock_measurement, BarrierMeasurement, LockMeasurement};
 use amo_obs::critpath::{self, Workload};
-use amo_obs::{RingTracer, TimeSeries, TraceBuf, Tracer};
+use amo_obs::hostprof::{HostProf, HostProfReport, HostProfiler};
+use amo_obs::{NopTracer, RingTracer, TimeSeries, TraceBuf, Tracer};
 use amo_sim::{Machine, QueueKind, RunResult, SimError};
 use amo_sync::lock::ExclusionCheck;
 use amo_sync::{
@@ -36,16 +37,22 @@ pub struct ObsSpec {
     pub trace_cap: usize,
     /// Occupancy sampling interval in cycles; 0 disables sampling.
     pub sample_interval: Cycle,
+    /// Attach a host profiler (`amo_obs::HostProfiler`) attributing the
+    /// simulator's own wall-clock and allocations; false keeps the
+    /// compile-time-disabled `NopHostProf`. A hostprof run is
+    /// simulated-timing-identical to an unprofiled one (pinned by
+    /// test), but several times slower on the host.
+    pub hostprof: bool,
 }
 
 impl ObsSpec {
     /// True if anything at all is being observed.
     pub fn any(self) -> bool {
-        self.trace_cap > 0 || self.sample_interval > 0
+        self.trace_cap > 0 || self.sample_interval > 0 || self.hostprof
     }
 }
 
-/// What a run observed (both fields `None` under the default
+/// What a run observed (all fields `None` under the default
 /// [`ObsSpec`]).
 #[derive(Clone, Default, Debug)]
 pub struct ObsReport {
@@ -53,6 +60,8 @@ pub struct ObsReport {
     pub trace: Option<TraceBuf>,
     /// Occupancy time series, if sampling was enabled.
     pub timeseries: Option<TimeSeries>,
+    /// Host-side self-profile, if host profiling was enabled.
+    pub hostprof: Option<HostProfReport>,
 }
 
 /// How per-processor arrival skew is drawn.
@@ -302,19 +311,38 @@ pub fn try_run_barrier_obs(
         cfg.num_procs, bench.procs,
         "config override must match procs"
     );
-    if obs.trace_cap > 0 {
-        let machine =
-            Machine::with_tracer(cfg, QueueKind::Calendar, RingTracer::new(obs.trace_cap));
-        run_barrier_on(bench, cfg, machine, obs)
-    } else {
-        run_barrier_on(bench, cfg, Machine::new(cfg), obs)
+    match (obs.trace_cap > 0, obs.hostprof) {
+        (true, true) => run_barrier_on(
+            bench,
+            cfg,
+            Machine::with_parts(
+                cfg,
+                QueueKind::Calendar,
+                RingTracer::new(obs.trace_cap),
+                HostProfiler::new(),
+            ),
+            obs,
+        ),
+        (true, false) => run_barrier_on(
+            bench,
+            cfg,
+            Machine::with_tracer(cfg, QueueKind::Calendar, RingTracer::new(obs.trace_cap)),
+            obs,
+        ),
+        (false, true) => run_barrier_on(
+            bench,
+            cfg,
+            Machine::with_parts(cfg, QueueKind::Calendar, NopTracer, HostProfiler::new()),
+            obs,
+        ),
+        (false, false) => run_barrier_on(bench, cfg, Machine::new(cfg), obs),
     }
 }
 
-fn run_barrier_on<T: Tracer>(
+fn run_barrier_on<T: Tracer, P: HostProf>(
     bench: BarrierBench,
     cfg: SystemConfig,
-    mut machine: Machine<T>,
+    mut machine: Machine<T, P>,
     obs: ObsSpec,
 ) -> Result<BarrierResult, Box<RunFailure>> {
     if obs.sample_interval > 0 {
@@ -430,6 +458,7 @@ fn run_barrier_on<T: Tracer>(
         obs: ObsReport {
             trace: machine.take_trace_buf(),
             timeseries: machine.take_timeseries(),
+            hostprof: machine.take_hostprof(),
         },
     })
 }
@@ -560,19 +589,38 @@ pub fn try_run_lock_obs(bench: LockBench, obs: ObsSpec) -> Result<LockResult, Bo
         cfg.num_procs, bench.procs,
         "config override must match procs"
     );
-    if obs.trace_cap > 0 {
-        let machine =
-            Machine::with_tracer(cfg, QueueKind::Calendar, RingTracer::new(obs.trace_cap));
-        run_lock_on(bench, cfg, machine, obs)
-    } else {
-        run_lock_on(bench, cfg, Machine::new(cfg), obs)
+    match (obs.trace_cap > 0, obs.hostprof) {
+        (true, true) => run_lock_on(
+            bench,
+            cfg,
+            Machine::with_parts(
+                cfg,
+                QueueKind::Calendar,
+                RingTracer::new(obs.trace_cap),
+                HostProfiler::new(),
+            ),
+            obs,
+        ),
+        (true, false) => run_lock_on(
+            bench,
+            cfg,
+            Machine::with_tracer(cfg, QueueKind::Calendar, RingTracer::new(obs.trace_cap)),
+            obs,
+        ),
+        (false, true) => run_lock_on(
+            bench,
+            cfg,
+            Machine::with_parts(cfg, QueueKind::Calendar, NopTracer, HostProfiler::new()),
+            obs,
+        ),
+        (false, false) => run_lock_on(bench, cfg, Machine::new(cfg), obs),
     }
 }
 
-fn run_lock_on<T: Tracer>(
+fn run_lock_on<T: Tracer, P: HostProf>(
     bench: LockBench,
     cfg: SystemConfig,
-    mut machine: Machine<T>,
+    mut machine: Machine<T, P>,
     obs: ObsSpec,
 ) -> Result<LockResult, Box<RunFailure>> {
     if obs.sample_interval > 0 {
@@ -703,6 +751,7 @@ fn run_lock_on<T: Tracer>(
         obs: ObsReport {
             trace: machine.take_trace_buf(),
             timeseries: machine.take_timeseries(),
+            hostprof: machine.take_hostprof(),
         },
     })
 }
@@ -761,6 +810,7 @@ mod tests {
             ObsSpec {
                 trace_cap: 1 << 16,
                 sample_interval: 200,
+                hostprof: false,
             },
         );
         assert_eq!(

@@ -26,6 +26,7 @@ fn timeline(mech: Mechanism) {
         ObsSpec {
             trace_cap: 0, // timelines only; add a cap to also keep a trace
             sample_interval: 2_000,
+            hostprof: false,
         },
     );
     let ts = r.obs.timeseries.expect("sampling was enabled");

@@ -25,6 +25,7 @@ fn attribute(mech: Mechanism, procs: u16) -> CritPathReport {
         ObsSpec {
             trace_cap: 1 << 20,
             sample_interval: 0,
+            hostprof: false,
         },
     );
     let buf = r.obs.trace.as_ref().expect("tracing was requested");

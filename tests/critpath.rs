@@ -20,6 +20,7 @@ fn traced_barrier(mech: Mechanism, procs: u16, trace_cap: usize) -> BarrierResul
         ObsSpec {
             trace_cap,
             sample_interval: 0,
+            hostprof: false,
         },
     )
 }
@@ -86,6 +87,7 @@ fn lock_workload_extracts_handoff_episodes() {
         ObsSpec {
             trace_cap: 1 << 20,
             sample_interval: 0,
+            hostprof: false,
         },
     );
     let rep = analyze(r.obs.trace.as_ref().unwrap(), Workload::Lock).unwrap();

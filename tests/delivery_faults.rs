@@ -125,6 +125,7 @@ fn fault_abort_with_complete_trace_attaches_critpath_breakdown() {
         ObsSpec {
             trace_cap: 1 << 22,
             sample_interval: 0,
+            hostprof: false,
         },
     )
     .expect_err("20% drop with 1 retry must kill the run");

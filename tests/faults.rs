@@ -32,6 +32,7 @@ fn amo_barrier_64_procs_survives_link_errors() {
         ObsSpec {
             trace_cap: 1 << 20,
             sample_interval: 0,
+            hostprof: false,
         },
     );
     // run_barrier asserts completion; the faults must have bitten and

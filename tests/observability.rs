@@ -17,6 +17,7 @@ fn traced_barrier(procs: u16) -> (BarrierResult, SystemConfig) {
         ObsSpec {
             trace_cap: 1 << 20,
             sample_interval: 500,
+            hostprof: false,
         },
     );
     (r, SystemConfig::with_procs(procs))
@@ -165,6 +166,60 @@ fn metrics_report_has_per_node_counts_quantiles_and_series() {
 }
 
 #[test]
+fn perfetto_export_stays_valid_under_ring_truncation() {
+    // A ring far smaller than the run: the tracer keeps only the newest
+    // window and counts every overwrite.
+    let cap = 1 << 10;
+    let bench = BarrierBench {
+        episodes: 4,
+        warmup: 1,
+        ..BarrierBench::paper(Mechanism::Amo, 64)
+    };
+    let spec = |trace_cap| ObsSpec {
+        trace_cap,
+        sample_interval: 0,
+        hostprof: false,
+    };
+    let r = run_barrier_obs(bench, spec(cap));
+    let buf = r.obs.trace.as_ref().expect("trace requested");
+    assert_eq!(buf.events.len(), cap, "ring keeps exactly its capacity");
+    assert!(buf.dropped > 0, "this run must overflow the ring");
+
+    // The drop count is exactly the events lost, pinned against an
+    // identical run whose ring holds everything.
+    let full = run_barrier_obs(bench, spec(1 << 20));
+    let full_buf = full.obs.trace.as_ref().unwrap();
+    assert_eq!(full_buf.dropped, 0, "1M-event ring holds the full run");
+    assert_eq!(
+        buf.events.len() as u64 + buf.dropped,
+        full_buf.events.len() as u64,
+        "kept + dropped == total recorded"
+    );
+
+    // The truncated window still exports viewer-valid JSON: tracks stay
+    // monotone and every flow arrow in the window is well-formed (flow
+    // endpoints are recomputed over the kept events, so a flow whose
+    // start was overwritten simply starts at its first kept event).
+    let cfg = SystemConfig::with_procs(64);
+    let json = perfetto_json(buf, cfg.num_nodes(), cfg.procs_per_node);
+    let summary = validate_perfetto(&json, None).expect("truncated export must stay viewer-valid");
+    assert_eq!(summary.events as usize, buf.events.len());
+    let doc = Json::parse(&json).unwrap();
+    assert_eq!(
+        doc.get("droppedEvents").unwrap().as_u64(),
+        Some(buf.dropped),
+        "the export advertises its truncation"
+    );
+
+    // And the metrics report accounts for the same loss.
+    let metrics = metrics_json(&r.stats, None, r.obs.trace.as_ref(), &[]);
+    let m = Json::parse(&metrics).unwrap();
+    let tr = m.get("trace").unwrap();
+    assert_eq!(tr.get("dropped").unwrap().as_u64(), Some(buf.dropped));
+    assert_eq!(tr.get("complete").unwrap().as_u64(), Some(0));
+}
+
+#[test]
 fn observation_does_not_change_simulated_time() {
     let bench = BarrierBench {
         episodes: 5,
@@ -177,6 +232,7 @@ fn observation_does_not_change_simulated_time() {
         ObsSpec {
             trace_cap: 1 << 18,
             sample_interval: 1_000,
+            hostprof: false,
         },
     );
     assert_eq!(plain.timing.per_episode, observed.timing.per_episode);
